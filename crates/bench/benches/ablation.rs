@@ -1,0 +1,51 @@
+//! Criterion bench backing experiment F4: queue-discipline ablation of the
+//! Step-9 round-robin push.
+
+use congest_apsp::config::BlockerParams;
+use congest_apsp::pipeline::{propagate_to_blockers_with, PushDiscipline};
+use congest_apsp::ApspConfig;
+use congest_bench::workloads::sparse_random;
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::NodeId;
+use congest_sim::Recorder;
+use congest_sim::Topology;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 48;
+    let g = sparse_random(n, 13);
+    let topo = Topology::from_graph(&g);
+    let cfg = ApspConfig::default();
+    let q: Vec<NodeId> = (0..n as NodeId).step_by(4).collect();
+    let exact = apsp_dijkstra(&g);
+    let dvals: Vec<Vec<u64>> =
+        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+    let mut group = c.benchmark_group("step9-discipline");
+    group.sample_size(10);
+    for (name, d) in [
+        ("round-robin", PushDiscipline::RoundRobin),
+        ("fixed-priority", PushDiscipline::FixedPriority),
+        ("longest-first", PushDiscipline::LongestFirst),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut r = Recorder::new();
+                propagate_to_blockers_with(
+                    &g,
+                    &topo,
+                    &cfg,
+                    BlockerParams::default(),
+                    &q,
+                    &dvals,
+                    d,
+                    &mut r,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

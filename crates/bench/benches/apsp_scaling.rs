@@ -1,0 +1,39 @@
+//! Criterion bench backing experiment T1: wall-clock of the three APSP
+//! algorithms at a fixed simulable size (round counts are measured by the
+//! `experiments` binary; this tracks simulator throughput regressions).
+
+use congest_apsp::{
+    apsp_agarwal_ramachandran, apsp_ar18, apsp_naive, ApspConfig, BlockerMethod, Step6Method,
+};
+use congest_bench::workloads::sparse_random;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    group.sample_size(10);
+    for n in [24usize, 48] {
+        let g = sparse_random(n, 42);
+        let cfg = ApspConfig::default();
+        group.bench_with_input(BenchmarkId::new("paper-derand", n), &n, |b, _| {
+            b.iter(|| {
+                apsp_agarwal_ramachandran(
+                    &g,
+                    &cfg,
+                    BlockerMethod::Derandomized,
+                    Step6Method::Pipelined,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ar18", n), &n, |b, _| {
+            b.iter(|| apsp_ar18(&g, &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| apsp_naive(&g, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench backing experiments T2/F2: blocker constructions.
+
+use congest_apsp::blocker::{alg2_blocker, greedy_blocker, Selection};
+use congest_apsp::config::{BlockerParams, Charging};
+use congest_apsp::csssp::build_csssp;
+use congest_bench::workloads::hop_deep;
+use congest_graph::seq::Direction;
+use congest_graph::NodeId;
+use congest_sim::{Recorder, SimConfig, Topology};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_blocker(c: &mut Criterion) {
+    let n = 48;
+    let g = hop_deep(n, 5);
+    let topo = Topology::from_graph(&g);
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut rec = Recorder::new();
+    let coll = build_csssp(
+        &g,
+        &topo,
+        &sources,
+        3,
+        Direction::Out,
+        SimConfig::default(),
+        Charging::Quiesce,
+        &mut rec,
+        "csssp",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("blocker");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let mut r = Recorder::new();
+            greedy_blocker(&topo, SimConfig::default(), &coll, &mut r).unwrap()
+        })
+    });
+    group.bench_function("alg2-derand", |b| {
+        b.iter(|| {
+            let mut r = Recorder::new();
+            alg2_blocker(
+                &topo,
+                SimConfig::default(),
+                &coll,
+                BlockerParams::default(),
+                Selection::Derandomized,
+                &mut r,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("alg2-randomized", |b| {
+        b.iter(|| {
+            let mut r = Recorder::new();
+            alg2_blocker(
+                &topo,
+                SimConfig::default(),
+                &coll,
+                BlockerParams::default(),
+                Selection::Randomized { seed: 7 },
+                &mut r,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocker);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench backing experiment T3: Step-6 propagation variants.
+
+use congest_apsp::config::BlockerParams;
+use congest_apsp::pipeline::{propagate_to_blockers, propagate_trivial_broadcast};
+use congest_apsp::ApspConfig;
+use congest_bench::workloads::sparse_random;
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::NodeId;
+use congest_sim::{Recorder, SimConfig, Topology};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_step6(c: &mut Criterion) {
+    let n = 48;
+    let g = sparse_random(n, 11);
+    let topo = Topology::from_graph(&g);
+    let cfg = ApspConfig::default();
+    let q: Vec<NodeId> = (0..n as NodeId).step_by(5).collect();
+    let exact = apsp_dijkstra(&g);
+    let dvals: Vec<Vec<u64>> =
+        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+    let mut group = c.benchmark_group("step6");
+    group.sample_size(10);
+    group.bench_function("pipelined-alg8-9", |b| {
+        b.iter(|| {
+            let mut r = Recorder::new();
+            propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut r)
+                .unwrap()
+        })
+    });
+    group.bench_function("trivial-broadcast", |b| {
+        b.iter(|| {
+            let mut r = Recorder::new();
+            propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut r).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step6);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # congest-bench
+//!
+//! Experiment harness regenerating the paper's round-complexity
+//! comparisons (the empiricized Table 1) and the per-lemma validation
+//! experiments T1–T5 / F1–F4 indexed in `DESIGN.md` and reported in
+//! `EXPERIMENTS.md`.
+//!
+//! Run `cargo run -p congest-bench --release --bin experiments -- all`
+//! (or a single experiment id) to print the tables; CSV copies land in
+//! `results/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod workloads;

@@ -1,0 +1,29 @@
+//! Shared experiment workloads.
+
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::Graph;
+
+/// The default T1 workload: connected G(n, m ≈ 3n) with uniform weights —
+/// the "general weighted digraph" setting of the paper's model section.
+#[must_use]
+pub fn sparse_random(n: usize, seed: u64) -> Graph<u64> {
+    gnm_connected(n, 2 * n, true, WeightDist::Uniform(0, 100), seed)
+}
+
+/// A hop-deep workload (broom) that actually produces full-length h-hop
+/// paths, exercising the blocker machinery rather than short-circuiting it.
+#[must_use]
+pub fn hop_deep(n: usize, seed: u64) -> Graph<u64> {
+    congest_graph::generators::broom(n, true, WeightDist::Uniform(1, 20), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_connected() {
+        assert!(sparse_random(30, 1).is_comm_connected());
+        assert!(hop_deep(30, 1).is_comm_connected());
+    }
+}

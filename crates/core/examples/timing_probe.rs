@@ -1,0 +1,45 @@
+//! Developer probe: wall-clock and round-count comparison of the three
+//! APSP algorithms at increasing n, with an exactness cross-check.
+//! (The full experiment suite lives in `congest-bench`; this is the
+//! quick smoke-test variant.)
+//!
+//! ```text
+//! cargo run -p congest-apsp --release --example timing_probe
+//! ```
+
+use congest_apsp::*;
+use congest_graph::generators::{gnm_connected, WeightDist};
+use std::time::Instant;
+
+fn main() {
+    for n in [24usize, 48, 72, 96] {
+        let g = gnm_connected(n, 3 * n, true, WeightDist::Uniform(0, 100), 7);
+        let cfg = ApspConfig::default();
+        let t0 = Instant::now();
+        let out = apsp_agarwal_ramachandran(
+            &g,
+            &cfg,
+            BlockerMethod::Derandomized,
+            Step6Method::Pipelined,
+        )
+        .unwrap();
+        let t_paper = t0.elapsed();
+        let t0 = Instant::now();
+        let ar = apsp_ar18(&g, &cfg).unwrap();
+        let t_ar = t0.elapsed();
+        let t0 = Instant::now();
+        let nv = apsp_naive(&g, &cfg).unwrap();
+        let t_naive = t0.elapsed();
+        let ok = out.dist == nv.dist && ar.dist == nv.dist;
+        println!(
+            "n={n:3} | paper: {:>8} rounds q={:2} ({:.2?}) | ar18: {:>8} rounds ({:.2?}) | naive: {:>7} rounds ({:.2?}) | exact={ok}",
+            out.recorder.total_rounds(),
+            out.meta.q.len(),
+            t_paper,
+            ar.recorder.total_rounds(),
+            t_ar,
+            nv.recorder.total_rounds(),
+            t_naive
+        );
+    }
+}

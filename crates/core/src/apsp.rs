@@ -1,0 +1,321 @@
+//! Algorithm 1 — the paper's deterministic Õ(n^{4/3})-round APSP.
+//!
+//! Step map (§2):
+//! 1. h-CSSSP for S = V, h = n^{1/3}           → [`crate::csssp`]
+//! 2. blocker set Q                             → [`crate::blocker`]
+//! 3. h-in-SSSP per c ∈ Q                       → [`crate::bf`]
+//! 4. broadcast of the Q×Q δ_h matrix           → flooding (Lemma A.2)
+//! 5. local min-plus closure at every node      → zero rounds
+//! 6. reversed q-sink propagation               → [`crate::pipeline`]
+//! 7. h-hop extension per source                → [`crate::extension`]
+
+use crate::bf::run_bf;
+use crate::blocker::{alg2_blocker, greedy_blocker, Alg2Stats, Selection};
+use crate::config::ApspConfig;
+use crate::csssp::build_csssp;
+use crate::extension::extend_all_sources;
+use crate::pipeline::{propagate_to_blockers, propagate_trivial_broadcast, Step6Stats};
+use congest_graph::seq::Direction;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_sim::primitives::all_to_all_broadcast;
+use congest_sim::{Recorder, SimError, Topology};
+
+/// Which blocker-set construction Step 2 uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BlockerMethod {
+    /// Greedy baseline of \[2\] (adds the n·|Q| term).
+    Greedy,
+    /// Algorithm 2 (randomized, pairwise-independent sampling).
+    Randomized,
+    /// Algorithm 2′ (derandomized — the paper's deterministic result).
+    Derandomized,
+}
+
+/// Which Step-6 implementation to use.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Step6Method {
+    /// Algorithms 8 + 9 (the paper's Õ(n^{4/3}) pipeline).
+    Pipelined,
+    /// All-to-all broadcast of all n·|Q| values (the Õ(n^{5/3}) strawman).
+    TrivialBroadcast,
+}
+
+/// Metadata about one APSP run (sizes and lemma counters).
+#[derive(Clone, Debug, Default)]
+pub struct ApspMeta {
+    /// Hop parameter h.
+    pub h: usize,
+    /// The blocker set Q.
+    pub q: Vec<NodeId>,
+    /// Blocker-construction counters (Algorithm 2/2′ only).
+    pub blocker_stats: Option<Alg2Stats>,
+    /// Step-6 counters (pipelined method only).
+    pub step6: Option<Step6Stats>,
+}
+
+/// Result of a distributed APSP run: the full distance matrix
+/// (`dist[x][t]`, `INF` when unreachable), per-phase round accounting, and
+/// run metadata.
+#[derive(Clone, Debug)]
+pub struct ApspOutcome<W> {
+    /// `dist[x][t] = δ(x, t)`.
+    pub dist: Vec<Vec<W>>,
+    /// Phase-by-phase rounds/messages/congestion.
+    pub recorder: Recorder,
+    /// Sizes and counters.
+    pub meta: ApspMeta,
+}
+
+/// Flood payload for Step 4: one (from-blocker, to-blocker, δ_h) entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct QPairItem<W> {
+    from_qi: u32,
+    to_qi: u32,
+    dist: W,
+}
+
+impl<W: Weight> std::hash::Hash for QPairItem<W> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.from_qi.hash(state);
+        self.to_qi.hash(state);
+        format!("{:?}", self.dist).hash(state);
+    }
+}
+
+/// Runs Algorithm 1. `method` selects the Step-2 blocker construction,
+/// `step6` the Step-6 implementation; the paper's headline configuration
+/// is `(Derandomized, Pipelined)`.
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if the communication graph is disconnected.
+pub fn apsp_agarwal_ramachandran<W: Weight>(
+    g: &Graph<W>,
+    cfg: &ApspConfig,
+    method: BlockerMethod,
+    step6: Step6Method,
+) -> Result<ApspOutcome<W>, SimError> {
+    assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
+    let n = g.n();
+    let topo = Topology::from_graph(g);
+    let mut rec = Recorder::new();
+    let mut meta = ApspMeta { h: cfg.hop_param(n), ..Default::default() };
+    let h = meta.h;
+    let sim = cfg.sim;
+
+    // Step 1: h-CSSSP for V.
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    let coll = build_csssp(
+        g,
+        &topo,
+        &sources,
+        h,
+        Direction::Out,
+        sim,
+        cfg.charging,
+        &mut rec,
+        "step1: h-CSSSP for V",
+    )?;
+
+    // Step 2: blocker set.
+    let q = match method {
+        BlockerMethod::Greedy => {
+            let mut brec = Recorder::new();
+            let res = greedy_blocker(&topo, sim, &coll, &mut brec)?;
+            rec.absorb("step2/", brec);
+            res.q
+        }
+        BlockerMethod::Randomized | BlockerMethod::Derandomized => {
+            let sel = match method {
+                BlockerMethod::Randomized => Selection::Randomized { seed: cfg.seed },
+                _ => Selection::Derandomized,
+            };
+            let mut brec = Recorder::new();
+            let (res, stats) = alg2_blocker(&topo, sim, &coll, cfg.blocker, sel, &mut brec)?;
+            rec.absorb("step2/", brec);
+            meta.blocker_stats = Some(stats);
+            res.q
+        }
+    };
+    meta.q = q.clone();
+
+    // Step 3: h-in-SSSP per blocker; to_q[qi][x] = δ_h(x, q_qi) at x.
+    let mut to_q: Vec<Vec<W>> = Vec::with_capacity(q.len());
+    for &c in &q {
+        let (res, rep) =
+            run_bf(g, &topo, c, Direction::In, h as u64, None, false, sim, cfg.charging)?;
+        rec.record(format!("step3: h-in-SSSP({c})"), rep);
+        to_q.push(res.entries.iter().map(|e| e.dist).collect());
+    }
+
+    // Step 4: every c broadcasts (c, c', δ_h(c, c')) — |Q|² values.
+    if !q.is_empty() {
+        let initial: Vec<Vec<QPairItem<W>>> = (0..n)
+            .map(|v| {
+                if let Some(qi) = q.iter().position(|&c| c as usize == v) {
+                    (0..q.len())
+                        .filter(|&qj| !to_q[qj][v].is_inf())
+                        .map(|qj| QPairItem {
+                            from_qi: qi as u32,
+                            to_qi: qj as u32,
+                            dist: to_q[qj][v],
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let (_, rep) = all_to_all_broadcast(&topo, sim, initial)?;
+        rec.record("step4: QxQ matrix broadcast", rep);
+    }
+
+    // Step 5 (local): min-plus closure of the Q×Q matrix, then
+    // dvals[x][qi] = δ(x, q_qi). Every node performs the same closure on
+    // the broadcast matrix; the orchestrator mirrors it once.
+    let qn = q.len();
+    let mut closure = vec![vec![W::INF; qn]; qn];
+    for qi in 0..qn {
+        closure[qi][qi] = W::ZERO;
+        for qj in 0..qn {
+            let d = to_q[qj][q[qi] as usize];
+            if d < closure[qi][qj] {
+                closure[qi][qj] = d;
+            }
+        }
+    }
+    for k in 0..qn {
+        for i in 0..qn {
+            if closure[i][k].is_inf() {
+                continue;
+            }
+            for j in 0..qn {
+                let via = closure[i][k].plus(closure[k][j]);
+                if via < closure[i][j] {
+                    closure[i][j] = via;
+                }
+            }
+        }
+    }
+    let dvals: Vec<Vec<W>> = (0..n)
+        .map(|x| {
+            (0..qn)
+                .map(|qi| {
+                    let mut best = to_q[qi][x];
+                    for qj in 0..qn {
+                        let first = to_q[qj][x];
+                        if first.is_inf() {
+                            continue;
+                        }
+                        let via = first.plus(closure[qj][qi]);
+                        if via < best {
+                            best = via;
+                        }
+                    }
+                    best
+                })
+                .collect()
+        })
+        .collect();
+    rec.record_local("step5: local closure over Q");
+
+    // Step 6: reversed q-sink propagation.
+    let at_blocker = match step6 {
+        Step6Method::Pipelined => {
+            let (out, stats) =
+                propagate_to_blockers(g, &topo, cfg, cfg.blocker, &q, &dvals, &mut rec)?;
+            meta.step6 = Some(stats);
+            out
+        }
+        Step6Method::TrivialBroadcast => {
+            propagate_trivial_broadcast(&topo, sim, &q, &dvals, &mut rec)?
+        }
+    };
+
+    // Step 7: h-hop extension per source.
+    let dist = extend_all_sources(g, &topo, cfg, &coll, &q, &at_blocker, &mut rec)?;
+    Ok(ApspOutcome { dist, recorder: rec, meta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, Family, WeightDist};
+    use congest_graph::seq::apsp_dijkstra;
+
+    fn check_exact(g: &Graph<u64>, method: BlockerMethod, step6: Step6Method) {
+        let cfg = ApspConfig::default();
+        let out = apsp_agarwal_ramachandran(g, &cfg, method, step6).unwrap();
+        let oracle = apsp_dijkstra(g);
+        assert_eq!(out.dist, oracle, "{method:?}/{step6:?}");
+    }
+
+    #[test]
+    fn paper_configuration_exact_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gnm_connected(16, 32, true, WeightDist::Uniform(0, 9), seed);
+            check_exact(&g, BlockerMethod::Derandomized, Step6Method::Pipelined);
+        }
+    }
+
+    #[test]
+    fn randomized_blocker_exact() {
+        let g = gnm_connected(15, 30, true, WeightDist::Uniform(1, 9), 7);
+        check_exact(&g, BlockerMethod::Randomized, Step6Method::Pipelined);
+    }
+
+    #[test]
+    fn greedy_blocker_exact() {
+        let g = gnm_connected(15, 30, false, WeightDist::Uniform(0, 5), 2);
+        check_exact(&g, BlockerMethod::Greedy, Step6Method::Pipelined);
+    }
+
+    #[test]
+    fn trivial_step6_exact() {
+        let g = gnm_connected(14, 28, true, WeightDist::Uniform(0, 7), 5);
+        check_exact(&g, BlockerMethod::Derandomized, Step6Method::TrivialBroadcast);
+    }
+
+    #[test]
+    fn exact_on_families() {
+        for fam in [Family::Path, Family::Star, Family::Broom, Family::Layered] {
+            let g = fam.build(15, true, WeightDist::Uniform(1, 6), 3);
+            check_exact(&g, BlockerMethod::Derandomized, Step6Method::Pipelined);
+        }
+    }
+
+    #[test]
+    fn meta_reports_q_and_h() {
+        let g = gnm_connected(20, 40, true, WeightDist::Uniform(1, 9), 1);
+        let cfg = ApspConfig::default();
+        let out = apsp_agarwal_ramachandran(
+            &g,
+            &cfg,
+            BlockerMethod::Derandomized,
+            Step6Method::Pipelined,
+        )
+        .unwrap();
+        assert_eq!(out.meta.h, 3); // ceil(20^(1/3))
+        assert!(out.recorder.total_rounds() > 0);
+        // Q must be a valid blocker-sized set (possibly empty on shallow graphs)
+        assert!(out.meta.q.len() <= 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let g: Graph<u64> = Graph::from_edges(
+            4,
+            true,
+            vec![congest_graph::Edge::new(0, 1, 1)],
+        );
+        let _ = apsp_agarwal_ramachandran(
+            &g,
+            &ApspConfig::default(),
+            BlockerMethod::Derandomized,
+            Step6Method::Pipelined,
+        );
+    }
+}

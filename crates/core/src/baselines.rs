@@ -1,0 +1,188 @@
+//! Baseline APSP algorithms from Table 1 of the paper, for the empirical
+//! round-complexity comparison (experiment T1/F1).
+//!
+//! * [`apsp_naive`] — one full Bellman–Ford per source: the folklore O(n²)
+//!   worst-case algorithm (fast on low-hop-diameter graphs).
+//! * [`apsp_ar18`] — a same-framework reconstruction of Agarwal, Ramachandran,
+//!   King & Pontecorvi (PODC 2018): h = √n CSSSP, greedy blocker set
+//!   (O(nh + n|Q|)), one full in- and out-SSSP per blocker (O(n|Q|)), one
+//!   O(n|Q|)-round broadcast of the (x, c) distance table, local combine.
+//!   Measured rounds scale as Θ̃(n^{3/2}) — the bound the paper improves
+//!   to Õ(n^{4/3}). (See DESIGN.md §3.4 for the reconstruction notes.)
+
+use crate::bf::run_full_sssp;
+use crate::blocker::greedy_blocker;
+use crate::config::ApspConfig;
+use crate::csssp::build_csssp;
+use crate::apsp::{ApspMeta, ApspOutcome};
+use congest_graph::seq::Direction;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_sim::primitives::all_to_all_broadcast;
+use congest_sim::{Recorder, SimError, Topology};
+
+/// One full Bellman–Ford per source (n sequential SSSPs).
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if the communication graph is disconnected.
+pub fn apsp_naive<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
+    assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
+    let n = g.n();
+    let topo = Topology::from_graph(g);
+    let mut rec = Recorder::new();
+    let mut dist = vec![vec![W::INF; n]; n];
+    for x in 0..n as NodeId {
+        let (res, rep) = run_full_sssp(g, &topo, x, Direction::Out, cfg.sim, cfg.charging)?;
+        rec.record(format!("naive: SSSP({x})"), rep);
+        for t in 0..n {
+            dist[x as usize][t] = res.entries[t].dist;
+        }
+    }
+    Ok(ApspOutcome { dist, recorder: rec, meta: ApspMeta::default() })
+}
+
+/// Flood payload for the (x, c, δ(x,c)) table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TableItem<W> {
+    x: NodeId,
+    qi: u32,
+    dist: W,
+}
+
+impl<W: Weight> std::hash::Hash for TableItem<W> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.x.hash(state);
+        self.qi.hash(state);
+        format!("{:?}", self.dist).hash(state);
+    }
+}
+
+/// The Õ(n^{3/2})-round deterministic baseline (\[2\]-style).
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if the communication graph is disconnected.
+pub fn apsp_ar18<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
+    assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
+    let n = g.n();
+    let topo = Topology::from_graph(g);
+    let mut rec = Recorder::new();
+    // h = ⌈√n⌉ balances O(nh) against O(n|Q|) with |Q| = Õ(n/h).
+    let h = (n as f64).sqrt().ceil() as usize;
+    let mut meta = ApspMeta { h, ..Default::default() };
+    let sim = cfg.sim;
+
+    // Step 1: h-CSSSP for V.
+    let sources: Vec<NodeId> = (0..n as NodeId).collect();
+    let coll = build_csssp(
+        g,
+        &topo,
+        &sources,
+        h,
+        Direction::Out,
+        sim,
+        cfg.charging,
+        &mut rec,
+        "ar18/step1: sqrt(n)-CSSSP",
+    )?;
+
+    // Step 2: greedy blocker set (the O(n·|Q|) construction of [2]).
+    let mut brec = Recorder::new();
+    let q = greedy_blocker(&topo, sim, &coll, &mut brec)?.q;
+    rec.absorb("ar18/step2/", brec);
+    meta.q = q.clone();
+
+    // Step 3: full in-SSSP and out-SSSP per blocker (O(n) rounds each).
+    let mut to_q: Vec<Vec<W>> = Vec::with_capacity(q.len()); // δ(x, c) at x
+    let mut from_q: Vec<Vec<W>> = Vec::with_capacity(q.len()); // δ(c, t) at t
+    for &c in &q {
+        let (res, rep) = run_full_sssp(g, &topo, c, Direction::In, sim, cfg.charging)?;
+        rec.record(format!("ar18/step3: in-SSSP({c})"), rep);
+        to_q.push(res.entries.iter().map(|e| e.dist).collect());
+        let (res, rep) = run_full_sssp(g, &topo, c, Direction::Out, sim, cfg.charging)?;
+        rec.record(format!("ar18/step3: out-SSSP({c})"), rep);
+        from_q.push(res.entries.iter().map(|e| e.dist).collect());
+    }
+
+    // Step 4: broadcast the n×|Q| table (O(n·|Q|) rounds, Lemma A.2).
+    if !q.is_empty() {
+        let initial: Vec<Vec<TableItem<W>>> = (0..n)
+            .map(|x| {
+                (0..q.len())
+                    .filter(|&qi| !to_q[qi][x].is_inf())
+                    .map(|qi| TableItem { x: x as NodeId, qi: qi as u32, dist: to_q[qi][x] })
+                    .collect()
+            })
+            .collect();
+        let (_, rep) = all_to_all_broadcast(&topo, sim, initial)?;
+        rec.record("ar18/step4: (x, c) table broadcast", rep);
+    }
+
+    // Step 5 (local at every sink t): δ(x,t) = min(δ_h(x,t),
+    // min_c δ(x,c) + δ(c,t)).
+    rec.record_local("ar18/step5: local combine");
+    let mut dist = vec![vec![W::INF; n]; n];
+    for x in 0..n {
+        for t in 0..n {
+            let mut best = if x == t { W::ZERO } else { coll.dist[t][x] };
+            for qi in 0..q.len() {
+                let a = to_q[qi][x];
+                let b = from_q[qi][t];
+                if a.is_inf() || b.is_inf() {
+                    continue;
+                }
+                let via = a.plus(b);
+                if via < best {
+                    best = via;
+                }
+            }
+            dist[x][t] = best;
+        }
+    }
+    Ok(ApspOutcome { dist, recorder: rec, meta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, Family, WeightDist};
+    use congest_graph::seq::apsp_dijkstra;
+
+    #[test]
+    fn naive_exact() {
+        for seed in 0..3 {
+            let g = gnm_connected(14, 28, true, WeightDist::Uniform(0, 9), seed);
+            let out = apsp_naive(&g, &ApspConfig::default()).unwrap();
+            assert_eq!(out.dist, apsp_dijkstra(&g));
+        }
+    }
+
+    #[test]
+    fn ar18_exact() {
+        for seed in 0..3 {
+            let g = gnm_connected(16, 32, true, WeightDist::Uniform(0, 9), seed);
+            let out = apsp_ar18(&g, &ApspConfig::default()).unwrap();
+            assert_eq!(out.dist, apsp_dijkstra(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ar18_exact_on_deep_families() {
+        for fam in [Family::Path, Family::Broom, Family::Cycle] {
+            let g = fam.build(18, true, WeightDist::Uniform(1, 5), 4);
+            let out = apsp_ar18(&g, &ApspConfig::default()).unwrap();
+            assert_eq!(out.dist, apsp_dijkstra(&g), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn ar18_h_is_sqrt_n() {
+        let g = gnm_connected(25, 50, false, WeightDist::Unit, 0);
+        let out = apsp_ar18(&g, &ApspConfig::default()).unwrap();
+        assert_eq!(out.meta.h, 5);
+    }
+}

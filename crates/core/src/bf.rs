@@ -1,0 +1,533 @@
+//! Distributed synchronous Bellman–Ford (paper \[3\], used by Steps 1, 3, 7
+//! and Algorithms 8/9).
+//!
+//! After r rounds of synchronous relaxation every node holds exactly
+//! `δ_r(source, v)` — the best distance over paths with at most r hops —
+//! together with the hop count and parent of a canonical optimal path.
+//! Candidates are compared by `(dist, hops, parent id)` lexicographically,
+//! which (a) makes the result deterministic, (b) selects minimum-hop
+//! shortest paths — needed for CSSSP truncation (Appendix A.2) — and
+//! (c) makes tree paths prefix-closed.
+//!
+//! ## The horizon-repair phase
+//!
+//! A bounded-round BF has a horizon artifact: a node v whose entry settled
+//! early may record a parent p that *improves its own entry in the very
+//! last receipt round* (via an exactly-R-hop path). v never hears about it
+//! (the news would need R+1 rounds), so v's recorded parent linkage became
+//! stale. Such v provably has a true shortest path longer than R hops
+//! (p's improvement plus one edge undercuts v's entry), so Definition A.3
+//! does not require keeping it in an (R/2)-truncated tree. We therefore run
+//! three extra sub-phases, all within O(h) rounds: **adopt** (children
+//! notification), **confirm** (each node tells neighbors its final entry;
+//! one round), and **detach** (nodes whose recorded parent state does not
+//! match the parent's final state drop out and cascade the drop to their
+//! subtree). The resulting forest is internally consistent, which
+//! `SsspCollection::check_consistency` verifies against the sequential
+//! oracle.
+
+use crate::config::Charging;
+use congest_graph::seq::Direction;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_sim::{
+    Engine, Envelope, NodeEnv, NodeLogic, Outbox, PhaseReport, SimConfig, SimError, Topology,
+};
+
+/// Per-node outcome of one Bellman–Ford run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfEntry<W> {
+    /// Best known distance (`W::INF` if unreached).
+    pub dist: W,
+    /// Hop count of the canonical path (`u32::MAX` if unreached).
+    pub hops: u32,
+    /// Parent toward the root (`None` at the root / unreached / seeded).
+    pub parent: Option<NodeId>,
+}
+
+impl<W: Weight> BfEntry<W> {
+    fn unreached() -> Self {
+        BfEntry { dist: W::INF, hops: u32::MAX, parent: None }
+    }
+
+    /// `true` iff the node was reached.
+    #[must_use]
+    pub fn reached(&self) -> bool {
+        !self.dist.is_inf()
+    }
+}
+
+/// Result of a single-source run.
+#[derive(Clone, Debug)]
+pub struct BfTreeResult<W> {
+    /// Source (tree root).
+    pub source: NodeId,
+    /// Direction: `Out` = shortest paths from the source; `In` = shortest
+    /// paths *to* the source (the paper's in-SSSP).
+    pub dir: Direction,
+    /// Per-node entry. Detached nodes read as unreached.
+    pub entries: Vec<BfEntry<W>>,
+    /// Per-node sorted children lists (derived from surviving parents).
+    pub children: Vec<Vec<NodeId>>,
+}
+
+#[derive(Clone, Debug)]
+enum BfMsg<W> {
+    /// Relaxation announcement: candidate (dist, hops) *including* the
+    /// connecting edge weight.
+    Relax { dist: W, hops: u32 },
+    /// Post-run child adoption notification.
+    Adopt,
+    /// Final-entry confirmation broadcast to neighbors.
+    Confirm { dist: W, hops: u32 },
+    /// Horizon-repair cascade: the sender's subtree is leaving the tree.
+    Detach,
+}
+
+struct BfNode<W> {
+    entry: BfEntry<W>,
+    /// `(neighbor, weight)` over which this node relaxes others (out-edges
+    /// for `Out`, in-edges for `In`), deduped to min parallel weight.
+    fwd_edges: Vec<(NodeId, W)>,
+    /// Reverse lookup: weight of the edge a parent would have relaxed us
+    /// over (min-weight dedup).
+    rev_edges: Vec<(NodeId, W)>,
+    dirty: bool,
+    relax_rounds: u64,
+    detach_deadline: u64,
+    children: Vec<NodeId>,
+    detached: bool,
+    detach_sent: bool,
+    /// Whether the horizon-repair phase runs (off for seeded extension
+    /// runs, whose output is distances only).
+    repair: bool,
+    finished: bool,
+}
+
+impl<W: Weight> BfNode<W> {
+    fn rev_weight(&self, from: NodeId) -> Option<W> {
+        self.rev_edges
+            .binary_search_by_key(&from, |&(t, _)| t)
+            .ok()
+            .map(|i| self.rev_edges[i].1)
+    }
+}
+
+impl<W: Weight> NodeLogic for BfNode<W> {
+    type Msg = BfMsg<W>;
+
+    fn on_round(
+        &mut self,
+        env: &NodeEnv<'_>,
+        inbox: &[Envelope<BfMsg<W>>],
+        out: &mut Outbox<'_, BfMsg<W>>,
+    ) {
+        let r = env.round;
+        let relax_end = self.relax_rounds; // receipts land through round R
+        for e in inbox {
+            match e.msg {
+                BfMsg::Relax { dist, hops } => {
+                    let cand = BfEntry { dist, hops, parent: Some(e.from) };
+                    if better(&cand, &self.entry) {
+                        self.entry = cand;
+                        self.dirty = true;
+                    }
+                }
+                BfMsg::Adopt => self.children.push(e.from),
+                BfMsg::Confirm { dist, hops } => {
+                    if self.repair && Some(e.from) == self.entry.parent {
+                        let w = self.rev_weight(e.from).expect("parent is a rev neighbor");
+                        if self.entry.dist != dist.plus(w) || self.entry.hops != hops + 1 {
+                            self.detached = true;
+                        }
+                    }
+                }
+                BfMsg::Detach => {
+                    self.detached = true;
+                }
+            }
+        }
+        if r < relax_end {
+            if self.dirty && self.entry.reached() {
+                for i in 0..self.fwd_edges.len() {
+                    let (nb, w) = self.fwd_edges[i];
+                    out.send(
+                        nb,
+                        BfMsg::Relax { dist: self.entry.dist.plus(w), hops: self.entry.hops + 1 },
+                    );
+                }
+                self.dirty = false;
+            }
+        } else if r == relax_end {
+            // Entries are final. Notify the parent (children discovery).
+            if let Some(p) = self.entry.parent {
+                out.send(p, BfMsg::Adopt);
+            }
+        } else if r == relax_end + 1 {
+            // Confirm final entries to all neighbors (1 msg per channel).
+            if self.repair && self.entry.reached() {
+                out.broadcast(BfMsg::Confirm {
+                    dist: self.entry.dist,
+                    hops: self.entry.hops,
+                });
+            }
+        } else if r >= relax_end + 2 && r <= self.detach_deadline {
+            // Detach cascade: one wave per round down the tree.
+            if self.repair && self.detached && !self.detach_sent {
+                for i in 0..self.children.len() {
+                    let c = self.children[i];
+                    out.send(c, BfMsg::Detach);
+                }
+                self.detach_sent = true;
+            }
+        }
+        if r >= self.detach_deadline {
+            self.finished = true;
+        }
+    }
+
+    fn active(&self) -> bool {
+        // Nodes stay schedulable through the adopt/confirm/detach window
+        // (they cannot locally know that no repair traffic is coming).
+        !self.finished
+    }
+}
+
+fn better<W: Weight>(a: &BfEntry<W>, b: &BfEntry<W>) -> bool {
+    (a.dist, a.hops, a.parent.map(u64::from)) < (b.dist, b.hops, b.parent.map(u64::from))
+}
+
+fn dedup_min_edges<W: Weight>(iter: impl Iterator<Item = (NodeId, W)>) -> Vec<(NodeId, W)> {
+    let mut edges: Vec<(NodeId, W)> = iter.collect();
+    edges.sort_by_key(|&(t, w)| (t, w));
+    edges.dedup_by_key(|&mut (t, _)| t);
+    edges
+}
+
+/// Runs synchronous Bellman–Ford from `source` for exactly `rounds`
+/// relaxation rounds (so distances are `δ_rounds`), followed by the O(1)
+/// adopt/confirm and — when `repair` is set — the ≤`rounds` detach repair
+/// sub-phase. `init` optionally seeds distances (h-hop extension, §5).
+///
+/// Pass `repair: true` only when the *tree structure* will be consumed
+/// (CSSSP construction): distances are horizon-correct either way, but
+/// parent pointers can go stale at the relaxation horizon (module docs).
+///
+/// # Errors
+/// Propagates engine errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bf<W: Weight>(
+    g: &Graph<W>,
+    topo: &Topology,
+    source: NodeId,
+    dir: Direction,
+    rounds: u64,
+    init: Option<&[W]>,
+    repair: bool,
+    sim: SimConfig,
+    charging: Charging,
+) -> Result<(BfTreeResult<W>, PhaseReport), SimError> {
+    let n = g.n();
+    let engine = Engine::new(topo, sim);
+    let repair = repair && init.is_none();
+    let detach_deadline = if repair { 2 * rounds + 2 } else { rounds };
+    let mut nodes: Vec<BfNode<W>> = (0..n as NodeId)
+        .map(|v| {
+            let mut entry = BfEntry::unreached();
+            if v == source {
+                entry = BfEntry { dist: W::ZERO, hops: 0, parent: None };
+            }
+            if let Some(init) = init {
+                let d = init[v as usize];
+                if !d.is_inf() && d < entry.dist {
+                    entry = BfEntry { dist: d, hops: 0, parent: None };
+                }
+            }
+            let (fwd, rev) = match dir {
+                Direction::Out => (dedup_min_edges(g.out_edges(v)), dedup_min_edges(g.in_edges(v))),
+                Direction::In => (dedup_min_edges(g.in_edges(v)), dedup_min_edges(g.out_edges(v))),
+            };
+            BfNode {
+                dirty: entry.reached(),
+                entry,
+                fwd_edges: fwd,
+                rev_edges: rev,
+                relax_rounds: rounds,
+                detach_deadline,
+                children: Vec::new(),
+                detached: false,
+                detach_sent: false,
+                repair,
+                finished: false,
+            }
+        })
+        .collect();
+    let report = engine.run(&mut nodes, charging.until(detach_deadline + 2))?;
+    let mut entries = Vec::with_capacity(n);
+    for nd in &mut nodes {
+        if nd.detached {
+            entries.push(BfEntry::unreached());
+        } else {
+            entries.push(nd.entry.clone());
+        }
+    }
+    // Children derived from surviving parent pointers (each node's Adopt
+    // notifications already paid the communication cost).
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if let Some(p) = entries[v].parent {
+            if entries[v].reached() {
+                children[p as usize].push(v as NodeId);
+            }
+        }
+    }
+    Ok((BfTreeResult { source, dir, entries, children }, report))
+}
+
+/// Full (unbounded-hop) SSSP: n-1 relaxation rounds. δ_{n-1} = δ, so
+/// distances are final and the repair phase is skipped (only the dist
+/// vector of a full SSSP is ever consumed).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run_full_sssp<W: Weight>(
+    g: &Graph<W>,
+    topo: &Topology,
+    source: NodeId,
+    dir: Direction,
+    sim: SimConfig,
+    charging: Charging,
+) -> Result<(BfTreeResult<W>, PhaseReport), SimError> {
+    run_bf(g, topo, source, dir, g.n() as u64 - 1, None, false, sim, charging)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, path, Family, WeightDist};
+    use congest_graph::seq::{dijkstra, hop_limited_distances, hop_limited_min_hops};
+
+    fn setup(g: &Graph<u64>) -> Topology {
+        Topology::from_graph(g)
+    }
+
+    #[test]
+    fn matches_hop_limited_oracle() {
+        for fam in Family::ALL {
+            let g = fam.build(20, true, WeightDist::Uniform(0, 9), 3);
+            let topo = setup(&g);
+            for h in [1u64, 2, 4] {
+                let (res, _) = run_bf(
+                    &g,
+                    &topo,
+                    0,
+                    Direction::Out,
+                    h,
+                    None,
+                    true,
+                    SimConfig::default(),
+                    Charging::Quiesce,
+                )
+                .unwrap();
+                let oracle = hop_limited_distances(&g, 0, h as usize, Direction::Out);
+                let exact = dijkstra(&g, 0, Direction::Out);
+                for v in 0..g.n() {
+                    // Detachment may remove nodes whose true δ needs > h
+                    // hops; surviving entries must equal δ_h.
+                    if res.entries[v].reached() {
+                        assert_eq!(res.entries[v].dist, oracle[v], "{} h={h} v={v}", fam.name());
+                    } else if oracle[v] != u64::INF {
+                        assert!(
+                            exact[v] < oracle[v],
+                            "{} h={h} v={v}: detached but δ == δ_h",
+                            fam.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_direction_matches_oracle() {
+        let g = gnm_connected(18, 40, true, WeightDist::Uniform(0, 7), 5);
+        let topo = setup(&g);
+        let (res, _) =
+            run_bf(&g, &topo, 4, Direction::In, 3, None, true, SimConfig::default(), Charging::Quiesce)
+                .unwrap();
+        let oracle = hop_limited_distances(&g, 4, 3, Direction::In);
+        let exact = dijkstra(&g, 4, Direction::In);
+        for v in 0..g.n() {
+            if res.entries[v].reached() {
+                assert_eq!(res.entries[v].dist, oracle[v], "v={v}");
+            } else if oracle[v] != u64::INF {
+                assert!(exact[v] < oracle[v], "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_sssp_matches_dijkstra() {
+        for seed in 0..4 {
+            let g = gnm_connected(22, 50, true, WeightDist::Uniform(0, 11), seed);
+            let topo = setup(&g);
+            let (res, _) =
+                run_full_sssp(&g, &topo, 2, Direction::Out, SimConfig::default(), Charging::Quiesce)
+                    .unwrap();
+            let oracle = dijkstra(&g, 2, Direction::Out);
+            for v in 0..g.n() {
+                assert_eq!(res.entries[v].dist, oracle[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_are_minimal_among_shortest() {
+        let g = gnm_connected(16, 36, true, WeightDist::Uniform(1, 4), 8);
+        let topo = setup(&g);
+        let h = 6;
+        let (res, _) =
+            run_bf(&g, &topo, 1, Direction::Out, h, None, true, SimConfig::default(), Charging::Quiesce)
+                .unwrap();
+        let min_hops = hop_limited_min_hops(&g, 1, h as usize, Direction::Out);
+        for v in 0..g.n() {
+            if res.entries[v].reached() {
+                assert_eq!(res.entries[v].hops as usize, min_hops[v].unwrap(), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_chain_consistent_after_repair() {
+        for seed in 0..12 {
+            let g = gnm_connected(20, 44, true, WeightDist::Uniform(0, 9), seed);
+            let topo = setup(&g);
+            let (res, _) = run_bf(
+                &g,
+                &topo,
+                0,
+                Direction::Out,
+                4,
+                None,
+                true,
+                SimConfig::default(),
+                Charging::Quiesce,
+            )
+            .unwrap();
+            for v in 0..g.n() as NodeId {
+                let e = &res.entries[v as usize];
+                if !e.reached() {
+                    continue;
+                }
+                if let Some(p) = e.parent {
+                    let pe = &res.entries[p as usize];
+                    assert!(pe.reached(), "seed {seed}: parent of member detached");
+                    assert_eq!(pe.hops + 1, e.hops, "seed {seed}");
+                    let w_edge = g
+                        .out_edges(p)
+                        .filter(|&(t, _)| t == v)
+                        .map(|(_, w)| w)
+                        .min()
+                        .expect("parent edge exists");
+                    assert_eq!(pe.dist.plus(w_edge), e.dist, "seed {seed}");
+                    assert!(res.children[p as usize].contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_match_parents_exactly() {
+        let g = gnm_connected(15, 30, false, WeightDist::Uniform(1, 6), 2);
+        let topo = setup(&g);
+        let (res, _) =
+            run_bf(&g, &topo, 3, Direction::Out, 4, None, true, SimConfig::default(), Charging::Quiesce)
+                .unwrap();
+        let mut derived: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
+        for v in 0..g.n() as NodeId {
+            if res.entries[v as usize].reached() {
+                if let Some(p) = res.entries[v as usize].parent {
+                    derived[p as usize].push(v);
+                }
+            }
+        }
+        assert_eq!(derived, res.children);
+    }
+
+    #[test]
+    fn seeded_init_extension() {
+        // Path 0-1-2-3; seed node 2 with dist 10: node 3 should get 10 + w.
+        let g = path(4, true, WeightDist::Unit, 0);
+        let topo = setup(&g);
+        let mut init = vec![u64::INF; 4];
+        init[2] = 10;
+        let (res, _) = run_bf(
+            &g,
+            &topo,
+            0,
+            Direction::Out,
+            1,
+            Some(&init),
+            false,
+            SimConfig::default(),
+            Charging::Quiesce,
+        )
+        .unwrap();
+        assert_eq!(res.entries[3].dist, 11);
+        assert_eq!(res.entries[1].dist, 1); // from the true source
+    }
+
+    #[test]
+    fn worst_case_charging_exact_rounds() {
+        let g = path(6, true, WeightDist::Unit, 0);
+        let topo = setup(&g);
+        let (_, report) = run_bf(
+            &g,
+            &topo,
+            0,
+            Direction::Out,
+            5,
+            None,
+            true,
+            SimConfig::default(),
+            Charging::WorstCase,
+        )
+        .unwrap();
+        // 5 relax + adopt + confirm + 5 detach window + 2 delivery slack
+        assert_eq!(report.rounds, 5 + 2 + 5 + 2);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = Graph::from_edges(
+            3,
+            true,
+            vec![
+                congest_graph::Edge::new(0, 1, 0u64),
+                congest_graph::Edge::new(1, 2, 0),
+                congest_graph::Edge::new(0, 2, 0),
+            ],
+        );
+        let topo = setup(&g);
+        let (res, _) =
+            run_bf(&g, &topo, 0, Direction::Out, 2, None, true, SimConfig::default(), Charging::Quiesce)
+                .unwrap();
+        assert_eq!(res.entries[2].dist, 0);
+        // min-hop tie-break: direct edge (1 hop) preferred over 2-hop
+        assert_eq!(res.entries[2].hops, 1);
+        assert_eq!(res.entries[2].parent, Some(0));
+    }
+
+    #[test]
+    fn parallel_edges_use_min_weight() {
+        let g = Graph::from_edges(
+            2,
+            true,
+            vec![congest_graph::Edge::new(0, 1, 9u64), congest_graph::Edge::new(0, 1, 2)],
+        );
+        let topo = setup(&g);
+        let (res, _) =
+            run_bf(&g, &topo, 0, Direction::Out, 1, None, true, SimConfig::default(), Charging::Quiesce)
+                .unwrap();
+        assert_eq!(res.entries[1].dist, 2);
+    }
+}

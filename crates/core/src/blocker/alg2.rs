@@ -1,0 +1,640 @@
+//! Algorithm 2 (randomized) and Algorithm 2′ (derandomized) blocker-set
+//! construction — the paper's first main contribution (§3).
+//!
+//! Structure: stages i (score bands, Steps 2–16), phases j (Vi-count
+//! bands, Steps 5–16), and selection steps (Steps 6–16). A selection step
+//! either takes one high-coverage node (Steps 9–10) or a pairwise-
+//! independently sampled set A (Steps 12–14), validated against the
+//! good-set criterion (Definition 3.1). Helper algorithms:
+//!
+//! * score / score_ij — per-tree convergecasts (\[2\]'s Algorithm 3 and the
+//!   Step 8 machinery) in [`crate::trees`];
+//! * Compute-Pi / Compute-Pij (Algorithms 3–4) — realized by the
+//!   ancestor-collection of Algorithm 7 Step 1 plus node-local checks
+//!   against broadcast score data (same information, same O(|S|·h) cost;
+//!   see DESIGN.md);
+//! * Compute-|Pij| (Algorithm 5) — pipelined aggregation to the leader
+//!   over a BFS tree (Algorithms 11/12) and a broadcast back;
+//! * Remove-Subtrees (Algorithm 6) — [`crate::trees::remove_subtrees`].
+//!
+//! One deliberate deviation is documented in DESIGN.md §3.3: score values
+//! are broadcast instead of Vi member ids (same O(n) cost, lets nodes skip
+//! empty stages/phases locally), and the biased pairwise-independent space
+//! is the classical affine GF(q)² space scanned lazily in blocks of n
+//! points (the paper's linear-size biased space is unspecified).
+
+use super::{BlockerResult, PathCtx};
+use crate::config::BlockerParams;
+use crate::csssp::SsspCollection;
+use crate::trees::{convergecast_trees, convergecast_trees_budget, remove_subtrees};
+use congest_derand::{AffineSpace, SampleSpace};
+use congest_graph::{NodeId, Weight};
+use congest_sim::primitives::{
+    all_to_all_broadcast, broadcast_stream, build_bfs_tree, convergecast_budget,
+    convergecast_sum, BfsTree,
+};
+use congest_sim::{Recorder, RunUntil, SimConfig, SimError, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How selection steps pick candidate sets.
+#[derive(Copy, Clone, Debug)]
+pub enum Selection {
+    /// Algorithm 2: the leader draws random sample points until one is
+    /// good (expected ≤ 8 draws, Lemma 3.8).
+    Randomized {
+        /// RNG seed (leader-local).
+        seed: u64,
+    },
+    /// Algorithm 2′/7: deterministic scan of the sample space in blocks of
+    /// n points, each aggregated in O(n) rounds (Algorithms 11/12).
+    Derandomized,
+}
+
+/// Counters for the quantities bounded by Lemmas 3.8–3.11.
+#[derive(Clone, Debug, Default)]
+pub struct Alg2Stats {
+    /// Selection steps executed (Lemma 3.9 bounds these by O(log³n)).
+    pub selection_steps: u64,
+    /// Steps resolved by the Step 9/10 high-coverage singleton.
+    pub singleton_picks: u64,
+    /// Steps resolved by a good sampled set (Steps 12–14).
+    pub set_picks: u64,
+    /// Sample points examined by the leader.
+    pub sample_points_examined: u64,
+    /// Blocks aggregated by the derandomized scan.
+    pub blocks_scanned: u64,
+    /// Selection steps that fell back to the greedy singleton because no
+    /// good point was found within the scan budget.
+    pub fallbacks: u64,
+    /// |A| of each accepted good set.
+    pub good_set_sizes: Vec<usize>,
+}
+
+struct Driver<'a, W: Weight> {
+    topo: &'a Topology,
+    sim: SimConfig,
+    coll: &'a SsspCollection<W>,
+    ctx: PathCtx,
+    bfs: BfsTree,
+    params: BlockerParams,
+    /// Globally-broadcast scores (every node's view after the score flood).
+    scores: Vec<u64>,
+    q: Vec<NodeId>,
+    in_q: Vec<bool>,
+    stats: Alg2Stats,
+    rng: Option<ChaCha8Rng>,
+}
+
+impl<'a, W: Weight> Driver<'a, W> {
+    /// Per-tree convergecast of alive-path counts + O(n) score flood.
+    fn refresh_scores(&mut self, rec: &mut Recorder, label: &str) -> Result<(), SimError> {
+        let n = self.coll.n();
+        let s = self.coll.sources.len();
+        let init: Vec<Vec<u64>> = (0..n)
+            .map(|v| (0..s).map(|si| u64::from(self.ctx.alive(v as NodeId, si))).collect())
+            .collect();
+        let (acc, report) = convergecast_trees(
+            self.topo,
+            self.sim,
+            self.coll,
+            &init,
+            convergecast_trees_budget(self.coll),
+        )?;
+        rec.record(format!("{label}: score convergecast"), report);
+        self.scores = (0..n)
+            .map(|v| {
+                (0..s)
+                    .filter(|&si| {
+                        self.coll.is_member(v as NodeId, si) && self.coll.hops[v][si] >= 1
+                    })
+                    .map(|si| acc[v][si])
+                    .sum()
+            })
+            .collect();
+        // Flood (id, score) so every node can derive Vi for any stage
+        // (Lemma 3.2 cost; carries score values instead of ids).
+        let initial: Vec<Vec<(u64, NodeId)>> = (0..n)
+            .map(|v| {
+                if self.scores[v] > 0 {
+                    vec![(self.scores[v], v as NodeId)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial)?;
+        rec.record(format!("{label}: score flood"), report);
+        Ok(())
+    }
+
+    /// Alive paths with their number of Vi vertices: `(leaf, tree, n_vi)`.
+    fn alive_with_nvi(&self, vi: &[bool]) -> Vec<(NodeId, usize, u32)> {
+        self.ctx
+            .alive_paths()
+            .into_iter()
+            .map(|(v, si)| {
+                let nvi = self
+                    .ctx
+                    .path_vertices(v, si)
+                    .iter()
+                    .filter(|&&u| vi[u as usize])
+                    .count() as u32;
+                (v, si, nvi)
+            })
+            .collect()
+    }
+
+    /// Aggregates per-node vectors at the leader and publishes the totals
+    /// (Algorithm 5 / Algorithms 11–12 + Lemma A.1 broadcast).
+    fn aggregate_publish(
+        &mut self,
+        vals: Vec<Vec<u64>>,
+        rec: &mut Recorder,
+        label: &str,
+    ) -> Result<Vec<u64>, SimError> {
+        let k = vals.first().map(Vec::len).unwrap_or(0);
+        let until = RunUntil::Quiesce { max: convergecast_budget(&self.bfs, k) };
+        let (totals, rep) = convergecast_sum(self.topo, self.sim, &self.bfs, vals, until)?;
+        rec.record(format!("{label}: aggregate"), rep);
+        let (_, rep) = broadcast_stream(self.topo, self.sim, &self.bfs, totals.clone())?;
+        rec.record(format!("{label}: publish"), rep);
+        Ok(totals)
+    }
+
+    /// |Pij| for every j in 1..=jmax under the current Vi (Algorithm 5).
+    fn pij_sizes(
+        &mut self,
+        vi: &[bool],
+        jmax: usize,
+        rec: &mut Recorder,
+    ) -> Result<Vec<u64>, SimError> {
+        let one_eps = 1.0 + self.params.eps;
+        let paths = self.alive_with_nvi(vi);
+        let n = self.coll.n();
+        let mut vals = vec![vec![0u64; jmax]; n];
+        for &(v, _, nvi) in &paths {
+            for j in 1..=jmax {
+                if f64::from(nvi) >= one_eps.powi(j as i32 - 1) {
+                    vals[v as usize][j - 1] += 1;
+                }
+            }
+        }
+        self.aggregate_publish(vals, rec, "alg2: |Pij| sizes")
+    }
+
+    /// score_ij for every node (broadcast) plus the per-leaf Pij marks.
+    fn scoreij(
+        &mut self,
+        vi: &[bool],
+        thr_j: f64,
+        rec: &mut Recorder,
+    ) -> Result<Vec<u64>, SimError> {
+        let n = self.coll.n();
+        let s = self.coll.sources.len();
+        let paths = self.alive_with_nvi(vi);
+        let mut init = vec![vec![0u64; s]; n];
+        for &(v, si, nvi) in &paths {
+            if f64::from(nvi) >= thr_j {
+                init[v as usize][si] = 1;
+            }
+        }
+        let (acc, report) = convergecast_trees(
+            self.topo,
+            self.sim,
+            self.coll,
+            &init,
+            convergecast_trees_budget(self.coll),
+        )?;
+        rec.record("alg2: scoreij convergecast", report);
+        let scoreij: Vec<u64> = (0..n)
+            .map(|v| {
+                (0..s)
+                    .filter(|&si| {
+                        self.coll.is_member(v as NodeId, si) && self.coll.hops[v][si] >= 1
+                    })
+                    .map(|si| acc[v][si])
+                    .sum()
+            })
+            .collect();
+        // Step 8: broadcast scoreij values of Vi members.
+        let initial: Vec<Vec<(u64, NodeId)>> = (0..n)
+            .map(|v| {
+                if vi[v] && scoreij[v] > 0 {
+                    vec![(scoreij[v], v as NodeId)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial)?;
+        rec.record("alg2: scoreij broadcast", report);
+        Ok(scoreij)
+    }
+
+    /// Coverage of candidate set A over Pi and Pij (leaf-local counts,
+    /// aggregated at the leader, verdict published).
+    fn coverage(
+        &mut self,
+        a: &[NodeId],
+        vi: &[bool],
+        thr_j: f64,
+        rec: &mut Recorder,
+    ) -> Result<(u64, u64), SimError> {
+        let n = self.coll.n();
+        let mut in_a = vec![false; n];
+        for &v in a {
+            in_a[v as usize] = true;
+        }
+        let paths = self.alive_with_nvi(vi);
+        let mut vals = vec![vec![0u64; 2]; n];
+        for &(v, si, nvi) in &paths {
+            if nvi == 0 {
+                continue; // not in Pi
+            }
+            let covered =
+                self.ctx.path_vertices(v, si).iter().any(|&u| in_a[u as usize]);
+            if covered {
+                vals[v as usize][0] += 1;
+                if f64::from(nvi) >= thr_j {
+                    vals[v as usize][1] += 1;
+                }
+            }
+        }
+        let totals = self.aggregate_publish(vals, rec, "alg2: coverage check")?;
+        Ok((totals[0], totals[1]))
+    }
+
+    fn is_good(&self, a_len: usize, cov_pi: u64, cov_pij: u64, i: i32, pij: u64) -> bool {
+        if a_len == 0 {
+            return false;
+        }
+        let one_eps = 1.0 + self.params.eps;
+        let need_pi =
+            a_len as f64 * one_eps.powi(i) * (1.0 - 3.0 * self.params.delta - self.params.eps);
+        let need_pij = self.params.delta / 2.0 * pij as f64;
+        cov_pi as f64 >= need_pi && cov_pij as f64 >= need_pij
+    }
+
+    /// Adds `nodes` to Q, removes the covered subtrees (Algorithm 6) and
+    /// refreshes scores (Step 15–16).
+    fn commit(
+        &mut self,
+        nodes: &[NodeId],
+        rec: &mut Recorder,
+        label: &str,
+    ) -> Result<(), SimError> {
+        for &c in nodes {
+            if !self.in_q[c as usize] {
+                self.in_q[c as usize] = true;
+                self.q.push(c);
+            }
+        }
+        let s = self.coll.sources.len();
+        let mut roots = Vec::new();
+        for &c in nodes {
+            for si in 0..s {
+                if self.coll.is_member(c, si) && self.coll.hops[c as usize][si] >= 1 {
+                    roots.push((c, si));
+                }
+            }
+        }
+        let budget =
+            RunUntil::Quiesce { max: (s as u64 + 2) * (self.coll.h as u64 + 2) + 64 };
+        let (mask, report) =
+            remove_subtrees(self.topo, self.sim, self.coll, &self.ctx.removed, &roots, budget)?;
+        self.ctx.removed = mask;
+        rec.record(format!("{label}: cleanup"), report);
+        self.refresh_scores(rec, label)?;
+        Ok(())
+    }
+
+    /// One selection step at stage i, phase j. Returns the chosen nodes.
+    #[allow(clippy::too_many_lines)]
+    fn selection_step(
+        &mut self,
+        i: i32,
+        j: i32,
+        vi_list: &[NodeId],
+        vi: &[bool],
+        pij_size: u64,
+        rec: &mut Recorder,
+    ) -> Result<Vec<NodeId>, SimError> {
+        let one_eps = 1.0 + self.params.eps;
+        let thr_j = one_eps.powi(j - 1);
+        self.stats.selection_steps += 1;
+        let scoreij = self.scoreij(vi, thr_j, rec)?;
+
+        // Step 9: high-coverage singleton.
+        let best = vi_list
+            .iter()
+            .copied()
+            .max_by_key(|&v| (scoreij[v as usize], std::cmp::Reverse(v)))
+            .expect("Vi nonempty");
+        let single_threshold =
+            self.params.delta.powi(3) / one_eps * pij_size as f64;
+        if scoreij[best as usize] as f64 > single_threshold {
+            self.stats.singleton_picks += 1;
+            self.commit(&[best], rec, "alg2: singleton pick")?;
+            return Ok(vec![best]);
+        }
+
+        // Steps 11-14: sampled good set with bias δ/(1+ε)^j.
+        let p = self.params.delta / one_eps.powi(j);
+        let space = AffineSpace::new(vi_list.len() as u64, p);
+        let chosen: Option<Vec<NodeId>> = match &mut self.rng {
+            Some(_) => {
+                // Algorithm 2: leader draws sample points; each try costs a
+                // point broadcast (O(D)), an A-id flood (Step 13, O(n)) and
+                // a coverage aggregation (O(D)).
+                let mut found = None;
+                for _ in 0..64 {
+                    let mu = self.rng.as_mut().unwrap().gen_range(0..space.len());
+                    self.stats.sample_points_examined += 1;
+                    let (_, rep) = broadcast_stream(
+                        self.topo,
+                        self.sim,
+                        &self.bfs,
+                        vec![mu],
+                    )?;
+                    rec.record("alg2: sample point broadcast", rep);
+                    let a: Vec<NodeId> = space
+                        .selected(mu)
+                        .into_iter()
+                        .map(|idx| vi_list[idx as usize])
+                        .collect();
+                    // Step 13: members of A announce themselves.
+                    let initial: Vec<Vec<NodeId>> = (0..self.coll.n() as NodeId)
+                        .map(|v| if a.contains(&v) { vec![v] } else { Vec::new() })
+                        .collect();
+                    let (_, rep) = all_to_all_broadcast(self.topo, self.sim, initial)?;
+                    rec.record("alg2: A-id broadcast", rep);
+                    let (cov_pi, cov_pij) = self.coverage(&a, vi, thr_j, rec)?;
+                    if self.is_good(a.len(), cov_pi, cov_pij, i, pij_size) {
+                        found = Some(a);
+                        break;
+                    }
+                }
+                found
+            }
+            None => {
+                // Algorithm 2′/7: scan the space in blocks of n points;
+                // each block is one pipelined ν-aggregation (Algs 11/12).
+                let n = self.coll.n();
+                let block = n as u64;
+                let max_blocks = 8u64.min(space.len().div_ceil(block));
+                let paths = self.alive_with_nvi(vi);
+                let mut found = None;
+                'blocks: for b in 0..max_blocks {
+                    self.stats.blocks_scanned += 1;
+                    let lo = b * block;
+                    let hi = (lo + block).min(space.len());
+                    let width = (hi - lo) as usize;
+                    // σ vectors: per leaf, per µ: paths covered in Pi/Pij.
+                    let mut vals = vec![vec![0u64; 2 * width]; n];
+                    for &(v, si, nvi) in &paths {
+                        if nvi == 0 {
+                            continue;
+                        }
+                        let verts = self.ctx.path_vertices(v, si);
+                        // map vertices to Vi indices once per path
+                        let vi_idx: Vec<u64> = verts
+                            .iter()
+                            .filter(|&&u| vi[u as usize])
+                            .map(|&u| vi_list.binary_search(&u).expect("in Vi") as u64)
+                            .collect();
+                        for (k, mu) in (lo..hi).enumerate() {
+                            let covered =
+                                vi_idx.iter().any(|&idx| space.eval(mu, idx));
+                            if covered {
+                                vals[v as usize][2 * k] += 1;
+                                if f64::from(nvi) >= thr_j {
+                                    vals[v as usize][2 * k + 1] += 1;
+                                }
+                            }
+                        }
+                    }
+                    let totals =
+                        self.aggregate_publish(vals, rec, "alg2: block ν-aggregation")?;
+                    for (k, mu) in (lo..hi).enumerate() {
+                        self.stats.sample_points_examined += 1;
+                        let a_len = space.selected(mu).len();
+                        if self.is_good(a_len, totals[2 * k], totals[2 * k + 1], i, pij_size)
+                        {
+                            // Step 5 of Alg 7: publish the good point.
+                            let (_, rep) = broadcast_stream(
+                                self.topo,
+                                self.sim,
+                                &self.bfs,
+                                vec![mu],
+                            )?;
+                            rec.record("alg2: good point broadcast", rep);
+                            let a: Vec<NodeId> = space
+                                .selected(mu)
+                                .into_iter()
+                                .map(|idx| vi_list[idx as usize])
+                                .collect();
+                            found = Some(a);
+                            break 'blocks;
+                        }
+                    }
+                }
+                found
+            }
+        };
+
+        match chosen {
+            Some(a) => {
+                self.stats.set_picks += 1;
+                self.stats.good_set_sizes.push(a.len());
+                self.commit(&a, rec, "alg2: good set pick")?;
+                Ok(a)
+            }
+            None => {
+                // Guaranteed-progress fallback (tiny-instance constants;
+                // see DESIGN.md). Never observed with paper parameters.
+                self.stats.fallbacks += 1;
+                self.commit(&[best], rec, "alg2: fallback pick")?;
+                Ok(vec![best])
+            }
+        }
+    }
+}
+
+/// Runs Algorithm 2 (randomized) or Algorithm 2′ (derandomized) on the
+/// collection. Returns the blocker set and the lemma counters; round
+/// accounting lands in `rec`.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn alg2_blocker<W: Weight>(
+    topo: &Topology,
+    sim: SimConfig,
+    coll: &SsspCollection<W>,
+    params: BlockerParams,
+    selection: Selection,
+    rec: &mut Recorder,
+) -> Result<(BlockerResult, Alg2Stats), SimError> {
+    assert!(params.eps > 0.0 && params.eps <= 0.3);
+    assert!(params.delta > 0.0 && params.delta <= 0.3);
+    assert!(1.0 - 3.0 * params.delta - params.eps > 0.0);
+
+    let (ctx, report) = PathCtx::build(topo, sim, coll)?;
+    rec.record("alg2: ancestors (Alg 7 Step 1)", report);
+    let (bfs, report) = build_bfs_tree(topo, sim, 0)?;
+    rec.record("alg2: leader BFS tree", report);
+
+    let n = coll.n();
+    let mut driver = Driver {
+        topo,
+        sim,
+        coll,
+        ctx,
+        bfs,
+        params,
+        scores: vec![0; n],
+        q: Vec::new(),
+        in_q: vec![false; n],
+        stats: Alg2Stats::default(),
+        rng: match selection {
+            Selection::Randomized { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
+            Selection::Derandomized => None,
+        },
+    };
+    driver.refresh_scores(rec, "alg2: initial")?;
+
+    let one_eps = 1.0 + params.eps;
+    let max_score = driver.scores.iter().copied().max().unwrap_or(0);
+    if max_score == 0 {
+        return Ok((BlockerResult { q: driver.q }, driver.stats));
+    }
+    let i_start = ((max_score as f64).ln() / one_eps.ln()).ceil() as i32 + 1;
+    let jmax = (((coll.h.max(1)) as f64).ln() / one_eps.ln()).ceil().max(1.0) as usize;
+
+    for i in (1..=i_start).rev() {
+        let vi_threshold = one_eps.powi(i - 1);
+        loop {
+            // Steps 3-4 (+ Step 16 reconstruction): Vi from broadcast
+            // scores, Pi/Pij membership leaf-local.
+            let vi: Vec<bool> =
+                driver.scores.iter().map(|&sc| sc as f64 >= vi_threshold).collect();
+            let vi_list: Vec<NodeId> =
+                (0..n as NodeId).filter(|&v| vi[v as usize]).collect();
+            if vi_list.is_empty() {
+                break;
+            }
+            let sizes = driver.pij_sizes(&vi, jmax, rec)?;
+            // Work at the largest j whose Pij is nonempty (the paper's
+            // descending phase order reaches exactly this j next).
+            let Some(j) = (1..=jmax).rev().find(|&j| sizes[j - 1] > 0) else {
+                break; // Pi empty for this stage
+            };
+            driver.selection_step(i, j as i32, &vi_list, &vi, sizes[j - 1], rec)?;
+        }
+    }
+    debug_assert_eq!(driver.ctx.alive_count(), 0, "all paths must be covered");
+    Ok((BlockerResult { q: driver.q }, driver.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocker::is_valid_blocker;
+    use crate::blocker::tests::build_collection;
+    use crate::config::BlockerParams;
+
+    #[test]
+    fn derandomized_valid_and_deterministic() {
+        let (_, topo, coll) = build_collection(18, 40, 3, 4);
+        let mut rec1 = Recorder::new();
+        let (r1, s1) = alg2_blocker(
+            &topo,
+            SimConfig::default(),
+            &coll,
+            BlockerParams::default(),
+            Selection::Derandomized,
+            &mut rec1,
+        )
+        .unwrap();
+        assert!(is_valid_blocker(&coll, &r1.q));
+        let mut rec2 = Recorder::new();
+        let (r2, _) = alg2_blocker(
+            &topo,
+            SimConfig::default(),
+            &coll,
+            BlockerParams::default(),
+            Selection::Derandomized,
+            &mut rec2,
+        )
+        .unwrap();
+        assert_eq!(r1.q, r2.q, "derandomized run must be deterministic");
+        assert_eq!(rec1.total_rounds(), rec2.total_rounds());
+        assert_eq!(
+            s1.singleton_picks + s1.set_picks + s1.fallbacks,
+            s1.selection_steps
+        );
+    }
+
+    #[test]
+    fn randomized_valid_across_seeds() {
+        let (_, topo, coll) = build_collection(16, 36, 2, 8);
+        for seed in 0..3 {
+            let mut rec = Recorder::new();
+            let (r, _) = alg2_blocker(
+                &topo,
+                SimConfig::default(),
+                &coll,
+                BlockerParams::default(),
+                Selection::Randomized { seed },
+                &mut rec,
+            )
+            .unwrap();
+            assert!(is_valid_blocker(&coll, &r.q), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn size_comparable_to_greedy() {
+        let (_, topo, coll) = build_collection(20, 44, 3, 12);
+        let mut rec = Recorder::new();
+        let (res, _) = alg2_blocker(
+            &topo,
+            SimConfig::default(),
+            &coll,
+            BlockerParams::default(),
+            Selection::Derandomized,
+            &mut rec,
+        )
+        .unwrap();
+        let mut grec = Recorder::new();
+        let gres =
+            crate::blocker::greedy_blocker(&topo, SimConfig::default(), &coll, &mut grec)
+                .unwrap();
+        assert!(
+            res.q.len() <= 4 * gres.q.len().max(1),
+            "alg2 {} vs greedy {}",
+            res.q.len(),
+            gres.q.len()
+        );
+    }
+
+    #[test]
+    fn empty_collection_yields_empty_q() {
+        let (_, topo, coll) = build_collection(10, 40, 8, 3);
+        let mut rec = Recorder::new();
+        let (res, stats) = alg2_blocker(
+            &topo,
+            SimConfig::default(),
+            &coll,
+            BlockerParams::default(),
+            Selection::Derandomized,
+            &mut rec,
+        )
+        .unwrap();
+        let (ctx, _) = PathCtx::build(&topo, SimConfig::default(), &coll).unwrap();
+        if ctx.alive_count() == 0 {
+            assert!(res.q.is_empty());
+            assert_eq!(stats.selection_steps, 0);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared configuration for the distributed APSP algorithms.
+
+use congest_sim::{RunUntil, SimConfig};
+
+/// How phase durations are charged (DESIGN.md §3.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Charging {
+    /// Run every phase for its analytical round budget — the faithful
+    /// CONGEST accounting (nodes cannot detect global quiescence).
+    WorstCase,
+    /// Stop a phase as soon as no messages are in flight and all nodes are
+    /// idle — practical accounting. Same messages, fewer idle rounds.
+    Quiesce,
+}
+
+impl Charging {
+    /// Builds the [`RunUntil`] for a phase with analytical bound
+    /// `worst_case` rounds. In quiescence mode the bound (padded) still
+    /// serves as the safety budget.
+    #[must_use]
+    pub fn until(self, worst_case: u64) -> RunUntil {
+        match self {
+            Charging::WorstCase => RunUntil::Exact(worst_case),
+            Charging::Quiesce => RunUntil::Quiesce { max: 4 * worst_case + 64 },
+        }
+    }
+}
+
+/// Parameters of the blocker-set construction (paper §3: ε, δ ≤ 1/12).
+#[derive(Copy, Clone, Debug)]
+pub struct BlockerParams {
+    /// Stage/phase granularity constant ε.
+    pub eps: f64,
+    /// Selection probability constant δ.
+    pub delta: f64,
+}
+
+impl Default for BlockerParams {
+    fn default() -> Self {
+        BlockerParams { eps: 1.0 / 12.0, delta: 1.0 / 12.0 }
+    }
+}
+
+/// Top-level configuration for the APSP algorithms.
+#[derive(Copy, Clone, Debug)]
+pub struct ApspConfig {
+    /// Hop parameter h; `None` means the paper's h = ⌈n^{1/3}⌉.
+    pub h: Option<usize>,
+    /// Round-charging mode.
+    pub charging: Charging,
+    /// Blocker-set constants.
+    pub blocker: BlockerParams,
+    /// Simulator settings (bandwidth etc.).
+    pub sim: SimConfig,
+    /// Seed for the randomized variants (ignored by deterministic ones).
+    pub seed: u64,
+}
+
+impl Default for ApspConfig {
+    fn default() -> Self {
+        ApspConfig {
+            h: None,
+            charging: Charging::Quiesce,
+            blocker: BlockerParams::default(),
+            sim: SimConfig::default(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ApspConfig {
+    /// The paper's h = ⌈n^{1/3}⌉ (Algorithm 1 input), or the override.
+    #[must_use]
+    pub fn hop_param(&self, n: usize) -> usize {
+        self.h.unwrap_or_else(|| (n as f64).powf(1.0 / 3.0).ceil() as usize).max(1)
+    }
+
+    /// The paper's second-level parameter n^{2/3} used by Algorithms 8/9.
+    #[must_use]
+    pub fn hop_param_sq(&self, n: usize) -> usize {
+        let h = self.hop_param(n);
+        (h * h).min(n.saturating_sub(1).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_h_is_cube_root() {
+        let cfg = ApspConfig::default();
+        assert_eq!(cfg.hop_param(8), 2);
+        assert_eq!(cfg.hop_param(27), 3);
+        assert_eq!(cfg.hop_param(28), 4); // ceil
+        assert_eq!(cfg.hop_param(1), 1);
+    }
+
+    #[test]
+    fn h_override() {
+        let cfg = ApspConfig { h: Some(5), ..Default::default() };
+        assert_eq!(cfg.hop_param(1000), 5);
+        assert_eq!(cfg.hop_param_sq(1000), 25);
+    }
+
+    #[test]
+    fn hop_sq_capped_by_n() {
+        let cfg = ApspConfig { h: Some(10), ..Default::default() };
+        assert_eq!(cfg.hop_param_sq(20), 19);
+    }
+
+    #[test]
+    fn charging_until() {
+        assert!(matches!(Charging::WorstCase.until(10), RunUntil::Exact(10)));
+        assert!(matches!(Charging::Quiesce.until(10), RunUntil::Quiesce { max: 104 }));
+    }
+}

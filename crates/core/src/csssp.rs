@@ -1,0 +1,319 @@
+//! h-hop Consistent SSSP collections (CSSSP, Definition 2.1 / Appendix A.2).
+//!
+//! Following \[1\]: run 2h rounds of synchronous Bellman–Ford from every
+//! source (O(|S|·h) rounds total, Lemma A.4) and retain only the first h
+//! hops of every tree. The (dist, hops, parent-id) tie-breaking in
+//! [`crate::bf`] selects, for every (source, node) pair, one canonical
+//! minimum-hop shortest path, which makes the retained trees a consistent
+//! collection: a u→v tree path is the same in every tree that contains it.
+//! [`SsspCollection::check_consistency`] verifies this (used by tests).
+
+use crate::bf::run_bf;
+use crate::config::Charging;
+use congest_graph::seq::Direction;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_sim::{PhaseReport, Recorder, SimConfig, SimError, Topology};
+
+/// A collection of rooted h-hop trees, one per source, stored as per-node
+/// local knowledge: entry `[v][si]` is node v's state in the tree of
+/// `sources[si]`.
+#[derive(Clone, Debug)]
+pub struct SsspCollection<W> {
+    /// Tree roots.
+    pub sources: Vec<NodeId>,
+    /// Height cap h.
+    pub h: usize,
+    /// Tree orientation (Out: paths from root; In: paths into root).
+    pub dir: Direction,
+    /// `dist[v][si]`: δ_h(root, v) (Out) or δ_h(v, root) (In); INF if absent.
+    pub dist: Vec<Vec<W>>,
+    /// Hop depth in the tree; `u32::MAX` if absent.
+    pub hops: Vec<Vec<u32>>,
+    /// Parent toward the root.
+    pub parent: Vec<Vec<Option<NodeId>>>,
+    /// Children away from the root (members only).
+    pub children: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl<W: Weight> SsspCollection<W> {
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// `true` iff `v` belongs to the tree of source index `si`.
+    #[must_use]
+    pub fn is_member(&self, v: NodeId, si: usize) -> bool {
+        self.hops[v as usize][si] != u32::MAX
+    }
+
+    /// `true` iff `v` is a *full leaf* of tree `si`: at depth exactly h.
+    /// Root-to-full-leaf paths are the hyperedges of the blocker problem
+    /// (§3.1: "each edge in F has exactly h vertices — we do not need to
+    /// cover paths that have less than h hops").
+    #[must_use]
+    pub fn is_full_leaf(&self, v: NodeId, si: usize) -> bool {
+        self.hops[v as usize][si] == self.h as u32
+    }
+
+    /// The tree path from `v` to the root of tree `si` (inclusive),
+    /// following parent pointers. Returns `None` if `v` is not a member.
+    #[must_use]
+    pub fn root_path(&self, v: NodeId, si: usize) -> Option<Vec<NodeId>> {
+        if !self.is_member(v, si) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur as usize][si] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.sources[si]);
+        Some(path)
+    }
+
+    /// Removes `v` (and implicitly its whole subtree, which callers prune
+    /// via tree traversal) from tree `si`. Used by the orchestrated mirror
+    /// of Remove-Subtrees; the distributed protocol lives in
+    /// `crate::trees`.
+    pub fn remove_node(&mut self, v: NodeId, si: usize) {
+        self.hops[v as usize][si] = u32::MAX;
+        self.dist[v as usize][si] = W::INF;
+        self.parent[v as usize][si] = None;
+        self.children[v as usize][si].clear();
+    }
+
+    /// Consistency check per Definition 2.1: every (u, v) pair linked in
+    /// several trees uses the same path, and every tree contains each
+    /// vertex that has an ≤h-hop optimal path from/to the root. Returns a
+    /// description of the first violation.
+    ///
+    /// # Errors
+    /// Returns a human-readable violation description.
+    pub fn check_consistency(&self, g: &Graph<W>) -> Result<(), String> {
+        use congest_graph::seq::{dijkstra, hop_limited_distances, hop_limited_min_hops};
+        let n = self.n();
+        // (a) membership + distances.
+        for (si, &s) in self.sources.iter().enumerate() {
+            let d2h = hop_limited_distances(g, s, 2 * self.h, self.dir);
+            let mh = hop_limited_min_hops(g, s, 2 * self.h, self.dir);
+            let exact = dijkstra(g, s, self.dir);
+            for v in 0..n {
+                let member = self.is_member(v as NodeId, si);
+                let within_h = matches!(mh[v], Some(k) if k <= self.h);
+                if member {
+                    if !within_h {
+                        return Err(format!("tree {s}: node {v} member beyond depth h"));
+                    }
+                    if self.dist[v][si] != d2h[v] {
+                        return Err(format!(
+                            "tree {s}: node {v} dist {:?} != δ2h {:?}",
+                            self.dist[v][si], d2h[v]
+                        ));
+                    }
+                    if self.hops[v][si] as usize != mh[v].unwrap() {
+                        return Err(format!("tree {s}: node {v} hops not minimal"));
+                    }
+                } else if within_h {
+                    // Horizon repair may drop a ≤h-hop node, but only when
+                    // its true distance needs more than 2h hops (Definition
+                    // A.3 then exempts it: no ≤h-hop path achieves δ(s,v)).
+                    if exact[v] >= d2h[v] {
+                        return Err(format!(
+                            "tree {s}: node {v} dropped although δ == δ2h (must be member)"
+                        ));
+                    }
+                }
+            }
+        }
+        // (b) path consistency across trees: the sub-path between two nodes
+        // is identical in every tree where one is the ancestor of the other.
+        let mut canonical: std::collections::HashMap<(NodeId, NodeId), Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for si in 0..self.sources.len() {
+            for v in 0..n as NodeId {
+                let Some(path) = self.root_path(v, si) else { continue };
+                // path is v..root; record each suffix pair (ancestor, v).
+                for (k, &anc) in path.iter().enumerate().skip(1) {
+                    let seg: Vec<NodeId> = path[..=k].to_vec();
+                    match canonical.entry((anc, v)) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(seg);
+                        }
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            if e.get() != &seg {
+                                return Err(format!(
+                                    "pair ({anc}, {v}): paths differ across trees"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the h-CSSSP for `sources` by running 2h-hop Bellman–Ford per
+/// source in sequence and truncating at depth h (Lemma A.4; O(|S|·h)
+/// rounds). Phases are recorded into `rec` (one merged entry).
+///
+/// # Errors
+/// Propagates engine errors.
+#[allow(clippy::too_many_arguments)]
+pub fn build_csssp<W: Weight>(
+    g: &Graph<W>,
+    topo: &Topology,
+    sources: &[NodeId],
+    h: usize,
+    dir: Direction,
+    sim: SimConfig,
+    charging: Charging,
+    rec: &mut Recorder,
+    label: &str,
+) -> Result<SsspCollection<W>, SimError> {
+    let n = g.n();
+    let mut dist = vec![Vec::with_capacity(sources.len()); n];
+    let mut hops = vec![Vec::with_capacity(sources.len()); n];
+    let mut parent = vec![Vec::with_capacity(sources.len()); n];
+    let mut children: Vec<Vec<Vec<NodeId>>> = vec![Vec::with_capacity(sources.len()); n];
+    let mut total = PhaseReport { node_sent: vec![0; n], ..Default::default() };
+    for &s in sources {
+        let (res, rep) = run_bf(g, topo, s, dir, 2 * h as u64, None, true, sim, charging)?;
+        total.rounds += rep.rounds;
+        total.messages += rep.messages;
+        for (t, s2) in total.node_sent.iter_mut().zip(rep.node_sent.iter()) {
+            *t += s2;
+        }
+        for v in 0..n {
+            let e = &res.entries[v];
+            // Truncate to h hops (keeps exactly the vertices whose
+            // canonical minimum-hop optimal path has ≤ h hops).
+            if e.reached() && e.hops <= h as u32 {
+                dist[v].push(e.dist);
+                hops[v].push(e.hops);
+                parent[v].push(e.parent);
+                children[v].push(
+                    res.children[v]
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            let ce = &res.entries[c as usize];
+                            ce.reached() && ce.hops <= h as u32
+                        })
+                        .collect(),
+                );
+            } else {
+                dist[v].push(W::INF);
+                hops[v].push(u32::MAX);
+                parent[v].push(None);
+                children[v].push(Vec::new());
+            }
+        }
+    }
+    rec.record(label, total);
+    Ok(SsspCollection { sources: sources.to_vec(), h, dir, dist, hops, parent, children })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, Family, WeightDist};
+
+    fn build(
+        g: &Graph<u64>,
+        sources: &[NodeId],
+        h: usize,
+        dir: Direction,
+    ) -> SsspCollection<u64> {
+        let topo = Topology::from_graph(g);
+        let mut rec = Recorder::new();
+        build_csssp(g, &topo, sources, h, dir, SimConfig::default(), Charging::Quiesce, &mut rec, "csssp")
+            .unwrap()
+    }
+
+    #[test]
+    fn consistency_on_families() {
+        for fam in Family::ALL {
+            let g = fam.build(18, true, WeightDist::Uniform(0, 6), 13);
+            let sources: Vec<NodeId> = (0..g.n() as NodeId).collect();
+            let c = build(&g, &sources, 3, Direction::Out);
+            c.check_consistency(&g).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+        }
+    }
+
+    #[test]
+    fn consistency_in_direction() {
+        let g = gnm_connected(16, 36, true, WeightDist::Uniform(0, 8), 21);
+        let sources: Vec<NodeId> = (0..g.n() as NodeId).collect();
+        let c = build(&g, &sources, 2, Direction::In);
+        c.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn root_path_walks_to_source() {
+        let g = gnm_connected(14, 30, false, WeightDist::Uniform(1, 5), 2);
+        let c = build(&g, &[3, 7], 4, Direction::Out);
+        for v in 0..14u32 {
+            for si in 0..2 {
+                if let Some(p) = c.root_path(v, si) {
+                    assert_eq!(p[0], v);
+                    assert_eq!(*p.last().unwrap(), c.sources[si]);
+                    assert_eq!(p.len() as u32 - 1, c.hops[v as usize][si]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_leaves_at_depth_h() {
+        let g = congest_graph::generators::path(8, true, WeightDist::Unit, 0);
+        let c = build(&g, &[0], 3, Direction::Out);
+        assert!(c.is_full_leaf(3, 0));
+        assert!(!c.is_full_leaf(2, 0));
+        assert!(!c.is_member(4, 0)); // beyond h hops on a path
+    }
+
+    #[test]
+    fn children_are_members_only() {
+        let g = gnm_connected(15, 25, true, WeightDist::Uniform(0, 4), 6);
+        let sources: Vec<NodeId> = (0..15).collect();
+        let c = build(&g, &sources, 2, Direction::Out);
+        for v in 0..15usize {
+            for si in 0..15 {
+                for &ch in &c.children[v][si] {
+                    assert!(c.is_member(ch, si));
+                    assert_eq!(c.parent[ch as usize][si], Some(v as NodeId));
+                    assert_eq!(c.hops[ch as usize][si], c.hops[v][si] + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_sources_times_h() {
+        let g = gnm_connected(20, 40, false, WeightDist::Uniform(1, 9), 3);
+        let topo = Topology::from_graph(&g);
+        let mut rec = Recorder::new();
+        let sources: Vec<NodeId> = (0..20).collect();
+        let h = 3;
+        let _ = build_csssp(
+            &g,
+            &topo,
+            &sources,
+            h,
+            Direction::Out,
+            SimConfig::default(),
+            Charging::WorstCase,
+            &mut rec,
+            "csssp",
+        )
+        .unwrap();
+        // Exact charging: per source 2h relax + adopt/confirm + 2h detach
+        // window + delivery slack = 4h + 4 rounds.
+        assert_eq!(rec.total_rounds(), 20 * (4 * h as u64 + 4));
+    }
+}

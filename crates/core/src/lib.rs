@@ -1,0 +1,45 @@
+//! # congest-apsp
+//!
+//! The paper's primary contribution: deterministic `Õ(n^{4/3})`-round
+//! weighted APSP in the CONGEST model (Agarwal & Ramachandran, SPAA 2020),
+//! with every substrate algorithm it depends on, plus the baselines it is
+//! compared against in Table 1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+//! use congest_graph::generators::{gnm_connected, WeightDist};
+//!
+//! let g = gnm_connected(16, 32, true, WeightDist::Uniform(0, 9), 42);
+//! let out = apsp_agarwal_ramachandran(
+//!     &g,
+//!     &ApspConfig::default(),
+//!     BlockerMethod::Derandomized,
+//!     Step6Method::Pipelined,
+//! )
+//! .unwrap();
+//! assert_eq!(out.dist, congest_graph::seq::apsp_dijkstra(&g));
+//! println!("{}", out.recorder.table());
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops are used deliberately where they mirror the paper's
+// per-node pseudocode or iterate parallel arrays; iterator rewrites would
+// obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
+pub mod apsp;
+pub mod baselines;
+pub mod bf;
+pub mod blocker;
+pub mod bottleneck;
+pub mod config;
+pub mod csssp;
+pub mod extension;
+pub mod pipeline;
+pub mod trees;
+
+pub use apsp::{apsp_agarwal_ramachandran, ApspMeta, ApspOutcome, BlockerMethod, Step6Method};
+pub use baselines::{apsp_ar18, apsp_naive};
+pub use config::{ApspConfig, BlockerParams, Charging};

@@ -1,0 +1,148 @@
+//! Deterministic primality testing and prime search (for the GF(q) affine
+//! pairwise-independent sample space).
+
+/// Deterministic Miller–Rabin for `u64` using the known-complete witness set
+/// {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}.
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `(a * b) % m` without overflow.
+#[must_use]
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(base ^ exp) % m` by square-and-multiply.
+#[must_use]
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Smallest prime `>= n`.
+#[must_use]
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    while !is_prime(n) {
+        n += 2;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> =
+            (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+    }
+
+    #[test]
+    fn carmichael_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_prime(c), "{c} is Carmichael, not prime");
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1
+        assert!(!is_prime(2_147_483_649));
+    }
+
+    #[test]
+    fn next_prime_works() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(97), 97);
+    }
+
+    #[test]
+    fn mod_arith() {
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+        assert_eq!(mod_mul(u64::MAX / 2, 3, u64::MAX - 58), ((u64::MAX / 2) as u128 * 3 % (u64::MAX - 58) as u128) as u64);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// is_prime agrees with trial division on the u32 range.
+        #[test]
+        fn matches_trial_division(n in 2u64..200_000) {
+            let trial = (2..=((n as f64).sqrt() as u64)).all(|d| n % d != 0);
+            prop_assert_eq!(is_prime(n), trial);
+        }
+
+        /// next_prime returns a prime ≥ n with no prime in between.
+        #[test]
+        fn next_prime_is_next(n in 2u64..50_000) {
+            let p = next_prime(n);
+            prop_assert!(p >= n && is_prime(p));
+            for q in n..p {
+                prop_assert!(!is_prime(q));
+            }
+        }
+
+        /// mod_pow satisfies Fermat's little theorem for prime moduli.
+        #[test]
+        fn fermat_little(a in 1u64..1000) {
+            let p = 1_000_003u64; // prime
+            prop_assert_eq!(mod_pow(a, p - 1, p), 1);
+        }
+    }
+}

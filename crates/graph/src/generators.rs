@@ -1,0 +1,423 @@
+//! Deterministic, seeded graph generators.
+//!
+//! Every generator takes an explicit seed and produces the same graph for
+//! the same parameters on every platform (ChaCha8 RNG), so simulator
+//! transcripts and experiment tables are reproducible.
+//!
+//! All generators guarantee a *connected communication graph*, which the
+//! paper's algorithms require (broadcast must reach every node). For sparse
+//! random families this is achieved by overlaying a random spanning tree.
+
+use crate::graph::{Edge, Graph};
+use crate::NodeId;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Distribution of edge weights.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum WeightDist {
+    /// Every edge has weight 1 (unweighted shortest paths).
+    Unit,
+    /// Uniform integer weights in `[lo, hi]` inclusive.
+    Uniform(u64, u64),
+    /// With probability `p_zero` the weight is 0, otherwise uniform in
+    /// `[1, hi]`. Exercises the zero-weight-edge support the paper claims.
+    ZeroInflated {
+        /// Probability of a zero-weight edge, in `\[0, 1\]`.
+        p_zero: f64,
+        /// Upper bound for the non-zero weights.
+        hi: u64,
+    },
+}
+
+impl WeightDist {
+    fn sample(self, rng: &mut impl Rng) -> u64 {
+        match self {
+            WeightDist::Unit => 1,
+            WeightDist::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+            WeightDist::ZeroInflated { p_zero, hi } => {
+                if rng.gen_bool(p_zero) {
+                    0
+                } else {
+                    rng.gen_range(1..=hi)
+                }
+            }
+        }
+    }
+}
+
+fn rng_for(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A simple path `0 - 1 - ... - n-1`.
+#[must_use]
+pub fn path(n: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+    let mut rng = rng_for(seed);
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| Edge::new(i as NodeId, (i + 1) as NodeId, dist.sample(&mut rng)))
+        .collect();
+    Graph::from_edges(n.max(1), directed, edges)
+}
+
+/// A cycle on n nodes (n >= 3).
+#[must_use]
+pub fn cycle(n: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut rng = rng_for(seed);
+    let edges = (0..n)
+        .map(|i| Edge::new(i as NodeId, ((i + 1) % n) as NodeId, dist.sample(&mut rng)))
+        .collect();
+    Graph::from_edges(n, directed, edges)
+}
+
+/// A `rows x cols` grid with 4-neighborhood edges; undirected-style edges in
+/// both orientations when `directed`.
+#[must_use]
+pub fn grid(rows: usize, cols: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+    assert!(rows >= 1 && cols >= 1);
+    let mut rng = rng_for(seed);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1), dist.sample(&mut rng)));
+                if directed {
+                    edges.push(Edge::new(id(r, c + 1), id(r, c), dist.sample(&mut rng)));
+                }
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c), dist.sample(&mut rng)));
+                if directed {
+                    edges.push(Edge::new(id(r + 1, c), id(r, c), dist.sample(&mut rng)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, directed, edges)
+}
+
+/// A star: node 0 is the hub.
+#[must_use]
+pub fn star(n: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+    assert!(n >= 2);
+    let mut rng = rng_for(seed);
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push(Edge::new(0, v as NodeId, dist.sample(&mut rng)));
+        if directed {
+            edges.push(Edge::new(v as NodeId, 0, dist.sample(&mut rng)));
+        }
+    }
+    Graph::from_edges(n, directed, edges)
+}
+
+/// The complete graph on n nodes.
+#[must_use]
+pub fn complete(n: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+    let mut rng = rng_for(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            if directed || u < v {
+                edges.push(Edge::new(u as NodeId, v as NodeId, dist.sample(&mut rng)));
+            }
+        }
+    }
+    Graph::from_edges(n, directed, edges)
+}
+
+/// A uniformly random labelled tree (via random attachment), plus weights.
+#[must_use]
+pub fn random_tree(n: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+    let mut rng = rng_for(seed);
+    let mut edges = Vec::new();
+    for v in 1..n {
+        let parent = rng.gen_range(0..v) as NodeId;
+        edges.push(Edge::new(parent, v as NodeId, dist.sample(&mut rng)));
+        if directed {
+            edges.push(Edge::new(v as NodeId, parent, dist.sample(&mut rng)));
+        }
+    }
+    Graph::from_edges(n.max(1), directed, edges)
+}
+
+/// Connected G(n, m): a random spanning tree plus `m` extra uniformly random
+/// edges (duplicates and loops re-drawn; for directed graphs the tree edges
+/// are inserted in both orientations so the *communication* graph stays
+/// connected while reachability remains interesting).
+#[must_use]
+pub fn gnm_connected(
+    n: usize,
+    extra_edges: usize,
+    directed: bool,
+    dist: WeightDist,
+    seed: u64,
+) -> Graph<u64> {
+    assert!(n >= 2);
+    let mut rng = rng_for(seed);
+    let mut edges = Vec::new();
+    // Random spanning tree over a random permutation of labels.
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    perm.shuffle(&mut rng);
+    for i in 1..n {
+        let a = perm[rng.gen_range(0..i)];
+        let b = perm[i];
+        edges.push(Edge::new(a, b, dist.sample(&mut rng)));
+        if directed {
+            edges.push(Edge::new(b, a, dist.sample(&mut rng)));
+        }
+    }
+    let mut placed = 0;
+    while placed < extra_edges {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        edges.push(Edge::new(u, v, dist.sample(&mut rng)));
+        placed += 1;
+    }
+    Graph::from_edges(n, directed, edges)
+}
+
+/// Preferential-attachment graph: each new node attaches to `k` existing
+/// nodes chosen proportionally to current degree (Barabási–Albert flavour).
+#[must_use]
+pub fn preferential_attachment(
+    n: usize,
+    k: usize,
+    directed: bool,
+    dist: WeightDist,
+    seed: u64,
+) -> Graph<u64> {
+    assert!(n >= 2 && k >= 1);
+    let mut rng = rng_for(seed);
+    let mut edges: Vec<Edge<u64>> = Vec::new();
+    // Repeated-endpoint list implements degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = vec![0, 1];
+    edges.push(Edge::new(0, 1, dist.sample(&mut rng)));
+    if directed {
+        edges.push(Edge::new(1, 0, dist.sample(&mut rng)));
+    }
+    for v in 2..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        let attach = k.min(v);
+        while chosen.len() < attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            chosen.insert(t);
+        }
+        for &t in &chosen {
+            edges.push(Edge::new(v as NodeId, t, dist.sample(&mut rng)));
+            if directed {
+                edges.push(Edge::new(t, v as NodeId, dist.sample(&mut rng)));
+            }
+            endpoints.push(t);
+            endpoints.push(v as NodeId);
+        }
+    }
+    Graph::from_edges(n, directed, edges)
+}
+
+/// A "broom": a long path of length `n/2` whose end fans out into a bushy
+/// star. Stresses hop-limited algorithms — many shortest paths have large
+/// hop counts, so blocker sets must sit on the handle.
+#[must_use]
+pub fn broom(n: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+    assert!(n >= 4);
+    let mut rng = rng_for(seed);
+    let handle = n / 2;
+    let mut edges = Vec::new();
+    for i in 0..handle {
+        edges.push(Edge::new(i as NodeId, (i + 1) as NodeId, dist.sample(&mut rng)));
+        if directed {
+            edges.push(Edge::new((i + 1) as NodeId, i as NodeId, dist.sample(&mut rng)));
+        }
+    }
+    for v in handle + 1..n {
+        edges.push(Edge::new(handle as NodeId, v as NodeId, dist.sample(&mut rng)));
+        if directed {
+            edges.push(Edge::new(v as NodeId, handle as NodeId, dist.sample(&mut rng)));
+        }
+    }
+    Graph::from_edges(n, directed, edges)
+}
+
+/// `layers` layers of `width` nodes; every node in layer i connects to every
+/// node in layer i+1. Hop distance between extreme layers is `layers - 1`,
+/// which makes h-hop truncation effects visible.
+#[must_use]
+pub fn layered(
+    layers: usize,
+    width: usize,
+    directed: bool,
+    dist: WeightDist,
+    seed: u64,
+) -> Graph<u64> {
+    assert!(layers >= 2 && width >= 1);
+    let mut rng = rng_for(seed);
+    let id = |l: usize, i: usize| (l * width + i) as NodeId;
+    let mut edges = Vec::new();
+    for l in 0..layers - 1 {
+        for a in 0..width {
+            for b in 0..width {
+                edges.push(Edge::new(id(l, a), id(l + 1, b), dist.sample(&mut rng)));
+                if directed {
+                    edges.push(Edge::new(id(l + 1, b), id(l, a), dist.sample(&mut rng)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(layers * width, directed, edges)
+}
+
+/// Enumerable graph families for the test and benchmark harnesses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Simple path.
+    Path,
+    /// Cycle.
+    Cycle,
+    /// Near-square grid.
+    Grid,
+    /// Star.
+    Star,
+    /// Random tree.
+    RandomTree,
+    /// Connected sparse random graph, m ~ 3n.
+    SparseRandom,
+    /// Connected denser random graph, m ~ n^{1.5}.
+    DenseRandom,
+    /// Preferential attachment, k = 2.
+    Scalefree,
+    /// Broom (long handle + star head).
+    Broom,
+    /// Layered complete bipartite stack.
+    Layered,
+}
+
+impl Family {
+    /// All families, for exhaustive sweeps.
+    pub const ALL: [Family; 10] = [
+        Family::Path,
+        Family::Cycle,
+        Family::Grid,
+        Family::Star,
+        Family::RandomTree,
+        Family::SparseRandom,
+        Family::DenseRandom,
+        Family::Scalefree,
+        Family::Broom,
+        Family::Layered,
+    ];
+
+    /// Short, stable name for table output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::Grid => "grid",
+            Family::Star => "star",
+            Family::RandomTree => "tree",
+            Family::SparseRandom => "gnm-sparse",
+            Family::DenseRandom => "gnm-dense",
+            Family::Scalefree => "scalefree",
+            Family::Broom => "broom",
+            Family::Layered => "layered",
+        }
+    }
+
+    /// Builds an instance with ~n nodes (exact n for most families).
+    #[must_use]
+    pub fn build(self, n: usize, directed: bool, dist: WeightDist, seed: u64) -> Graph<u64> {
+        match self {
+            Family::Path => path(n, directed, dist, seed),
+            Family::Cycle => cycle(n.max(3), directed, dist, seed),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                grid(side, side.max(1), directed, dist, seed)
+            }
+            Family::Star => star(n.max(2), directed, dist, seed),
+            Family::RandomTree => random_tree(n, directed, dist, seed),
+            Family::SparseRandom => gnm_connected(n.max(2), 2 * n, directed, dist, seed),
+            Family::DenseRandom => {
+                let m = ((n as f64).powf(1.5) as usize).max(n);
+                gnm_connected(n.max(2), m, directed, dist, seed)
+            }
+            Family::Scalefree => preferential_attachment(n.max(2), 2, directed, dist, seed),
+            Family::Broom => broom(n.max(4), directed, dist, seed),
+            Family::Layered => {
+                let width = ((n as f64).sqrt() / 1.5).round().max(1.0) as usize;
+                let layers = (n / width).max(2);
+                layered(layers, width, directed, dist, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_connected_and_sized() {
+        for fam in Family::ALL {
+            for &directed in &[false, true] {
+                let g = fam.build(24, directed, WeightDist::Uniform(0, 10), 7);
+                assert!(g.is_comm_connected(), "{} disconnected", fam.name());
+                assert!(g.n() >= 16, "{} too small: {}", fam.name(), g.n());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = gnm_connected(30, 60, true, WeightDist::Uniform(1, 9), 42);
+        let b = gnm_connected(30, 60, true, WeightDist::Uniform(1, 9), 42);
+        assert_eq!(a.edges(), b.edges());
+        let c = gnm_connected(30, 60, true, WeightDist::Uniform(1, 9), 43);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn zero_inflated_produces_zeros() {
+        let g = gnm_connected(40, 120, false, WeightDist::ZeroInflated { p_zero: 0.5, hi: 5 }, 3);
+        assert!(g.edges().iter().any(|e| e.weight == 0));
+        assert!(g.edges().iter().any(|e| e.weight > 0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, false, WeightDist::Unit, 0);
+        assert_eq!(g.n(), 12);
+        // 3*3 horizontal + 2*4 vertical = 17 undirected edges
+        assert_eq!(g.m(), 17);
+    }
+
+    #[test]
+    fn broom_has_handle_and_head() {
+        let g = broom(12, false, WeightDist::Unit, 0);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.comm_bfs_depth(0), Some(7)); // 6 handle hops + 1 fan hop
+    }
+
+    #[test]
+    fn layered_hop_depth() {
+        let g = layered(5, 3, false, WeightDist::Unit, 0);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.comm_bfs_depth(0), Some(4));
+    }
+
+    #[test]
+    fn pref_attachment_degrees() {
+        let g = preferential_attachment(50, 2, false, WeightDist::Unit, 1);
+        assert!(g.is_comm_connected());
+        // every node beyond the first two attaches with k=2 edges
+        assert!(g.m() >= 48);
+    }
+}

@@ -1,0 +1,66 @@
+//! A small growable bitset used for per-neighbor "already knows item i"
+//! bookkeeping in the flooding primitive (dense, append-mostly workload
+//! where `Vec<bool>` would waste 8x memory).
+
+/// Growable bitset over `u64` words.
+#[derive(Clone, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bitset.
+    #[must_use]
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Sets bit `i`, growing as needed.
+    pub fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    /// Tests bit `i` (unset bits beyond the end read as false).
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        let w = i / 64;
+        w < self.words.len() && (self.words[w] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::new();
+        assert!(!b.get(0));
+        assert!(!b.get(1000));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(1000);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(1000));
+        assert!(!b.get(65));
+        assert_eq!(b.count(), 4);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut b = BitSet::new();
+        b.set(500);
+        assert!(b.get(500));
+        assert!(!b.get(499));
+    }
+}

@@ -1,0 +1,502 @@
+//! The round-synchronous CONGEST engine.
+//!
+//! Model (paper §1.1): n nodes communicate over the *underlying undirected
+//! graph* of the input in synchronous rounds. In each round every node may
+//! send a bounded number of O(log n)-bit messages along each incident
+//! channel; messages sent in round r are received in round r+1. Nodes have
+//! unbounded local computation.
+//!
+//! The engine enforces the model mechanically: sends to non-neighbors and
+//! per-channel bandwidth violations abort the simulation with a
+//! [`SimError`], so a protocol that compiles *and runs* is certified to be
+//! a legal CONGEST algorithm, and its measured round count is the quantity
+//! the paper bounds.
+
+use crate::error::SimError;
+use crate::metrics::PhaseReport;
+use crate::parallel::par_indexed_map;
+use congest_graph::{Graph, NodeId, Weight};
+
+/// Communication topology: the undirected adjacency over which messages
+/// flow. Extracted from a [`Graph`] so the engine is weight-agnostic.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds the communication topology of `g` (union of in/out adjacency;
+    /// §1.1: channels are bidirectional even for directed inputs).
+    #[must_use]
+    pub fn from_graph<W: Weight>(g: &Graph<W>) -> Self {
+        let adj = (0..g.n() as NodeId).map(|v| g.comm_neighbors(v).to_vec()).collect();
+        Topology { adj }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// `true` iff `u`–`v` is a channel.
+    #[must_use]
+    pub fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+}
+
+/// A received message with its sender.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// The neighbor that sent this message in the previous round.
+    pub from: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Read-only per-node view passed to [`NodeLogic::on_round`].
+#[derive(Debug)]
+pub struct NodeEnv<'a> {
+    /// This node's id.
+    pub id: NodeId,
+    /// Total number of nodes (global knowledge of n is standard in CONGEST).
+    pub n: usize,
+    /// Current round number, starting at 0.
+    pub round: u64,
+    /// Sorted neighbor ids.
+    pub neighbors: &'a [NodeId],
+}
+
+/// Per-round send buffer with CONGEST legality checks.
+pub struct Outbox<'a, M> {
+    from: NodeId,
+    round: u64,
+    neighbors: &'a [NodeId],
+    bandwidth: u32,
+    counts: Vec<u32>,
+    sends: Vec<(NodeId, M)>,
+    error: Option<SimError>,
+}
+
+impl<'a, M> Outbox<'a, M> {
+    fn new(from: NodeId, round: u64, neighbors: &'a [NodeId], bandwidth: u32) -> Self {
+        Outbox {
+            from,
+            round,
+            neighbors,
+            bandwidth,
+            counts: vec![0; neighbors.len()],
+            sends: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Queues `msg` for delivery to neighbor `to` next round.
+    ///
+    /// Violations (non-neighbor target, bandwidth overrun) are recorded and
+    /// abort the simulation at the end of the round; the first violation
+    /// wins.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        if self.error.is_some() {
+            return;
+        }
+        match self.neighbors.binary_search(&to) {
+            Err(_) => {
+                self.error =
+                    Some(SimError::NotANeighbor { from: self.from, to, round: self.round });
+            }
+            Ok(idx) => {
+                if self.counts[idx] >= self.bandwidth {
+                    self.error = Some(SimError::BandwidthExceeded {
+                        from: self.from,
+                        to,
+                        round: self.round,
+                        limit: self.bandwidth,
+                    });
+                } else {
+                    self.counts[idx] += 1;
+                    self.sends.push((to, msg));
+                }
+            }
+        }
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Number of messages queued so far this round.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.sends.len()
+    }
+}
+
+/// Node-local protocol logic. One value of the implementing type exists per
+/// node; the engine guarantees it only ever touches its own state, its
+/// inbox, and its outbox — exactly the CONGEST information boundary.
+pub trait NodeLogic: Send {
+    /// Message type exchanged by this protocol. One `Msg` models O(1)
+    /// machine words (ids, weights, distance values), matching the paper's
+    /// bandwidth assumption. (`Sync` because inboxes are shared read-only
+    /// across worker threads during a parallel step.)
+    type Msg: Clone + Send + Sync + 'static;
+
+    /// Called once per round. Round 0 has an empty inbox (initialization);
+    /// in round r > 0 the inbox holds exactly the messages sent to this
+    /// node in round r-1, ordered by sender id.
+    fn on_round(
+        &mut self,
+        env: &NodeEnv<'_>,
+        inbox: &[Envelope<Self::Msg>],
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// `true` while this node still intends to send in a future round even
+    /// if it receives nothing (e.g. it holds queued relay messages).
+    /// Reactive protocols can use the default `false`; quiescence is then
+    /// "no messages in flight".
+    fn active(&self) -> bool {
+        false
+    }
+}
+
+/// How long to run a phase.
+#[derive(Copy, Clone, Debug)]
+pub enum RunUntil {
+    /// Run exactly this many rounds; error if the protocol is still busy
+    /// afterwards. Used for worst-case round charging: the caller passes
+    /// the analytical bound and the engine verifies the protocol met it.
+    Exact(u64),
+    /// Run until no messages are in flight and no node is active, erroring
+    /// at `max` rounds. Used for practical round accounting.
+    Quiesce {
+        /// Safety budget.
+        max: u64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct SimConfig {
+    /// Messages per directed channel per round (paper: O(1); default 1).
+    pub bandwidth: u32,
+    /// Node-count threshold above which rounds are stepped with the
+    /// fork-join helper. Simulations in this repo are usually small enough
+    /// that sequential stepping is faster; heavy *local* computation inside
+    /// protocols is parallelized separately by the algorithm crates.
+    pub parallel_threshold: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { bandwidth: 1, parallel_threshold: 4096 }
+    }
+}
+
+/// The round-loop executor for one protocol phase over a fixed topology.
+pub struct Engine<'t> {
+    topo: &'t Topology,
+    cfg: SimConfig,
+}
+
+struct StepOut<M> {
+    sends: Vec<(NodeId, M)>,
+    error: Option<SimError>,
+}
+
+impl<'t> Engine<'t> {
+    /// Creates an engine over `topo`.
+    #[must_use]
+    pub fn new(topo: &'t Topology, cfg: SimConfig) -> Self {
+        Engine { topo, cfg }
+    }
+
+    /// The engine's topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Runs one protocol phase: `nodes[v]` is node v's logic. Returns the
+    /// phase report (unnamed; callers label it via
+    /// [`crate::Recorder::record`]).
+    ///
+    /// # Errors
+    /// Propagates CONGEST violations and budget exhaustion as [`SimError`].
+    pub fn run<N: NodeLogic>(
+        &self,
+        nodes: &mut [N],
+        until: RunUntil,
+    ) -> Result<PhaseReport, SimError> {
+        let n = self.topo.n();
+        assert_eq!(nodes.len(), n, "one NodeLogic per topology node");
+
+        let mut inboxes: Vec<Vec<Envelope<N::Msg>>> = vec![Vec::new(); n];
+        let mut node_sent = vec![0u64; n];
+        let mut messages: u64 = 0;
+        let mut rounds: u64 = 0;
+
+        let budget = match until {
+            RunUntil::Exact(r) => r,
+            RunUntil::Quiesce { max } => max,
+        };
+
+        loop {
+            let in_flight = inboxes.iter().map(Vec::len).sum::<usize>();
+            let anyone_active = nodes.iter().any(NodeLogic::active);
+            match until {
+                RunUntil::Exact(r) => {
+                    if rounds >= r {
+                        if in_flight > 0 || anyone_active {
+                            return Err(SimError::RoundBudgetExhausted { budget });
+                        }
+                        break;
+                    }
+                }
+                RunUntil::Quiesce { max } => {
+                    if rounds > 0 && in_flight == 0 && !anyone_active {
+                        break;
+                    }
+                    if rounds >= max {
+                        return Err(SimError::RoundBudgetExhausted { budget });
+                    }
+                }
+            }
+
+            // Step every node for round `rounds`.
+            let round = rounds;
+            let bandwidth = self.cfg.bandwidth;
+            let topo = self.topo;
+            let inbox_ref = &inboxes;
+            let step = |i: usize, node: &mut N| -> StepOut<N::Msg> {
+                let id = i as NodeId;
+                let env =
+                    NodeEnv { id, n, round, neighbors: topo.neighbors(id) };
+                let mut out = Outbox::new(id, round, topo.neighbors(id), bandwidth);
+                node.on_round(&env, &inbox_ref[i], &mut out);
+                StepOut { sends: out.sends, error: out.error }
+            };
+            let outs: Vec<StepOut<N::Msg>> = if n >= self.cfg.parallel_threshold {
+                par_indexed_map(nodes, step)
+            } else {
+                nodes.iter_mut().enumerate().map(|(i, nd)| step(i, nd)).collect()
+            };
+
+            // Deliver: clear inboxes, then append in sender-id order so the
+            // receive order is deterministic.
+            for ib in &mut inboxes {
+                ib.clear();
+            }
+            for (i, out) in outs.into_iter().enumerate() {
+                if let Some(err) = out.error {
+                    return Err(err);
+                }
+                node_sent[i] += out.sends.len() as u64;
+                messages += out.sends.len() as u64;
+                for (to, msg) in out.sends {
+                    inboxes[to as usize].push(Envelope { from: i as NodeId, msg });
+                }
+            }
+            rounds += 1;
+        }
+
+        Ok(PhaseReport { name: String::new(), rounds, messages, node_sent })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{path, WeightDist};
+
+    /// Floods a token from node 0; each node records the round it was reached.
+    struct Flood {
+        reached: Option<u64>,
+        is_root: bool,
+        sent: bool,
+    }
+
+    impl NodeLogic for Flood {
+        type Msg = ();
+        fn on_round(&mut self, env: &NodeEnv<'_>, inbox: &[Envelope<()>], out: &mut Outbox<'_, ()>) {
+            if env.round == 0 && self.is_root {
+                self.reached = Some(0);
+            }
+            if self.reached.is_none() && !inbox.is_empty() {
+                self.reached = Some(env.round);
+            }
+            if self.reached.is_some() && !self.sent {
+                out.broadcast(());
+                self.sent = true;
+            }
+        }
+    }
+
+    fn flood_nodes(n: usize) -> Vec<Flood> {
+        (0..n).map(|i| Flood { reached: None, is_root: i == 0, sent: false }).collect()
+    }
+
+    #[test]
+    fn flood_on_path_takes_hop_distance_rounds() {
+        let g = path(6, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes = flood_nodes(6);
+        let report = engine.run(&mut nodes, RunUntil::Quiesce { max: 100 }).unwrap();
+        for (i, nd) in nodes.iter().enumerate() {
+            assert_eq!(nd.reached, Some(i as u64), "node {i}");
+        }
+        // 6 rounds of sending (0..=5), plus the delivery round for the tail.
+        assert!(report.rounds >= 6 && report.rounds <= 7, "rounds = {}", report.rounds);
+        // each node broadcasts exactly once
+        assert_eq!(report.messages, 2 * 5);
+    }
+
+    #[test]
+    fn exact_budget_checks_completion() {
+        let g = path(4, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes = flood_nodes(4);
+        // Too few rounds: flood still in flight -> error.
+        let err = engine.run(&mut nodes, RunUntil::Exact(2)).unwrap_err();
+        assert!(matches!(err, SimError::RoundBudgetExhausted { .. }));
+        let mut nodes = flood_nodes(4);
+        assert!(engine.run(&mut nodes, RunUntil::Exact(10)).is_ok());
+    }
+
+    struct BadSender;
+    impl NodeLogic for BadSender {
+        type Msg = u8;
+        fn on_round(&mut self, env: &NodeEnv<'_>, _ib: &[Envelope<u8>], out: &mut Outbox<'_, u8>) {
+            if env.round == 0 && env.id == 0 {
+                out.send(3, 1); // not a neighbor on a path of 4
+            }
+        }
+    }
+
+    #[test]
+    fn non_neighbor_send_rejected() {
+        let g = path(4, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes = vec![BadSender, BadSender, BadSender, BadSender];
+        let err = engine.run(&mut nodes, RunUntil::Quiesce { max: 10 }).unwrap_err();
+        assert_eq!(err, SimError::NotANeighbor { from: 0, to: 3, round: 0 });
+    }
+
+    struct OverSender;
+    impl NodeLogic for OverSender {
+        type Msg = u8;
+        fn on_round(&mut self, env: &NodeEnv<'_>, _ib: &[Envelope<u8>], out: &mut Outbox<'_, u8>) {
+            if env.round == 0 && env.id == 0 {
+                out.send(1, 1);
+                out.send(1, 2); // second message on the same channel, B=1
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_enforced() {
+        let g = path(2, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes = vec![OverSender, OverSender];
+        let err = engine.run(&mut nodes, RunUntil::Quiesce { max: 10 }).unwrap_err();
+        assert_eq!(err, SimError::BandwidthExceeded { from: 0, to: 1, round: 0, limit: 1 });
+    }
+
+    #[test]
+    fn bandwidth_two_allows_two() {
+        let g = path(2, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig { bandwidth: 2, ..Default::default() });
+        let mut nodes = vec![OverSender, OverSender];
+        assert!(engine.run(&mut nodes, RunUntil::Quiesce { max: 10 }).is_ok());
+    }
+
+    struct Echoer {
+        budget: u32,
+    }
+    impl NodeLogic for Echoer {
+        type Msg = u32;
+        fn on_round(&mut self, env: &NodeEnv<'_>, inbox: &[Envelope<u32>], out: &mut Outbox<'_, u32>) {
+            if env.round == 0 && env.id == 0 {
+                out.send(env.neighbors[0], 0);
+                return;
+            }
+            for e in inbox {
+                if self.budget > 0 {
+                    self.budget -= 1;
+                    out.send(e.from, e.msg + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiesce_stops_when_echoes_exhaust() {
+        let g = path(2, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes = vec![Echoer { budget: 3 }, Echoer { budget: 3 }];
+        let report = engine.run(&mut nodes, RunUntil::Quiesce { max: 100 }).unwrap();
+        // 1 initial send + 6 echoes (3 per node), each in its own round.
+        assert_eq!(report.messages, 7);
+        assert_eq!(report.rounds, 8);
+        assert_eq!(report.max_node_congestion(), 4);
+    }
+
+    #[test]
+    fn inbox_ordered_by_sender() {
+        struct Collect {
+            seen: Vec<NodeId>,
+        }
+        impl NodeLogic for Collect {
+            type Msg = ();
+            fn on_round(
+                &mut self,
+                env: &NodeEnv<'_>,
+                inbox: &[Envelope<()>],
+                out: &mut Outbox<'_, ()>,
+            ) {
+                if env.round == 0 && env.id != 2 {
+                    out.send(2, ());
+                }
+                if env.id == 2 {
+                    self.seen.extend(inbox.iter().map(|e| e.from));
+                }
+            }
+        }
+        // star with center 2
+        let g = congest_graph::Graph::<u64>::from_edges(
+            4,
+            false,
+            vec![
+                congest_graph::Edge::new(0, 2, 1),
+                congest_graph::Edge::new(1, 2, 1),
+                congest_graph::Edge::new(3, 2, 1),
+            ],
+        );
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes: Vec<Collect> = (0..4).map(|_| Collect { seen: vec![] }).collect();
+        engine.run(&mut nodes, RunUntil::Quiesce { max: 10 }).unwrap();
+        assert_eq!(nodes[2].seen, vec![0, 1, 3]);
+    }
+}

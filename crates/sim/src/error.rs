@@ -1,0 +1,54 @@
+//! Simulator error types.
+
+use congest_graph::NodeId;
+
+/// Errors surfaced by the engine. All of these indicate a *protocol bug*
+/// (or an exhausted safety budget), never a user-input problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A node attempted to send to a non-neighbor — impossible in CONGEST.
+    NotANeighbor {
+        /// Sending node.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: u64,
+    },
+    /// A node exceeded the per-channel per-round bandwidth budget
+    /// (§1.1: O(1) words per edge per round).
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Recipient channel.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: u64,
+        /// Configured per-channel budget.
+        limit: u32,
+    },
+    /// The phase did not terminate within its round budget.
+    RoundBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::NotANeighbor { from, to, round } => {
+                write!(f, "round {round}: node {from} sent to non-neighbor {to}")
+            }
+            SimError::BandwidthExceeded { from, to, round, limit } => write!(
+                f,
+                "round {round}: node {from} exceeded bandwidth {limit} on channel to {to}"
+            ),
+            SimError::RoundBudgetExhausted { budget } => {
+                write!(f, "phase exceeded round budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

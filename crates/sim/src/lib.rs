@@ -1,0 +1,31 @@
+//! # congest-sim
+//!
+//! A round-synchronous simulator for the CONGEST model of distributed
+//! computing (paper §1.1): n nodes on the underlying undirected graph of
+//! the input exchange O(log n)-bit messages in lock-step rounds, with a
+//! bounded number of messages per channel per round.
+//!
+//! The simulator *enforces* the model — sends to non-neighbors or beyond
+//! the per-channel bandwidth abort the run — so measured round counts are
+//! trustworthy reproductions of the quantity the paper bounds. See
+//! [`Engine`] for the execution loop, [`NodeLogic`] for the protocol
+//! interface, and [`primitives`] for the broadcast/convergecast building
+//! blocks of Appendix A.1/A.5.
+
+#![warn(missing_docs)]
+// Index-based loops are used deliberately where they mirror the paper's
+// per-node pseudocode or iterate parallel arrays; iterator rewrites would
+// obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
+mod bitset;
+mod engine;
+mod error;
+mod metrics;
+pub mod parallel;
+pub mod primitives;
+
+pub use bitset::BitSet;
+pub use engine::{Engine, Envelope, NodeEnv, NodeLogic, Outbox, RunUntil, SimConfig, Topology};
+pub use error::SimError;
+pub use metrics::{PhaseReport, Recorder};

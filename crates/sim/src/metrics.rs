@@ -1,0 +1,167 @@
+//! Round and message accounting.
+//!
+//! The paper measures algorithms purely by *round complexity*; we record
+//! rounds per phase plus message totals and per-node send counts, because
+//! the paper's §4 analysis (bottleneck nodes, Lemma A.15) reasons about
+//! *congestion at a node* = number of messages a node sends during an
+//! algorithm.
+
+/// Statistics for one protocol phase (one [`crate::Engine::run`] call).
+#[derive(Clone, Debug, Default)]
+pub struct PhaseReport {
+    /// Human-readable phase label, e.g. `"step1: h-CSSSP"`.
+    pub name: String,
+    /// Number of simulated communication rounds.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Per-node messages sent during this phase.
+    pub node_sent: Vec<u64>,
+}
+
+impl PhaseReport {
+    /// Maximum congestion at any node (paper's footnote 4 definition).
+    #[must_use]
+    pub fn max_node_congestion(&self) -> u64 {
+        self.node_sent.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Accumulates phase reports across a multi-phase algorithm run.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    phases: Vec<PhaseReport>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Records a finished phase, relabelling it with `name`.
+    pub fn record(&mut self, name: impl Into<String>, mut report: PhaseReport) {
+        report.name = name.into();
+        self.phases.push(report);
+    }
+
+    /// Adds a zero-communication local phase (for bookkeeping parity with the
+    /// paper's "Local Step" lines).
+    pub fn record_local(&mut self, name: impl Into<String>) {
+        self.phases.push(PhaseReport { name: name.into(), ..Default::default() });
+    }
+
+    /// All recorded phases in order.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseReport] {
+        &self.phases
+    }
+
+    /// Total rounds across phases.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.phases.iter().map(|p| p.rounds).sum()
+    }
+
+    /// Total messages across phases.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|p| p.messages).sum()
+    }
+
+    /// Maximum per-phase node congestion observed.
+    #[must_use]
+    pub fn max_node_congestion(&self) -> u64 {
+        self.phases.iter().map(PhaseReport::max_node_congestion).max().unwrap_or(0)
+    }
+
+    /// Per-node total messages sent across all phases.
+    #[must_use]
+    pub fn node_sent_totals(&self) -> Vec<u64> {
+        let n = self.phases.iter().map(|p| p.node_sent.len()).max().unwrap_or(0);
+        let mut total = vec![0u64; n];
+        for p in &self.phases {
+            for (t, s) in total.iter_mut().zip(p.node_sent.iter()) {
+                *t += s;
+            }
+        }
+        total
+    }
+
+    /// Merges another recorder's phases (used when a sub-algorithm keeps its
+    /// own recorder), prefixing each phase name.
+    pub fn absorb(&mut self, prefix: &str, other: Recorder) {
+        for mut p in other.phases {
+            p.name = format!("{prefix}{}", p.name);
+            self.phases.push(p);
+        }
+    }
+
+    /// Renders a compact per-phase table (used by examples and experiments).
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{:<44} {:>10} {:>12} {:>10}", "phase", "rounds", "messages", "max-cong");
+        for p in &self.phases {
+            let _ = writeln!(
+                s,
+                "{:<44} {:>10} {:>12} {:>10}",
+                p.name,
+                p.rounds,
+                p.messages,
+                p.max_node_congestion()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:<44} {:>10} {:>12} {:>10}",
+            "TOTAL",
+            self.total_rounds(),
+            self.total_messages(),
+            self.max_node_congestion()
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(rounds: u64, messages: u64, sent: Vec<u64>) -> PhaseReport {
+        PhaseReport { name: String::new(), rounds, messages, node_sent: sent }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut r = Recorder::new();
+        r.record("a", phase(10, 100, vec![5, 95]));
+        r.record("b", phase(7, 3, vec![3, 0]));
+        r.record_local("c");
+        assert_eq!(r.total_rounds(), 17);
+        assert_eq!(r.total_messages(), 103);
+        assert_eq!(r.max_node_congestion(), 95);
+        assert_eq!(r.node_sent_totals(), vec![8, 95]);
+        assert_eq!(r.phases().len(), 3);
+    }
+
+    #[test]
+    fn absorb_prefixes() {
+        let mut inner = Recorder::new();
+        inner.record("x", phase(1, 1, vec![1]));
+        let mut outer = Recorder::new();
+        outer.absorb("sub/", inner);
+        assert_eq!(outer.phases()[0].name, "sub/x");
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut r = Recorder::new();
+        r.record("phase-one", phase(2, 4, vec![2, 2]));
+        let t = r.table();
+        assert!(t.contains("phase-one"));
+        assert!(t.contains("TOTAL"));
+    }
+}

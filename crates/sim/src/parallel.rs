@@ -1,0 +1,101 @@
+//! Deterministic fork-join helper for stepping nodes in parallel.
+//!
+//! The offline dependency set does not include `rayon`, so this module
+//! hand-rolls the one data-parallel pattern the engine needs — *map over
+//! disjoint `&mut` chunks, collect results in order* — on top of
+//! `crossbeam::scope` threads. Nodes own disjoint state, so chunked
+//! execution is race-free and the output is identical to the sequential
+//! order regardless of thread count (verified by tests).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for a workload of `len` items.
+///
+/// Small workloads are not worth forking for: the engine steps thousands of
+/// rounds, so per-round overhead must stay near zero.
+#[must_use]
+pub fn worker_count(len: usize) -> usize {
+    if len < 4096 {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    hw.min(len / 2048).max(1)
+}
+
+/// Applies `f` to every item (with its index), in parallel over chunks,
+/// returning outputs in input order.
+///
+/// `f` must be deterministic per item; chunking never changes the result,
+/// only the wall-clock time.
+pub fn par_indexed_map<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let len = items.len();
+    let workers = worker_count(len);
+    if workers <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (ci, items_chunk) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                items_chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(j, t)| f(ci * chunk + j, t))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_small() {
+        let mut v: Vec<u64> = (0..100).collect();
+        let out = par_indexed_map(&mut v, |i, x| {
+            *x += 1;
+            *x + i as u64
+        });
+        assert_eq!(out[10], 11 + 10);
+        assert_eq!(v[10], 11);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut a: Vec<u64> = (0..10_000).collect();
+        let mut b = a.clone();
+        let seq: Vec<u64> = b.iter_mut().enumerate().map(|(i, x)| *x * 3 + i as u64).collect();
+        let par = par_indexed_map(&mut a, |i, x| *x * 3 + i as u64);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(10), 1);
+        assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn mutation_applies_in_parallel_mode() {
+        let mut v = vec![0u8; 20_000];
+        let _ = par_indexed_map(&mut v, |_, x| {
+            *x = 7;
+        });
+        assert!(v.iter().all(|&x| x == 7));
+    }
+}

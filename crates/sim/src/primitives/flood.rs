@@ -1,0 +1,307 @@
+//! Pipelined flooding broadcast with duplicate suppression.
+//!
+//! Implements the broadcast primitives of Appendix A.1:
+//!
+//! * Lemma A.1 — one node broadcasts k values in O(n + k) rounds;
+//! * Lemma A.2 — every node broadcasts one (or a few) values, all delivered
+//!   everywhere in O(n) rounds.
+//!
+//! Both are instances of the same mechanism: every node maintains a log of
+//! known items; each round it forwards, on every channel, the next item the
+//! peer is not yet known to have. With bandwidth B = 1 an item crosses each
+//! channel at most once per direction, so all K items reach all nodes
+//! within O(K + D) rounds — the standard pipelined-flooding bound.
+
+use crate::bitset::BitSet;
+use crate::engine::{Engine, Envelope, NodeEnv, NodeLogic, Outbox, RunUntil, SimConfig, Topology};
+use crate::error::SimError;
+use crate::metrics::PhaseReport;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Items that can be flooded: cheap to clone, hashable for dedup. One item
+/// models O(1) machine words.
+pub trait FloodItem: Clone + Eq + Hash + Send + Sync + 'static {}
+impl<T: Clone + Eq + Hash + Send + Sync + 'static> FloodItem for T {}
+
+struct FloodNode<T> {
+    /// Known items in discovery order.
+    log: Vec<T>,
+    index: HashMap<T, usize>,
+    /// Per neighbor (by position in the env neighbor list): which log items
+    /// the peer is known to have (either we sent them or they sent them).
+    peer_knows: Vec<BitSet>,
+    /// Per neighbor: scan cursor into `log`.
+    cursor: Vec<usize>,
+}
+
+impl<T: FloodItem> FloodNode<T> {
+    fn new(initial: Vec<T>, degree: usize) -> Self {
+        let mut node = FloodNode {
+            log: Vec::new(),
+            index: HashMap::new(),
+            peer_knows: (0..degree).map(|_| BitSet::new()).collect(),
+            cursor: vec![0; degree],
+        };
+        for item in initial {
+            node.learn(item);
+        }
+        node
+    }
+
+    fn learn(&mut self, item: T) -> usize {
+        if let Some(&i) = self.index.get(&item) {
+            return i;
+        }
+        let i = self.log.len();
+        self.index.insert(item.clone(), i);
+        self.log.push(item);
+        i
+    }
+}
+
+impl<T: FloodItem> NodeLogic for FloodNode<T> {
+    type Msg = T;
+
+    fn on_round(&mut self, env: &NodeEnv<'_>, inbox: &[Envelope<T>], out: &mut Outbox<'_, T>) {
+        // Receive first: dedup and remember that the sender knows the item.
+        for e in inbox {
+            let idx = self.learn(e.msg.clone());
+            let ni = env.neighbors.binary_search(&e.from).expect("sender is a neighbor");
+            self.peer_knows[ni].set(idx);
+        }
+        // Send: for each neighbor, the first known item the peer lacks.
+        for ni in 0..env.neighbors.len() {
+            while self.cursor[ni] < self.log.len() {
+                let i = self.cursor[ni];
+                if self.peer_knows[ni].get(i) {
+                    self.cursor[ni] += 1;
+                    continue;
+                }
+                out.send(env.neighbors[ni], self.log[i].clone());
+                self.peer_knows[ni].set(i);
+                self.cursor[ni] += 1;
+                break;
+            }
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.cursor.iter().enumerate().any(|(ni, &c)| {
+            (c..self.log.len()).any(|i| !self.peer_knows[ni].get(i))
+        })
+    }
+}
+
+/// Floods every node's initial items to all nodes. Returns each node's full
+/// item log (discovery order, own items first) and the phase report.
+///
+/// # Errors
+/// Propagates engine errors; `budget` bounds the rounds (callers typically
+/// pass the analytical O(K + n) bound).
+pub fn flood_broadcast<T: FloodItem>(
+    topo: &Topology,
+    cfg: SimConfig,
+    initial: Vec<Vec<T>>,
+    until: RunUntil,
+) -> Result<(Vec<Vec<T>>, PhaseReport), SimError> {
+    let n = topo.n();
+    assert_eq!(initial.len(), n);
+    let engine = Engine::new(topo, cfg);
+    let mut nodes: Vec<FloodNode<T>> = initial
+        .into_iter()
+        .enumerate()
+        .map(|(i, items)| FloodNode::new(items, topo.neighbors(i as congest_graph::NodeId).len()))
+        .collect();
+    let report = engine.run(&mut nodes, until)?;
+    Ok((nodes.into_iter().map(|nd| nd.log).collect(), report))
+}
+
+/// Convenience wrapper for the Lemma A.2 pattern (all-to-all broadcast with
+/// a quiescence budget of `O(total items + n)`).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn all_to_all_broadcast<T: FloodItem>(
+    topo: &Topology,
+    cfg: SimConfig,
+    initial: Vec<Vec<T>>,
+) -> Result<(Vec<Vec<T>>, PhaseReport), SimError> {
+    let total: usize = initial.iter().map(Vec::len).sum();
+    let budget = 4 * (total as u64 + topo.n() as u64) + 16;
+    flood_broadcast(topo, cfg, initial, RunUntil::Quiesce { max: budget })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, path, star, WeightDist};
+    use congest_graph::NodeId;
+
+    fn check_all_know_all(logs: &[Vec<u32>], expected: &mut Vec<u32>) {
+        expected.sort_unstable();
+        for log in logs {
+            let mut got = log.clone();
+            got.sort_unstable();
+            assert_eq!(&got, expected);
+        }
+    }
+
+    #[test]
+    fn single_source_k_values_on_path() {
+        let g = path(8, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let k = 20u32;
+        let mut initial: Vec<Vec<u32>> = vec![Vec::new(); 8];
+        initial[0] = (0..k).collect();
+        let (logs, report) =
+            all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        check_all_know_all(&logs, &mut (0..k).collect());
+        // Lemma A.1 shape: O(k + D) rounds.
+        assert!(report.rounds <= (k as u64 + 8) + 8, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn all_to_all_one_value_each() {
+        let g = gnm_connected(24, 48, false, WeightDist::Unit, 5);
+        let topo = Topology::from_graph(&g);
+        let initial: Vec<Vec<u32>> = (0..24).map(|i| vec![i as u32]).collect();
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        check_all_know_all(&logs, &mut (0..24).collect());
+        // Lemma A.2 shape: O(n) rounds.
+        assert!(report.rounds <= 4 * 24, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn duplicates_deduplicated() {
+        let g = star(6, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        // every node starts with the same item plus one unique item
+        let initial: Vec<Vec<u32>> =
+            (0..6).map(|i| vec![999, i as u32]).collect();
+        let (logs, _) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        check_all_know_all(&logs, &mut vec![999, 0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn own_items_first_in_log() {
+        let g = path(3, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let initial = vec![vec![10u32, 11], vec![20], vec![30]];
+        let (logs, _) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        assert_eq!(&logs[0][..2], &[10, 11]);
+        assert_eq!(logs[1][0], 20);
+    }
+
+    #[test]
+    fn empty_broadcast_terminates_immediately() {
+        let g = path(4, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let initial: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        assert!(logs.iter().all(Vec::is_empty));
+        assert!(report.rounds <= 1);
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn deterministic_logs() {
+        let g = gnm_connected(16, 30, false, WeightDist::Unit, 9);
+        let topo = Topology::from_graph(&g);
+        let initial: Vec<Vec<u32>> = (0..16).map(|i| vec![i as u32 * 7]).collect();
+        let (a, ra) = all_to_all_broadcast(&topo, SimConfig::default(), initial.clone()).unwrap();
+        let (b, rb) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ra.rounds, rb.rounds);
+        assert_eq!(ra.messages, rb.messages);
+    }
+
+    #[test]
+    fn respects_worst_case_charging() {
+        // Exact-mode run with the analytical budget must succeed.
+        let g = path(6, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let initial: Vec<Vec<u32>> = (0..6).map(|i| vec![i as u32]).collect();
+        let budget = 4 * (6 + 6) + 16;
+        let (_, report) =
+            flood_broadcast(&topo, SimConfig::default(), initial, RunUntil::Exact(budget))
+                .unwrap();
+        assert_eq!(report.rounds, budget);
+    }
+
+    #[test]
+    fn large_payload_pipelines() {
+        // K values from each endpoint of a path cross the middle: rounds
+        // should be ~2K + n, not K * n.
+        let g = path(10, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let mut initial: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); 10];
+        initial[0] = (0..50).map(|k| (0, k)).collect();
+        initial[9] = (0..50).map(|k| (9, k)).collect();
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        assert!(logs.iter().all(|l| l.len() == 100));
+        assert!(report.rounds <= 2 * 50 + 3 * 10, "rounds = {}", report.rounds);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, WeightDist};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every item reaches every node, regardless of topology, item
+        /// distribution, or duplication.
+        #[test]
+        fn flood_is_complete(
+            n in 2usize..20,
+            extra in 0usize..30,
+            seed in 0u64..1000,
+            items in proptest::collection::vec((0usize..20, 0u32..50), 0..30),
+        ) {
+            let g = gnm_connected(n, extra, false, WeightDist::Unit, seed);
+            let topo = Topology::from_graph(&g);
+            let mut initial: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut expected: Vec<u32> = Vec::new();
+            for (slot, item) in items {
+                initial[slot % n].push(item);
+                expected.push(item);
+            }
+            expected.sort_unstable();
+            expected.dedup();
+            let (logs, report) =
+                all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+            for log in &logs {
+                let mut got = log.clone();
+                got.sort_unstable();
+                prop_assert_eq!(&got, &expected);
+            }
+            // Lemma A.1/A.2 shape: O(K + n) rounds.
+            prop_assert!(report.rounds <= 4 * (expected.len() as u64 + n as u64) + 16);
+        }
+
+        /// An item never crosses one channel direction twice (duplicate
+        /// suppression): total messages ≤ items × channels × 2.
+        #[test]
+        fn flood_message_bound(
+            n in 2usize..16,
+            extra in 0usize..20,
+            seed in 0u64..1000,
+            k in 1usize..10,
+        ) {
+            let g = gnm_connected(n, extra, false, WeightDist::Unit, seed);
+            let topo = Topology::from_graph(&g);
+            let mut initial: Vec<Vec<u32>> = vec![Vec::new(); n];
+            initial[0] = (0..k as u32).collect();
+            let channels: usize = (0..n as congest_graph::NodeId)
+                .map(|v| topo.neighbors(v).len())
+                .sum();
+            let (_, report) =
+                all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+            prop_assert!(report.messages <= (k * channels) as u64);
+        }
+    }
+}

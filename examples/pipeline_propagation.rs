@@ -1,0 +1,85 @@
+//! Step 6 in isolation — the reversed q-sink shortest paths problem (§4):
+//! deliver δ(x, c) from every source x to every blocker c, comparing the
+//! paper's pipelined Algorithms 8+9 against the trivial Õ(n^{5/3})
+//! all-broadcast, and showing the bottleneck-pruning congestion drop
+//! (Lemma A.15) and the round-robin progress measure (Lemma 4.8).
+//!
+//! ```text
+//! cargo run --release --example pipeline_propagation
+//! ```
+
+use congest_apsp::config::BlockerParams;
+use congest_apsp::pipeline::{propagate_to_blockers, propagate_trivial_broadcast};
+use congest_apsp::ApspConfig;
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::seq::{apsp_dijkstra, dijkstra, Direction};
+use congest_graph::NodeId;
+use congest_sim::{Recorder, SimConfig, Topology};
+
+fn main() {
+    let n = 64;
+    let g = gnm_connected(n, 3 * n, true, WeightDist::Uniform(0, 50), 11);
+    let topo = Topology::from_graph(&g);
+    let cfg = ApspConfig::default();
+
+    // Pick every 5th node as a blocker and feed oracle-exact δ(x,c) values
+    // (in the full algorithm these come from Step 5).
+    let q: Vec<NodeId> = (0..n as NodeId).step_by(5).collect();
+    let exact = apsp_dijkstra(&g);
+    let dvals: Vec<Vec<u64>> =
+        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+    println!("n = {n}, |Q| = {} blockers, {} (x, c) values to deliver\n", q.len(), n * q.len());
+
+    // Paper pipeline (Algorithms 8 + 9).
+    let mut rec = Recorder::new();
+    let (out, stats) = propagate_to_blockers(
+        &g,
+        &topo,
+        &cfg,
+        BlockerParams::default(),
+        &q,
+        &dvals,
+        &mut rec,
+    )
+    .unwrap();
+    for (qi, &c) in q.iter().enumerate() {
+        let oracle = dijkstra(&g, c, Direction::In);
+        assert_eq!(out[qi], oracle, "delivery to blocker {c} incomplete");
+    }
+    println!("pipelined (Alg 8+9) : rounds = {:6}  ✓ all values delivered", rec.total_rounds());
+    println!(
+        "  |Q'| = {}, |B| = {}, congestion {} -> {} (threshold n*sqrt(|Q|) = {})",
+        stats.q_prime_size,
+        stats.b_size,
+        stats.congestion_before,
+        stats.congestion_after,
+        (n as f64 * (q.len() as f64).sqrt()).ceil() as u64
+    );
+    println!(
+        "  round-robin push: {} rounds, {} message-hops",
+        stats.round_robin_rounds, stats.round_robin_messages
+    );
+    println!("  Lemma 4.8 progress (round -> max #active blocker queues per node):");
+    for (round, active) in &stats.progress {
+        println!("    round {round:>6}: {active}");
+    }
+
+    // Trivial broadcast strawman.
+    let mut trec = Recorder::new();
+    let tout =
+        propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut trec).unwrap();
+    assert_eq!(tout, out);
+    println!("\ntrivial broadcast   : rounds = {:6}", trec.total_rounds());
+    let ratio = trec.total_rounds() as f64 / rec.total_rounds() as f64;
+    if ratio >= 1.0 {
+        println!("\npipeline wins: {ratio:.2}x fewer rounds than the trivial broadcast");
+    } else {
+        println!(
+            "\nat this small n the trivial broadcast is still {:.2}x cheaper — n·|Q| values \
+             are few, while the pipeline pays its fixed substrate (CSSSP + relay SSSPs); \
+             the pipeline's congestion bound (above) is what makes it win at scale \
+             (see EXPERIMENTS.md T3)",
+            1.0 / ratio
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end exactness: every distributed APSP algorithm must reproduce
+//! the sequential Dijkstra matrix on every workload family, directed and
+//! undirected, with integer, zero-inflated and real weights (Theorem 1.1).
+
+use congest_apsp::{
+    apsp_agarwal_ramachandran, apsp_ar18, apsp_naive, ApspConfig, BlockerMethod, Step6Method,
+};
+use congest_graph::generators::{Family, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::{Graph, F64};
+
+fn check_all_algorithms(g: &Graph<u64>, label: &str) {
+    let cfg = ApspConfig::default();
+    let oracle = apsp_dijkstra(g);
+    let paper =
+        apsp_agarwal_ramachandran(g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
+    assert_eq!(paper.dist, oracle, "{label}: paper algorithm");
+    let rand =
+        apsp_agarwal_ramachandran(g, &cfg, BlockerMethod::Randomized, Step6Method::Pipelined)
+            .unwrap();
+    assert_eq!(rand.dist, oracle, "{label}: randomized blocker variant");
+    let ar18 = apsp_ar18(g, &cfg).unwrap();
+    assert_eq!(ar18.dist, oracle, "{label}: AR18 baseline");
+    let naive = apsp_naive(g, &cfg).unwrap();
+    assert_eq!(naive.dist, oracle, "{label}: naive baseline");
+}
+
+#[test]
+fn exact_on_all_families_directed() {
+    for fam in Family::ALL {
+        let g = fam.build(14, true, WeightDist::Uniform(0, 9), 31);
+        check_all_algorithms(&g, fam.name());
+    }
+}
+
+#[test]
+fn exact_on_all_families_undirected() {
+    for fam in Family::ALL {
+        let g = fam.build(14, false, WeightDist::Uniform(1, 20), 32);
+        check_all_algorithms(&g, fam.name());
+    }
+}
+
+#[test]
+fn exact_with_zero_weights() {
+    for fam in [Family::SparseRandom, Family::Broom, Family::Grid] {
+        let g = fam.build(14, true, WeightDist::ZeroInflated { p_zero: 0.4, hi: 7 }, 33);
+        check_all_algorithms(&g, fam.name());
+    }
+}
+
+#[test]
+fn exact_with_unit_weights() {
+    let g = Family::Cycle.build(15, true, WeightDist::Unit, 34);
+    check_all_algorithms(&g, "cycle-unit");
+}
+
+#[test]
+fn exact_with_real_weights() {
+    // f64 weights exercise the "arbitrary non-negative weights" claim.
+    let gu = Family::SparseRandom.build(13, true, WeightDist::Uniform(0, 1000), 35);
+    let g = gu.map_weights(|w| F64::new(w as f64 / 8.0));
+    let cfg = ApspConfig::default();
+    let oracle = apsp_dijkstra(&g);
+    let paper =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
+    assert_eq!(paper.dist, oracle);
+}
+
+#[test]
+fn exact_with_h_override_sweep() {
+    // Correctness must not depend on the magic h = n^{1/3} choice.
+    let g = Family::Broom.build(16, true, WeightDist::Uniform(1, 9), 36);
+    let oracle = apsp_dijkstra(&g);
+    for h in [1usize, 2, 4, 6] {
+        let cfg = ApspConfig { h: Some(h), ..Default::default() };
+        let out = apsp_agarwal_ramachandran(
+            &g,
+            &cfg,
+            BlockerMethod::Derandomized,
+            Step6Method::Pipelined,
+        )
+        .unwrap();
+        assert_eq!(out.dist, oracle, "h = {h}");
+    }
+}
+
+#[test]
+fn exact_under_worst_case_charging() {
+    use congest_apsp::Charging;
+    let g = Family::SparseRandom.build(12, true, WeightDist::Uniform(0, 9), 37);
+    let cfg = ApspConfig { charging: Charging::WorstCase, ..Default::default() };
+    let out =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
+    assert_eq!(out.dist, apsp_dijkstra(&g));
+}
+
+#[test]
+fn unreachable_pairs_are_inf() {
+    use congest_graph::{Edge, Weight};
+    // Directed path: communication is bidirectional but edges are one-way,
+    // so reverse distances must be INF.
+    let g: Graph<u64> = Graph::from_edges(
+        4,
+        true,
+        vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(2, 3, 1)],
+    );
+    let out = apsp_agarwal_ramachandran(
+        &g,
+        &ApspConfig::default(),
+        BlockerMethod::Derandomized,
+        Step6Method::Pipelined,
+    )
+    .unwrap();
+    assert_eq!(out.dist[0][3], 3);
+    assert_eq!(out.dist[3][0], u64::INF);
+}

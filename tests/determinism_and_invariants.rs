@@ -1,0 +1,146 @@
+//! Cross-crate invariants: determinism of the deterministic algorithms,
+//! blocker validity through the public API, congestion bounds, and
+//! randomized-variant stability across seeds.
+
+use congest_apsp::{
+    apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Charging, Step6Method,
+};
+use congest_graph::generators::{Family, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+
+#[test]
+fn deterministic_runs_are_bit_identical() {
+    let g = Family::SparseRandom.build(16, true, WeightDist::Uniform(0, 9), 77);
+    let cfg = ApspConfig::default();
+    let a = apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+        .unwrap();
+    let b = apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+        .unwrap();
+    assert_eq!(a.dist, b.dist);
+    assert_eq!(a.meta.q, b.meta.q);
+    assert_eq!(a.recorder.total_rounds(), b.recorder.total_rounds());
+    assert_eq!(a.recorder.total_messages(), b.recorder.total_messages());
+    // phase-by-phase identity
+    let pa: Vec<_> = a.recorder.phases().iter().map(|p| (p.name.clone(), p.rounds)).collect();
+    let pb: Vec<_> = b.recorder.phases().iter().map(|p| (p.name.clone(), p.rounds)).collect();
+    assert_eq!(pa, pb);
+}
+
+#[test]
+fn randomized_variant_same_answer_any_seed() {
+    let g = Family::Broom.build(14, true, WeightDist::Uniform(1, 9), 5);
+    let oracle = apsp_dijkstra(&g);
+    let mut rounds = Vec::new();
+    for seed in [1u64, 99, 12345] {
+        let cfg = ApspConfig { seed, ..Default::default() };
+        let out = apsp_agarwal_ramachandran(
+            &g,
+            &cfg,
+            BlockerMethod::Randomized,
+            Step6Method::Pipelined,
+        )
+        .unwrap();
+        assert_eq!(out.dist, oracle, "seed {seed}");
+        rounds.push(out.recorder.total_rounds());
+    }
+    // rounds may differ across seeds, but only within sane bounds
+    let (lo, hi) = (rounds.iter().min().unwrap(), rounds.iter().max().unwrap());
+    assert!(hi / lo.max(&1) < 10, "seed variance too large: {rounds:?}");
+}
+
+#[test]
+fn blocker_set_reported_in_meta_is_valid() {
+    // Rebuild the CSSSP through the public API and check Q against it.
+    use congest_apsp::blocker::is_valid_blocker;
+    use congest_apsp::csssp::build_csssp;
+    use congest_graph::seq::Direction;
+    use congest_graph::NodeId;
+    use congest_sim::{Recorder, SimConfig, Topology};
+
+    let g = Family::Broom.build(18, true, WeightDist::Uniform(1, 5), 9);
+    let cfg = ApspConfig::default();
+    let out = apsp_agarwal_ramachandran(
+        &g,
+        &cfg,
+        BlockerMethod::Derandomized,
+        Step6Method::Pipelined,
+    )
+    .unwrap();
+    let topo = Topology::from_graph(&g);
+    let mut rec = Recorder::new();
+    let sources: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    let coll = build_csssp(
+        &g,
+        &topo,
+        &sources,
+        out.meta.h,
+        Direction::Out,
+        SimConfig::default(),
+        Charging::Quiesce,
+        &mut rec,
+        "csssp",
+    )
+    .unwrap();
+    assert!(is_valid_blocker(&coll, &out.meta.q));
+}
+
+#[test]
+fn step6_congestion_bound_holds() {
+    let g = Family::SparseRandom.build(20, true, WeightDist::Uniform(0, 9), 21);
+    let cfg = ApspConfig::default();
+    let out = apsp_agarwal_ramachandran(
+        &g,
+        &cfg,
+        BlockerMethod::Derandomized,
+        Step6Method::Pipelined,
+    )
+    .unwrap();
+    if let Some(s6) = &out.meta.step6 {
+        let q = out.meta.q.len();
+        if q > 0 {
+            let threshold = (g.n() as f64 * (q as f64).sqrt()).ceil() as u64;
+            assert!(
+                s6.congestion_after <= threshold,
+                "Lemma A.15 violated: {} > {threshold}",
+                s6.congestion_after
+            );
+        }
+    }
+}
+
+#[test]
+fn quiesce_never_slower_than_worst_case() {
+    let g = Family::SparseRandom.build(12, true, WeightDist::Uniform(1, 9), 3);
+    let quiesce = apsp_agarwal_ramachandran(
+        &g,
+        &ApspConfig::default(),
+        BlockerMethod::Derandomized,
+        Step6Method::Pipelined,
+    )
+    .unwrap();
+    let worst = apsp_agarwal_ramachandran(
+        &g,
+        &ApspConfig { charging: Charging::WorstCase, ..Default::default() },
+        BlockerMethod::Derandomized,
+        Step6Method::Pipelined,
+    )
+    .unwrap();
+    assert_eq!(quiesce.dist, worst.dist);
+    assert!(quiesce.recorder.total_rounds() <= worst.recorder.total_rounds());
+}
+
+#[test]
+fn trivial_step6_matches_pipelined() {
+    let g = Family::Grid.build(16, false, WeightDist::Uniform(1, 9), 8);
+    let cfg = ApspConfig::default();
+    let a = apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+        .unwrap();
+    let b = apsp_agarwal_ramachandran(
+        &g,
+        &cfg,
+        BlockerMethod::Derandomized,
+        Step6Method::TrivialBroadcast,
+    )
+    .unwrap();
+    assert_eq!(a.dist, b.dist);
+}
