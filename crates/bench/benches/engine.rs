@@ -1,0 +1,329 @@
+//! Engine-throughput benchmark: the flat double-buffered message plane vs
+//! the pre-refactor boxed engine (`congest_bench::legacy`), on sustained
+//! flood and Bellman–Ford workloads at n = 2^12.
+//!
+//! Run with `cargo bench -p congest_bench --bench engine`. Set
+//! `BENCH_ENGINE_JSON=path` to additionally write the measured numbers as
+//! JSON (this is how `BENCH_engine.json` at the repo root is produced).
+//!
+//! Both workloads are implemented twice — once per engine interface — with
+//! identical logic, and the harness asserts both engines compute identical
+//! (rounds, messages) before timing anything.
+
+use congest_bench::legacy::{legacy_run, LegacyEnvelope, LegacyLogic, LegacyOutbox};
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::NodeId;
+use congest_sim::{Engine, Envelope, NodeEnv, NodeLogic, Outbox, RunUntil, SimConfig, Topology};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::VecDeque;
+
+const N: usize = 1 << 12;
+const WAVES: u32 = 64;
+const BF_ROUNDS: u64 = 48;
+
+/// Deterministic per-channel weight for the BF workload (both engines see
+/// the same function of the endpoint ids).
+fn edge_weight(u: NodeId, v: NodeId) -> u64 {
+    let x = (u64::from(u.min(v)) << 32) | u64::from(u.max(v));
+    let mut z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    1 + (z % 16)
+}
+
+// ---------------------------------------------------------------------
+// Wave-flood workload: the root injects WAVES tokens; every node forwards
+// each token once on every channel, one token per channel per round —
+// sustained ~2m messages per round for ~WAVES + diameter rounds.
+// ---------------------------------------------------------------------
+
+struct WaveFlood {
+    is_root: bool,
+    seen: Vec<bool>,
+    queue: VecDeque<u32>,
+}
+
+impl WaveFlood {
+    fn new(is_root: bool) -> Self {
+        WaveFlood { is_root, seen: vec![false; WAVES as usize], queue: VecDeque::new() }
+    }
+
+    fn receive(&mut self, wave: u32) {
+        if !self.seen[wave as usize] {
+            self.seen[wave as usize] = true;
+            self.queue.push_back(wave);
+        }
+    }
+
+    fn inject(&mut self, round: u64) {
+        if self.is_root && round < u64::from(WAVES) {
+            self.receive(round as u32);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        !self.queue.is_empty() || (self.is_root && !self.seen[WAVES as usize - 1])
+    }
+}
+
+impl NodeLogic for WaveFlood {
+    type Msg = u32;
+    fn on_round(&mut self, env: &NodeEnv<'_>, inbox: &[Envelope<u32>], out: &mut Outbox<'_, u32>) {
+        self.inject(env.round);
+        for e in inbox {
+            self.receive(e.msg);
+        }
+        if let Some(w) = self.queue.pop_front() {
+            out.broadcast(w);
+        }
+    }
+    fn active(&self) -> bool {
+        self.busy()
+    }
+}
+
+impl LegacyLogic for WaveFlood {
+    type Msg = u32;
+    fn on_round(
+        &mut self,
+        _id: NodeId,
+        round: u64,
+        _neighbors: &[NodeId],
+        inbox: &[LegacyEnvelope<u32>],
+        out: &mut LegacyOutbox<'_, u32>,
+    ) {
+        self.inject(round);
+        for e in inbox {
+            self.receive(e.msg);
+        }
+        if let Some(w) = self.queue.pop_front() {
+            out.broadcast(w);
+        }
+    }
+    fn active(&self) -> bool {
+        self.busy()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bellman–Ford workload: weighted relaxation over the communication graph
+// from node 0; a node whose distance improved broadcasts it next round.
+// ---------------------------------------------------------------------
+
+struct BfRelax {
+    dist: u64,
+    dirty: bool,
+    rounds_left: u64,
+}
+
+impl BfRelax {
+    fn new(id: NodeId) -> Self {
+        let dist = if id == 0 { 0 } else { u64::MAX };
+        BfRelax { dist, dirty: id == 0, rounds_left: BF_ROUNDS }
+    }
+
+    fn relax(&mut self, via: u64) {
+        if via < self.dist {
+            self.dist = via;
+            self.dirty = true;
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        self.rounds_left = self.rounds_left.saturating_sub(1);
+        let fire = self.dirty && self.rounds_left > 0;
+        if fire {
+            self.dirty = false;
+        }
+        fire
+    }
+}
+
+impl NodeLogic for BfRelax {
+    type Msg = u64;
+    fn on_round(&mut self, env: &NodeEnv<'_>, inbox: &[Envelope<u64>], out: &mut Outbox<'_, u64>) {
+        for e in inbox {
+            let w = edge_weight(env.id, e.from);
+            self.relax(e.msg.saturating_add(w));
+        }
+        let dist = self.dist;
+        if self.step() {
+            out.broadcast(dist);
+        }
+    }
+    fn active(&self) -> bool {
+        self.rounds_left > 0
+    }
+}
+
+impl LegacyLogic for BfRelax {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        id: NodeId,
+        _round: u64,
+        _neighbors: &[NodeId],
+        inbox: &[LegacyEnvelope<u64>],
+        out: &mut LegacyOutbox<'_, u64>,
+    ) {
+        for e in inbox {
+            let w = edge_weight(id, e.from);
+            self.relax(e.msg.saturating_add(w));
+        }
+        let dist = self.dist;
+        if self.step() {
+            out.broadcast(dist);
+        }
+    }
+    fn active(&self) -> bool {
+        self.rounds_left > 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn workload_topo() -> Topology {
+    Topology::from_graph(&gnm_connected(N, 2 * N, false, WeightDist::Unit, 7))
+}
+
+/// Sequential flat-plane configuration.
+fn flat_seq() -> SimConfig {
+    SimConfig { parallel_threshold: usize::MAX, ..Default::default() }
+}
+
+/// Parallel flat-plane configuration (auto worker count).
+fn flat_par() -> SimConfig {
+    SimConfig { parallel_threshold: 1, ..Default::default() }
+}
+
+fn run_flat<L: NodeLogic>(
+    topo: &Topology,
+    cfg: SimConfig,
+    mut mk: impl FnMut() -> Vec<L>,
+) -> (u64, u64) {
+    let engine = Engine::new(topo, cfg);
+    let report = engine.run(&mut mk(), RunUntil::Quiesce { max: 100_000 }).unwrap();
+    (report.rounds, report.messages)
+}
+
+struct MeasuredWorkload {
+    name: &'static str,
+    rounds: u64,
+    messages: u64,
+    legacy_ns: f64,
+    flat_seq_ns: f64,
+    flat_par_ns: f64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn bench_engine(c: &mut Criterion) {
+    let topo = workload_topo();
+
+    // -------- cross-check both engines before timing --------
+    let mk_flood = || (0..N).map(|i| WaveFlood::new(i == 0)).collect::<Vec<_>>();
+    let (fr, fm) = {
+        let mut nodes = mk_flood();
+        legacy_run(&topo, 1, &mut nodes, 100_000)
+    };
+    assert_eq!((fr, fm), run_flat(&topo, flat_seq(), mk_flood), "flood: engines disagree");
+    assert_eq!((fr, fm), run_flat(&topo, flat_par(), mk_flood), "flood: parallel disagrees");
+
+    let mk_bf = || (0..N).map(|i| BfRelax::new(i as NodeId)).collect::<Vec<_>>();
+    let (br, bm) = {
+        let mut nodes = mk_bf();
+        legacy_run(&topo, 1, &mut nodes, 100_000)
+    };
+    assert_eq!((br, bm), run_flat(&topo, flat_seq(), mk_bf), "bf: engines disagree");
+    assert_eq!((br, bm), run_flat(&topo, flat_par(), mk_bf), "bf: parallel disagrees");
+
+    // -------- timing --------
+    let mut group = c.benchmark_group("engine-n4096");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("flood/legacy-boxed", |b| {
+        b.iter(|| {
+            let mut nodes = mk_flood();
+            legacy_run(&topo, 1, &mut nodes, 100_000)
+        })
+    });
+    group.bench_function("flood/flat-seq", |b| b.iter(|| run_flat(&topo, flat_seq(), mk_flood)));
+    group.bench_function("flood/flat-par", |b| b.iter(|| run_flat(&topo, flat_par(), mk_flood)));
+    group.bench_function("bf/legacy-boxed", |b| {
+        b.iter(|| {
+            let mut nodes = mk_bf();
+            legacy_run(&topo, 1, &mut nodes, 100_000)
+        })
+    });
+    group.bench_function("bf/flat-seq", |b| b.iter(|| run_flat(&topo, flat_seq(), mk_bf)));
+    group.bench_function("bf/flat-par", |b| b.iter(|| run_flat(&topo, flat_par(), mk_bf)));
+    group.finish();
+
+    // -------- summary + optional JSON --------
+    let median = |suffix: &str| -> f64 {
+        c.results.iter().find(|(n, _)| n.ends_with(suffix)).map_or(0.0, |(_, s)| s.median_ns)
+    };
+    let measured = [
+        MeasuredWorkload {
+            name: "flood",
+            rounds: fr,
+            messages: fm,
+            legacy_ns: median("flood/legacy-boxed"),
+            flat_seq_ns: median("flood/flat-seq"),
+            flat_par_ns: median("flood/flat-par"),
+        },
+        MeasuredWorkload {
+            name: "bellman_ford",
+            rounds: br,
+            messages: bm,
+            legacy_ns: median("bf/legacy-boxed"),
+            flat_seq_ns: median("bf/flat-seq"),
+            flat_par_ns: median("bf/flat-par"),
+        },
+    ];
+
+    for w in &measured {
+        if w.flat_seq_ns == 0.0 || w.flat_par_ns == 0.0 {
+            continue; // filtered out on this run
+        }
+        println!(
+            "{}: rounds={} messages={} | legacy {:.2} ms | flat-seq {:.2} ms ({:.2}x) | flat-par {:.2} ms ({:.2}x)",
+            w.name,
+            w.rounds,
+            w.messages,
+            w.legacy_ns / 1e6,
+            w.flat_seq_ns / 1e6,
+            w.legacy_ns / w.flat_seq_ns,
+            w.flat_par_ns / 1e6,
+            w.legacy_ns / w.flat_par_ns,
+        );
+    }
+
+    if let Ok(path) = std::env::var("BENCH_ENGINE_JSON") {
+        let mut json = String::from("{\n");
+        json.push_str(
+            "  \"benchmark\": \"engine message plane: legacy boxed vs flat double-buffered\",\n",
+        );
+        json.push_str(&format!("  \"n\": {N},\n  \"extra_edges\": {},\n", 2 * N));
+        json.push_str("  \"workloads\": [\n");
+        for (i, w) in measured.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\n      \"name\": \"{}\",\n      \"rounds\": {},\n      \"messages\": {},\n      \"legacy_boxed_ms\": {:.3},\n      \"flat_seq_ms\": {:.3},\n      \"flat_par_ms\": {:.3},\n      \"speedup_flat_seq_vs_legacy\": {:.2},\n      \"speedup_flat_par_vs_legacy\": {:.2}\n    }}{}\n",
+                w.name,
+                w.rounds,
+                w.messages,
+                w.legacy_ns / 1e6,
+                w.flat_seq_ns / 1e6,
+                w.flat_par_ns / 1e6,
+                w.legacy_ns / w.flat_seq_ns,
+                w.legacy_ns / w.flat_par_ns,
+                if i + 1 < measured.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write BENCH_ENGINE_JSON");
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

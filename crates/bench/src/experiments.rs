@@ -7,8 +7,7 @@ use congest_apsp::blocker::{alg2_blocker, greedy_blocker, is_valid_blocker, Path
 use congest_apsp::config::BlockerParams;
 use congest_apsp::csssp::build_csssp;
 use congest_apsp::pipeline::{
-    propagate_to_blockers, propagate_to_blockers_with, propagate_trivial_broadcast,
-    PushDiscipline,
+    propagate_to_blockers, propagate_to_blockers_with, propagate_trivial_broadcast, PushDiscipline,
 };
 use congest_apsp::{
     apsp_agarwal_ramachandran, apsp_ar18, apsp_naive, ApspConfig, BlockerMethod, Charging,
@@ -79,13 +78,9 @@ pub fn t1(big: bool, charging: Charging) -> ExperimentOutput {
         )
         .unwrap();
         assert_eq!(paper.dist, oracle);
-        let rand = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Randomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let rand =
+            apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Randomized, Step6Method::Pipelined)
+                .unwrap();
         assert_eq!(rand.dist, oracle);
         let ar18 = apsp_ar18(&g, &cfg).unwrap();
         assert_eq!(ar18.dist, oracle);
@@ -232,8 +227,7 @@ pub fn f1(big: bool) -> ExperimentOutput {
     let t = t1(big, Charging::Quiesce);
     let mut table = String::from("F1: log-log series (ln n, ln rounds) per algorithm\n");
     for line in t.csv.lines().skip(1) {
-        let fields: Vec<f64> =
-            line.split(',').take(5).map(|x| x.parse().unwrap()).collect();
+        let fields: Vec<f64> = line.split(',').take(5).map(|x| x.parse().unwrap()).collect();
         let _ = writeln!(
             table,
             "ln n = {:.3}: paper {:.3}, rand {:.3}, ar18 {:.3}, naive {:.3}",
@@ -254,7 +248,10 @@ pub fn t2(n: usize) -> ExperimentOutput {
     let mut table = String::new();
     let mut csv =
         String::from("h,paths,greedy_q,greedy_rounds,rand_q,rand_rounds,det_q,det_rounds,bound\n");
-    let _ = writeln!(table, "T2: blocker set constructions on broom(n={n}) — Lemma 3.10/3.11 vs the [2] baseline");
+    let _ = writeln!(
+        table,
+        "T2: blocker set constructions on broom(n={n}) — Lemma 3.10/3.11 vs the [2] baseline"
+    );
     let _ = writeln!(
         table,
         "{:>3} {:>7} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9} | {:>9}",
@@ -412,20 +409,27 @@ pub fn t3() -> ExperimentOutput {
     let mut csv = String::from(
         "workload_n,q,pipe_rounds,trivial_rounds,cong_before,cong_after,threshold,b,sqrt_q,q_prime\n",
     );
-    let _ = writeln!(table, "T3: reversed q-sink propagation (Step 6), |Q| = n/5 blockers, exact inputs");
+    let _ = writeln!(
+        table,
+        "T3: reversed q-sink propagation (Step 6), |Q| = n/5 blockers, exact inputs"
+    );
     let _ = writeln!(
         table,
         "{:>10} {:>4} {:>11} {:>13} {:>11} {:>10} {:>10} {:>4} {:>7} {:>5}",
-        "workload/n", "|Q|", "pipelined", "trivial", "cong-pre", "cong-post", "n√|Q|", "|B|", "√|Q|", "|Q'|"
+        "workload/n",
+        "|Q|",
+        "pipelined",
+        "trivial",
+        "cong-pre",
+        "cong-post",
+        "n√|Q|",
+        "|B|",
+        "√|Q|",
+        "|Q'|"
     );
-    for (wname, n) in [
-        ("rand", 24usize),
-        ("rand", 56),
-        ("rand", 104),
-        ("deep", 24),
-        ("deep", 56),
-        ("deep", 104),
-    ] {
+    for (wname, n) in
+        [("rand", 24usize), ("rand", 56), ("rand", 104), ("deep", 24), ("deep", 56), ("deep", 104)]
+    {
         let g = if wname == "rand" {
             sparse_random(n, 400 + n as u64)
         } else {
@@ -438,16 +442,9 @@ pub fn t3() -> ExperimentOutput {
         let dvals: Vec<Vec<u64>> =
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
         let mut rec = Recorder::new();
-        let (out, stats) = propagate_to_blockers(
-            &g,
-            &topo,
-            &cfg,
-            BlockerParams::default(),
-            &q,
-            &dvals,
-            &mut rec,
-        )
-        .unwrap();
+        let (out, stats) =
+            propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
+                .unwrap();
         for (qi, &c) in q.iter().enumerate() {
             assert_eq!(out[qi], dijkstra(&g, c, Direction::In), "delivery to {c}");
         }
@@ -500,16 +497,9 @@ pub fn f3() -> ExperimentOutput {
     let dvals: Vec<Vec<u64>> =
         (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
     let mut rec = Recorder::new();
-    let (_, stats) = propagate_to_blockers(
-        &g,
-        &topo,
-        &cfg,
-        BlockerParams::default(),
-        &q,
-        &dvals,
-        &mut rec,
-    )
-    .unwrap();
+    let (_, stats) =
+        propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
+            .unwrap();
     let mut table = String::new();
     let mut csv = String::from("round,max_active_queues\n");
     let _ = writeln!(
@@ -548,9 +538,8 @@ pub fn t4() -> ExperimentOutput {
     for groups in [200usize, 400, 800] {
         // Flat instance: many size-3 disjoint edges force the sampling path
         // (every vertex has score 1, so no singleton dominates).
-        let edges: Vec<Vec<u32>> = (0..groups)
-            .map(|g| ((g * 3) as u32..(g * 3 + 3) as u32).collect())
-            .collect();
+        let edges: Vec<Vec<u32>> =
+            (0..groups).map(|g| ((g * 3) as u32..(g * 3 + 3) as u32).collect()).collect();
         let hg = Hypergraph::new(groups * 3, edges);
         for (mode, sel) in [
             ("rand", congest_derand::Selection::Randomized { seed: 3 }),
@@ -692,12 +681,15 @@ pub fn f4() -> ExperimentOutput {
         let _ = writeln!(
             table,
             "  {:<22} push rounds = {:>6}, total step-6 rounds = {:>6}",
-            name, stats.round_robin_rounds, rec.total_rounds()
+            name,
+            stats.round_robin_rounds,
+            rec.total_rounds()
         );
         let _ = writeln!(csv, "discipline,{name},{}", stats.round_robin_rounds);
     }
     // (b) CSSSP construction ablation
-    let _ = writeln!(table, "\nF4b: CSSSP 2h+truncate vs plain h-hop BF trees (consistency checker)");
+    let _ =
+        writeln!(table, "\nF4b: CSSSP 2h+truncate vs plain h-hop BF trees (consistency checker)");
     let mut plain_fail = 0;
     let mut csssp_fail = 0;
     let trials = 20;
@@ -789,10 +781,7 @@ pub fn f4() -> ExperimentOutput {
         table,
         "  plain h-hop BF trees : {plain_fail}/{trials} random instances violate the CSSSP definition"
     );
-    let _ = writeln!(
-        table,
-        "  2h + truncate (paper): {csssp_fail}/{trials} violations"
-    );
+    let _ = writeln!(table, "  2h + truncate (paper): {csssp_fail}/{trials} violations");
     let _ = writeln!(csv, "csssp,plain,{plain_fail}");
     let _ = writeln!(csv, "csssp,paper,{csssp_fail}");
     assert_eq!(csssp_fail, 0, "the paper construction must always pass");
@@ -803,9 +792,7 @@ pub fn f4() -> ExperimentOutput {
 #[must_use]
 pub fn run(id: &str, big: bool) -> Vec<ExperimentOutput> {
     match id {
-        "t1" => vec![
-            t1(big, Charging::Quiesce).persist(),
-        ],
+        "t1" => vec![t1(big, Charging::Quiesce).persist()],
         "t1wc" => vec![t1(false, Charging::WorstCase).persist()],
         "t1deep" => vec![t1_deep(big).persist()],
         "f1" => vec![f1(big).persist()],

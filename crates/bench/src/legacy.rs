@@ -1,0 +1,179 @@
+//! The pre-refactor "boxed" engine, preserved verbatim-in-spirit as the
+//! baseline for the engine-throughput benchmark (`benches/engine.rs`).
+//!
+//! This reproduces the seed engine's per-round cost model exactly:
+//!
+//! * one `Vec<Envelope>` inbox per node, cleared (not reused as a flat
+//!   buffer) every round;
+//! * one fresh `Outbox` per node per round, each allocating a `counts`
+//!   vector and a `sends` vector;
+//! * target resolution by binary search per send;
+//! * in-flight accounting by summing every inbox length every round.
+//!
+//! The current engine (`congest_sim::Engine`) replaced all four with a
+//! flat, double-buffered, CSR-indexed message plane; `BENCH_engine.json`
+//! records the measured difference.
+
+use congest_graph::NodeId;
+use congest_sim::Topology;
+
+/// A received message with its sender (legacy layout).
+#[derive(Clone, Debug)]
+pub struct LegacyEnvelope<M> {
+    /// Sending neighbor.
+    pub from: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Per-round send buffer with the legacy allocation pattern.
+pub struct LegacyOutbox<'a, M> {
+    neighbors: &'a [NodeId],
+    bandwidth: u32,
+    counts: Vec<u32>,
+    sends: Vec<(NodeId, M)>,
+}
+
+impl<'a, M> LegacyOutbox<'a, M> {
+    fn new(neighbors: &'a [NodeId], bandwidth: u32) -> Self {
+        LegacyOutbox { neighbors, bandwidth, counts: vec![0; neighbors.len()], sends: Vec::new() }
+    }
+
+    /// Queues `msg` for neighbor `to` (binary-search target resolution).
+    ///
+    /// # Panics
+    /// Panics on CONGEST violations (the bench workloads are legal by
+    /// construction, so the legacy engine keeps error handling simple).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let idx = self.neighbors.binary_search(&to).expect("legacy send: not a neighbor");
+        assert!(self.counts[idx] < self.bandwidth, "legacy send: bandwidth exceeded");
+        self.counts[idx] += 1;
+        self.sends.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every neighbor, the legacy way: index loop
+    /// with a full `send` (and its binary search) per neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.send(to, msg.clone());
+        }
+    }
+}
+
+/// Node logic interface of the legacy engine (mirrors the seed's
+/// `NodeLogic`, minus the violation plumbing the bench never exercises).
+pub trait LegacyLogic {
+    /// Message type.
+    type Msg: Clone;
+
+    /// Step one round.
+    fn on_round(
+        &mut self,
+        id: NodeId,
+        round: u64,
+        neighbors: &[NodeId],
+        inbox: &[LegacyEnvelope<Self::Msg>],
+        out: &mut LegacyOutbox<'_, Self::Msg>,
+    );
+
+    /// Still intends to send (quiescence override).
+    fn active(&self) -> bool {
+        false
+    }
+}
+
+/// Runs `nodes` to quiescence (at most `max_rounds`), returning
+/// `(rounds, messages)`. Faithful reproduction of the seed round loop.
+///
+/// # Panics
+/// Panics if the protocol fails to quiesce within `max_rounds`.
+pub fn legacy_run<N: LegacyLogic>(
+    topo: &Topology,
+    bandwidth: u32,
+    nodes: &mut [N],
+    max_rounds: u64,
+) -> (u64, u64) {
+    let n = topo.n();
+    assert_eq!(nodes.len(), n);
+    let mut inboxes: Vec<Vec<LegacyEnvelope<N::Msg>>> = vec![Vec::new(); n];
+    let mut messages = 0u64;
+    let mut rounds = 0u64;
+    loop {
+        // Legacy in-flight accounting: O(n) sum every round.
+        let in_flight = inboxes.iter().map(Vec::len).sum::<usize>();
+        let anyone_active = nodes.iter().any(LegacyLogic::active);
+        if rounds > 0 && in_flight == 0 && !anyone_active {
+            break;
+        }
+        assert!(rounds < max_rounds, "legacy engine failed to quiesce");
+        // Legacy stepping: per-node boxed outbox, fresh vectors each round.
+        let outs: Vec<Vec<(NodeId, N::Msg)>> = nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, node)| {
+                let id = i as NodeId;
+                let neighbors = topo.neighbors(id);
+                let mut out = LegacyOutbox::new(neighbors, bandwidth);
+                node.on_round(id, rounds, neighbors, &inboxes[i], &mut out);
+                out.sends
+            })
+            .collect();
+        for ib in &mut inboxes {
+            ib.clear();
+        }
+        for (i, sends) in outs.into_iter().enumerate() {
+            messages += sends.len() as u64;
+            for (to, msg) in sends {
+                inboxes[to as usize].push(LegacyEnvelope { from: i as NodeId, msg });
+            }
+        }
+        rounds += 1;
+    }
+    (rounds, messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{path, WeightDist};
+
+    struct Token {
+        have: bool,
+        sent: bool,
+    }
+
+    impl LegacyLogic for Token {
+        type Msg = ();
+        fn on_round(
+            &mut self,
+            _id: NodeId,
+            _round: u64,
+            _neighbors: &[NodeId],
+            inbox: &[LegacyEnvelope<()>],
+            out: &mut LegacyOutbox<'_, ()>,
+        ) {
+            if !inbox.is_empty() {
+                self.have = true;
+            }
+            if self.have && !self.sent {
+                out.broadcast(());
+                self.sent = true;
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_flood_reaches_everyone() {
+        let g = path(8, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let mut nodes: Vec<Token> = (0..8).map(|i| Token { have: i == 0, sent: false }).collect();
+        let (rounds, messages) = legacy_run(&topo, 1, &mut nodes, 100);
+        assert!(nodes.iter().all(|t| t.have));
+        assert_eq!(messages, 2 * 7);
+        assert!(rounds >= 8);
+    }
+}

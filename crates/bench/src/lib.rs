@@ -12,5 +12,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod legacy;
 pub mod stats;
 pub mod workloads;

@@ -306,11 +306,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "connected")]
     fn disconnected_rejected() {
-        let g: Graph<u64> = Graph::from_edges(
-            4,
-            true,
-            vec![congest_graph::Edge::new(0, 1, 1)],
-        );
+        let g: Graph<u64> = Graph::from_edges(4, true, vec![congest_graph::Edge::new(0, 1, 1)]);
         let _ = apsp_agarwal_ramachandran(
             &g,
             &ApspConfig::default(),

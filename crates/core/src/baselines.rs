@@ -10,11 +10,11 @@
 //!   Measured rounds scale as Θ̃(n^{3/2}) — the bound the paper improves
 //!   to Õ(n^{4/3}). (See DESIGN.md §3.4 for the reconstruction notes.)
 
+use crate::apsp::{ApspMeta, ApspOutcome};
 use crate::bf::run_full_sssp;
 use crate::blocker::greedy_blocker;
 use crate::config::ApspConfig;
 use crate::csssp::build_csssp;
-use crate::apsp::{ApspMeta, ApspOutcome};
 use congest_graph::seq::Direction;
 use congest_graph::{Graph, NodeId, Weight};
 use congest_sim::primitives::all_to_all_broadcast;

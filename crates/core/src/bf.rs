@@ -85,9 +85,11 @@ enum BfMsg<W> {
 
 struct BfNode<W> {
     entry: BfEntry<W>,
-    /// `(neighbor, weight)` over which this node relaxes others (out-edges
-    /// for `Out`, in-edges for `In`), deduped to min parallel weight.
-    fwd_edges: Vec<(NodeId, W)>,
+    /// `(channel index, weight)` over which this node relaxes others
+    /// (out-edges for `Out`, in-edges for `In`), deduped to min parallel
+    /// weight; targets are pre-resolved to communication-channel indices so
+    /// the relax fan-out uses the zero-lookup [`Outbox::send_nbr`] path.
+    fwd_edges: Vec<(usize, W)>,
     /// Reverse lookup: weight of the edge a parent would have relaxed us
     /// over (min-weight dedup).
     rev_edges: Vec<(NodeId, W)>,
@@ -105,10 +107,7 @@ struct BfNode<W> {
 
 impl<W: Weight> BfNode<W> {
     fn rev_weight(&self, from: NodeId) -> Option<W> {
-        self.rev_edges
-            .binary_search_by_key(&from, |&(t, _)| t)
-            .ok()
-            .map(|i| self.rev_edges[i].1)
+        self.rev_edges.binary_search_by_key(&from, |&(t, _)| t).ok().map(|i| self.rev_edges[i].1)
     }
 }
 
@@ -149,9 +148,9 @@ impl<W: Weight> NodeLogic for BfNode<W> {
         if r < relax_end {
             if self.dirty && self.entry.reached() {
                 for i in 0..self.fwd_edges.len() {
-                    let (nb, w) = self.fwd_edges[i];
-                    out.send(
-                        nb,
+                    let (ni, w) = self.fwd_edges[i];
+                    out.send_nbr(
+                        ni,
                         BfMsg::Relax { dist: self.entry.dist.plus(w), hops: self.entry.hops + 1 },
                     );
                 }
@@ -160,22 +159,20 @@ impl<W: Weight> NodeLogic for BfNode<W> {
         } else if r == relax_end {
             // Entries are final. Notify the parent (children discovery).
             if let Some(p) = self.entry.parent {
-                out.send(p, BfMsg::Adopt);
+                let ni = env.neighbor_index(p).expect("parent is a neighbor");
+                out.send_nbr(ni, BfMsg::Adopt);
             }
         } else if r == relax_end + 1 {
             // Confirm final entries to all neighbors (1 msg per channel).
             if self.repair && self.entry.reached() {
-                out.broadcast(BfMsg::Confirm {
-                    dist: self.entry.dist,
-                    hops: self.entry.hops,
-                });
+                out.broadcast(BfMsg::Confirm { dist: self.entry.dist, hops: self.entry.hops });
             }
         } else if r >= relax_end + 2 && r <= self.detach_deadline {
             // Detach cascade: one wave per round down the tree.
             if self.repair && self.detached && !self.detach_sent {
                 for i in 0..self.children.len() {
-                    let c = self.children[i];
-                    out.send(c, BfMsg::Detach);
+                    let ni = env.neighbor_index(self.children[i]).expect("child is a neighbor");
+                    out.send_nbr(ni, BfMsg::Detach);
                 }
                 self.detach_sent = true;
             }
@@ -246,6 +243,13 @@ pub fn run_bf<W: Weight>(
                 Direction::Out => (dedup_min_edges(g.out_edges(v)), dedup_min_edges(g.in_edges(v))),
                 Direction::In => (dedup_min_edges(g.in_edges(v)), dedup_min_edges(g.out_edges(v))),
             };
+            // Every graph edge is a communication channel; resolve relax
+            // targets to channel indices once instead of per send.
+            let nbrs = topo.neighbors(v);
+            let fwd = fwd
+                .into_iter()
+                .map(|(t, w)| (nbrs.binary_search(&t).expect("graph edge implies comm channel"), w))
+                .collect();
             BfNode {
                 dirty: entry.reached(),
                 entry,
@@ -351,9 +355,18 @@ mod tests {
     fn in_direction_matches_oracle() {
         let g = gnm_connected(18, 40, true, WeightDist::Uniform(0, 7), 5);
         let topo = setup(&g);
-        let (res, _) =
-            run_bf(&g, &topo, 4, Direction::In, 3, None, true, SimConfig::default(), Charging::Quiesce)
-                .unwrap();
+        let (res, _) = run_bf(
+            &g,
+            &topo,
+            4,
+            Direction::In,
+            3,
+            None,
+            true,
+            SimConfig::default(),
+            Charging::Quiesce,
+        )
+        .unwrap();
         let oracle = hop_limited_distances(&g, 4, 3, Direction::In);
         let exact = dijkstra(&g, 4, Direction::In);
         for v in 0..g.n() {
@@ -370,9 +383,15 @@ mod tests {
         for seed in 0..4 {
             let g = gnm_connected(22, 50, true, WeightDist::Uniform(0, 11), seed);
             let topo = setup(&g);
-            let (res, _) =
-                run_full_sssp(&g, &topo, 2, Direction::Out, SimConfig::default(), Charging::Quiesce)
-                    .unwrap();
+            let (res, _) = run_full_sssp(
+                &g,
+                &topo,
+                2,
+                Direction::Out,
+                SimConfig::default(),
+                Charging::Quiesce,
+            )
+            .unwrap();
             let oracle = dijkstra(&g, 2, Direction::Out);
             for v in 0..g.n() {
                 assert_eq!(res.entries[v].dist, oracle[v]);
@@ -385,9 +404,18 @@ mod tests {
         let g = gnm_connected(16, 36, true, WeightDist::Uniform(1, 4), 8);
         let topo = setup(&g);
         let h = 6;
-        let (res, _) =
-            run_bf(&g, &topo, 1, Direction::Out, h, None, true, SimConfig::default(), Charging::Quiesce)
-                .unwrap();
+        let (res, _) = run_bf(
+            &g,
+            &topo,
+            1,
+            Direction::Out,
+            h,
+            None,
+            true,
+            SimConfig::default(),
+            Charging::Quiesce,
+        )
+        .unwrap();
         let min_hops = hop_limited_min_hops(&g, 1, h as usize, Direction::Out);
         for v in 0..g.n() {
             if res.entries[v].reached() {
@@ -439,9 +467,18 @@ mod tests {
     fn children_match_parents_exactly() {
         let g = gnm_connected(15, 30, false, WeightDist::Uniform(1, 6), 2);
         let topo = setup(&g);
-        let (res, _) =
-            run_bf(&g, &topo, 3, Direction::Out, 4, None, true, SimConfig::default(), Charging::Quiesce)
-                .unwrap();
+        let (res, _) = run_bf(
+            &g,
+            &topo,
+            3,
+            Direction::Out,
+            4,
+            None,
+            true,
+            SimConfig::default(),
+            Charging::Quiesce,
+        )
+        .unwrap();
         let mut derived: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
         for v in 0..g.n() as NodeId {
             if res.entries[v as usize].reached() {
@@ -508,9 +545,18 @@ mod tests {
             ],
         );
         let topo = setup(&g);
-        let (res, _) =
-            run_bf(&g, &topo, 0, Direction::Out, 2, None, true, SimConfig::default(), Charging::Quiesce)
-                .unwrap();
+        let (res, _) = run_bf(
+            &g,
+            &topo,
+            0,
+            Direction::Out,
+            2,
+            None,
+            true,
+            SimConfig::default(),
+            Charging::Quiesce,
+        )
+        .unwrap();
         assert_eq!(res.entries[2].dist, 0);
         // min-hop tie-break: direct edge (1 hop) preferred over 2-hop
         assert_eq!(res.entries[2].hops, 1);
@@ -525,9 +571,18 @@ mod tests {
             vec![congest_graph::Edge::new(0, 1, 9u64), congest_graph::Edge::new(0, 1, 2)],
         );
         let topo = setup(&g);
-        let (res, _) =
-            run_bf(&g, &topo, 0, Direction::Out, 1, None, true, SimConfig::default(), Charging::Quiesce)
-                .unwrap();
+        let (res, _) = run_bf(
+            &g,
+            &topo,
+            0,
+            Direction::Out,
+            1,
+            None,
+            true,
+            SimConfig::default(),
+            Charging::Quiesce,
+        )
+        .unwrap();
         assert_eq!(res.entries[1].dist, 2);
     }
 }

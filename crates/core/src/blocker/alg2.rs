@@ -30,8 +30,8 @@ use crate::trees::{convergecast_trees, convergecast_trees_budget, remove_subtree
 use congest_derand::{AffineSpace, SampleSpace};
 use congest_graph::{NodeId, Weight};
 use congest_sim::primitives::{
-    all_to_all_broadcast, broadcast_stream, build_bfs_tree, convergecast_budget,
-    convergecast_sum, BfsTree,
+    all_to_all_broadcast, broadcast_stream, build_bfs_tree, convergecast_budget, convergecast_sum,
+    BfsTree,
 };
 use congest_sim::{Recorder, RunUntil, SimConfig, SimError, Topology};
 use rand::{Rng, SeedableRng};
@@ -114,15 +114,16 @@ impl<'a, W: Weight> Driver<'a, W> {
             .collect();
         // Flood (id, score) so every node can derive Vi for any stage
         // (Lemma 3.2 cost; carries score values instead of ids).
-        let initial: Vec<Vec<(u64, NodeId)>> = (0..n)
-            .map(|v| {
-                if self.scores[v] > 0 {
-                    vec![(self.scores[v], v as NodeId)]
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
+        let initial: Vec<Vec<(u64, NodeId)>> =
+            (0..n)
+                .map(|v| {
+                    if self.scores[v] > 0 {
+                        vec![(self.scores[v], v as NodeId)]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
         let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial)?;
         rec.record(format!("{label}: score flood"), report);
         Ok(())
@@ -134,12 +135,8 @@ impl<'a, W: Weight> Driver<'a, W> {
             .alive_paths()
             .into_iter()
             .map(|(v, si)| {
-                let nvi = self
-                    .ctx
-                    .path_vertices(v, si)
-                    .iter()
-                    .filter(|&&u| vi[u as usize])
-                    .count() as u32;
+                let nvi = self.ctx.path_vertices(v, si).iter().filter(|&&u| vi[u as usize]).count()
+                    as u32;
                 (v, si, nvi)
             })
             .collect()
@@ -218,15 +215,16 @@ impl<'a, W: Weight> Driver<'a, W> {
             })
             .collect();
         // Step 8: broadcast scoreij values of Vi members.
-        let initial: Vec<Vec<(u64, NodeId)>> = (0..n)
-            .map(|v| {
-                if vi[v] && scoreij[v] > 0 {
-                    vec![(scoreij[v], v as NodeId)]
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
+        let initial: Vec<Vec<(u64, NodeId)>> =
+            (0..n)
+                .map(|v| {
+                    if vi[v] && scoreij[v] > 0 {
+                        vec![(scoreij[v], v as NodeId)]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
         let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial)?;
         rec.record("alg2: scoreij broadcast", report);
         Ok(scoreij)
@@ -252,8 +250,7 @@ impl<'a, W: Weight> Driver<'a, W> {
             if nvi == 0 {
                 continue; // not in Pi
             }
-            let covered =
-                self.ctx.path_vertices(v, si).iter().any(|&u| in_a[u as usize]);
+            let covered = self.ctx.path_vertices(v, si).iter().any(|&u| in_a[u as usize]);
             if covered {
                 vals[v as usize][0] += 1;
                 if f64::from(nvi) >= thr_j {
@@ -299,8 +296,7 @@ impl<'a, W: Weight> Driver<'a, W> {
                 }
             }
         }
-        let budget =
-            RunUntil::Quiesce { max: (s as u64 + 2) * (self.coll.h as u64 + 2) + 64 };
+        let budget = RunUntil::Quiesce { max: (s as u64 + 2) * (self.coll.h as u64 + 2) + 64 };
         let (mask, report) =
             remove_subtrees(self.topo, self.sim, self.coll, &self.ctx.removed, &roots, budget)?;
         self.ctx.removed = mask;
@@ -331,8 +327,7 @@ impl<'a, W: Weight> Driver<'a, W> {
             .copied()
             .max_by_key(|&v| (scoreij[v as usize], std::cmp::Reverse(v)))
             .expect("Vi nonempty");
-        let single_threshold =
-            self.params.delta.powi(3) / one_eps * pij_size as f64;
+        let single_threshold = self.params.delta.powi(3) / one_eps * pij_size as f64;
         if scoreij[best as usize] as f64 > single_threshold {
             self.stats.singleton_picks += 1;
             self.commit(&[best], rec, "alg2: singleton pick")?;
@@ -351,18 +346,10 @@ impl<'a, W: Weight> Driver<'a, W> {
                 for _ in 0..64 {
                     let mu = self.rng.as_mut().unwrap().gen_range(0..space.len());
                     self.stats.sample_points_examined += 1;
-                    let (_, rep) = broadcast_stream(
-                        self.topo,
-                        self.sim,
-                        &self.bfs,
-                        vec![mu],
-                    )?;
+                    let (_, rep) = broadcast_stream(self.topo, self.sim, &self.bfs, vec![mu])?;
                     rec.record("alg2: sample point broadcast", rep);
-                    let a: Vec<NodeId> = space
-                        .selected(mu)
-                        .into_iter()
-                        .map(|idx| vi_list[idx as usize])
-                        .collect();
+                    let a: Vec<NodeId> =
+                        space.selected(mu).into_iter().map(|idx| vi_list[idx as usize]).collect();
                     // Step 13: members of A announce themselves.
                     let initial: Vec<Vec<NodeId>> = (0..self.coll.n() as NodeId)
                         .map(|v| if a.contains(&v) { vec![v] } else { Vec::new() })
@@ -404,8 +391,7 @@ impl<'a, W: Weight> Driver<'a, W> {
                             .map(|&u| vi_list.binary_search(&u).expect("in Vi") as u64)
                             .collect();
                         for (k, mu) in (lo..hi).enumerate() {
-                            let covered =
-                                vi_idx.iter().any(|&idx| space.eval(mu, idx));
+                            let covered = vi_idx.iter().any(|&idx| space.eval(mu, idx));
                             if covered {
                                 vals[v as usize][2 * k] += 1;
                                 if f64::from(nvi) >= thr_j {
@@ -414,20 +400,14 @@ impl<'a, W: Weight> Driver<'a, W> {
                             }
                         }
                     }
-                    let totals =
-                        self.aggregate_publish(vals, rec, "alg2: block ν-aggregation")?;
+                    let totals = self.aggregate_publish(vals, rec, "alg2: block ν-aggregation")?;
                     for (k, mu) in (lo..hi).enumerate() {
                         self.stats.sample_points_examined += 1;
                         let a_len = space.selected(mu).len();
-                        if self.is_good(a_len, totals[2 * k], totals[2 * k + 1], i, pij_size)
-                        {
+                        if self.is_good(a_len, totals[2 * k], totals[2 * k + 1], i, pij_size) {
                             // Step 5 of Alg 7: publish the good point.
-                            let (_, rep) = broadcast_stream(
-                                self.topo,
-                                self.sim,
-                                &self.bfs,
-                                vec![mu],
-                            )?;
+                            let (_, rep) =
+                                broadcast_stream(self.topo, self.sim, &self.bfs, vec![mu])?;
                             rec.record("alg2: good point broadcast", rep);
                             let a: Vec<NodeId> = space
                                 .selected(mu)
@@ -516,10 +496,8 @@ pub fn alg2_blocker<W: Weight>(
         loop {
             // Steps 3-4 (+ Step 16 reconstruction): Vi from broadcast
             // scores, Pi/Pij membership leaf-local.
-            let vi: Vec<bool> =
-                driver.scores.iter().map(|&sc| sc as f64 >= vi_threshold).collect();
-            let vi_list: Vec<NodeId> =
-                (0..n as NodeId).filter(|&v| vi[v as usize]).collect();
+            let vi: Vec<bool> = driver.scores.iter().map(|&sc| sc as f64 >= vi_threshold).collect();
+            let vi_list: Vec<NodeId> = (0..n as NodeId).filter(|&v| vi[v as usize]).collect();
             if vi_list.is_empty() {
                 break;
             }
@@ -569,10 +547,7 @@ mod tests {
         .unwrap();
         assert_eq!(r1.q, r2.q, "derandomized run must be deterministic");
         assert_eq!(rec1.total_rounds(), rec2.total_rounds());
-        assert_eq!(
-            s1.singleton_picks + s1.set_picks + s1.fallbacks,
-            s1.selection_steps
-        );
+        assert_eq!(s1.singleton_picks + s1.set_picks + s1.fallbacks, s1.selection_steps);
     }
 
     #[test]
@@ -608,8 +583,7 @@ mod tests {
         .unwrap();
         let mut grec = Recorder::new();
         let gres =
-            crate::blocker::greedy_blocker(&topo, SimConfig::default(), &coll, &mut grec)
-                .unwrap();
+            crate::blocker::greedy_blocker(&topo, SimConfig::default(), &coll, &mut grec).unwrap();
         assert!(
             res.q.len() <= 4 * gres.q.len().max(1),
             "alg2 {} vs greedy {}",

@@ -39,9 +39,7 @@ fn compute_scores<W: Weight>(
     Ok((0..n)
         .map(|v| {
             (0..s)
-                .filter(|&si| {
-                    coll.is_member(v as NodeId, si) && coll.hops[v][si] >= 1
-                })
+                .filter(|&si| coll.is_member(v as NodeId, si) && coll.hops[v][si] >= 1)
                 .map(|si| acc[v][si])
                 .sum()
         })
@@ -69,13 +67,7 @@ pub fn greedy_blocker<W: Weight>(
         // Broadcast (score, id) from every node holding a positive score
         // (Lemma A.2: O(n) rounds).
         let initial: Vec<Vec<(u64, NodeId)>> = (0..n)
-            .map(|v| {
-                if scores[v] > 0 {
-                    vec![(scores[v], v as NodeId)]
-                } else {
-                    Vec::new()
-                }
-            })
+            .map(|v| if scores[v] > 0 { vec![(scores[v], v as NodeId)] } else { Vec::new() })
             .collect();
         let (logs, report) = all_to_all_broadcast(topo, sim, initial)?;
         rec.record(format!("greedy: score broadcast #{iter}"), report);
@@ -152,8 +144,7 @@ mod tests {
         let (_, topo, coll) = build_collection(20, 44, 2, 6);
         let mut rec = Recorder::new();
         let res = greedy_blocker(&topo, SimConfig::default(), &coll, &mut rec).unwrap();
-        let broadcasts =
-            rec.phases().iter().filter(|p| p.name.contains("score broadcast")).count();
+        let broadcasts = rec.phases().iter().filter(|p| p.name.contains("score broadcast")).count();
         assert_eq!(broadcasts, res.q.len() + 1);
     }
 }

@@ -60,13 +60,9 @@ impl PathCtx {
         let (ancestors, report) = crate::trees::collect_ancestors(topo, sim, coll)?;
         let n = coll.n();
         let s = coll.sources.len();
-        let full_leaf = (0..n)
-            .map(|v| (0..s).map(|si| coll.is_full_leaf(v as NodeId, si)).collect())
-            .collect();
-        Ok((
-            PathCtx { ancestors, removed: vec![vec![false; s]; n], full_leaf },
-            report,
-        ))
+        let full_leaf =
+            (0..n).map(|v| (0..s).map(|si| coll.is_full_leaf(v as NodeId, si)).collect()).collect();
+        Ok((PathCtx { ancestors, removed: vec![vec![false; s]; n], full_leaf }, report))
     }
 
     /// `true` iff the path ending at `(v, si)` is an alive hyperedge.
@@ -109,11 +105,8 @@ impl PathCtx {
     /// `congest-derand`'s sequential set cover).
     #[must_use]
     pub fn hypergraph(&self, n: usize) -> congest_derand::Hypergraph {
-        let edges = self
-            .alive_paths()
-            .into_iter()
-            .map(|(v, si)| self.path_vertices(v, si))
-            .collect();
+        let edges =
+            self.alive_paths().into_iter().map(|(v, si)| self.path_vertices(v, si)).collect();
         congest_derand::Hypergraph::new(n, edges)
     }
 }

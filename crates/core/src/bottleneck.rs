@@ -42,9 +42,7 @@ fn compute_counts<W: Weight>(
     let s = coll.sources.len();
     let init: Vec<Vec<u64>> = (0..n)
         .map(|v| {
-            (0..s)
-                .map(|si| u64::from(coll.is_member(v as NodeId, si) && !removed[v][si]))
-                .collect()
+            (0..s).map(|si| u64::from(coll.is_member(v as NodeId, si) && !removed[v][si])).collect()
         })
         .collect();
     let (acc, report) =
@@ -66,9 +64,7 @@ fn totals<W: Weight>(
         .map(|v| {
             (0..s)
                 .filter(|&si| {
-                    coll.is_member(v as NodeId, si)
-                        && !removed[v][si]
-                        && coll.hops[v][si] >= 1
+                    coll.is_member(v as NodeId, si) && !removed[v][si] && coll.hops[v][si] >= 1
                 })
                 .map(|si| counts[v][si])
                 .sum()
@@ -92,8 +88,7 @@ pub fn compute_bottlenecks<W: Weight>(
     let s = coll.sources.len();
     let mut removed = vec![vec![false; s]; n];
     let mut b: Vec<NodeId> = Vec::new();
-    let mut counts =
-        compute_counts(topo, sim, coll, &removed, rec, "bottleneck: initial counts")?;
+    let mut counts = compute_counts(topo, sim, coll, &removed, rec, "bottleneck: initial counts")?;
     let congestion_before = totals(coll, &removed, &counts).into_iter().max().unwrap_or(0);
     let mut congestion_after;
 
@@ -124,8 +119,7 @@ pub fn compute_bottlenecks<W: Weight>(
             .filter(|&si| coll.is_member(node, si) && !removed[node as usize][si])
             .map(|si| (node, si))
             .collect();
-        let budget =
-            RunUntil::Quiesce { max: (s as u64 + 2) * (coll.h as u64 + 2) + 64 };
+        let budget = RunUntil::Quiesce { max: (s as u64 + 2) * (coll.h as u64 + 2) + 64 };
         let (mask, report) = remove_subtrees(topo, sim, coll, &removed, &roots, budget)?;
         removed = mask;
         rec.record(format!("bottleneck: prune #{}", b.len() - 1), report);
@@ -185,11 +179,7 @@ mod tests {
                     // oracle: count descendants incl self
                     let mut cnt = 0;
                     for u in 0..14u32 {
-                        if coll
-                            .root_path(u, si)
-                            .map(|p| p.contains(&v))
-                            .unwrap_or(false)
-                        {
+                        if coll.root_path(u, si).map(|p| p.contains(&v)).unwrap_or(false) {
                             cnt += 1;
                         }
                     }
@@ -207,8 +197,7 @@ mod tests {
         let sources: Vec<NodeId> = vec![1, 2, 3];
         let (topo, coll) = in_coll(&g, &sources, 2);
         let mut rec = Recorder::new();
-        let res =
-            compute_bottlenecks(&topo, SimConfig::default(), &coll, 5, &mut rec).unwrap();
+        let res = compute_bottlenecks(&topo, SimConfig::default(), &coll, 5, &mut rec).unwrap();
         assert!(res.b.contains(&0), "hub not identified: {:?}", res.b);
         assert!(res.congestion_before > res.congestion_after);
         assert!(res.congestion_after <= 5);
@@ -219,14 +208,8 @@ mod tests {
         let g = gnm_connected(16, 30, true, WeightDist::Uniform(1, 5), 7);
         let (topo, coll) = in_coll(&g, &[0, 5, 11], 3);
         let mut rec = Recorder::new();
-        let res = compute_bottlenecks(
-            &topo,
-            SimConfig::default(),
-            &coll,
-            u64::MAX,
-            &mut rec,
-        )
-        .unwrap();
+        let res =
+            compute_bottlenecks(&topo, SimConfig::default(), &coll, u64::MAX, &mut rec).unwrap();
         assert!(res.b.is_empty());
         assert_eq!(res.congestion_before, res.congestion_after);
     }
@@ -239,8 +222,7 @@ mod tests {
         let threshold = (20.0 * (5.0f64).sqrt()) as u64;
         let mut rec = Recorder::new();
         let res =
-            compute_bottlenecks(&topo, SimConfig::default(), &coll, threshold, &mut rec)
-                .unwrap();
+            compute_bottlenecks(&topo, SimConfig::default(), &coll, threshold, &mut rec).unwrap();
         assert!(res.congestion_after <= threshold);
         // Lemma A.16 bound (loose on small instances)
         assert!(res.b.len() <= 5);
@@ -279,8 +261,7 @@ mod threshold_sweep_tests {
         for threshold in [5u64, 20, 80, 400] {
             let mut r = Recorder::new();
             let res =
-                compute_bottlenecks(&topo, SimConfig::default(), &coll, threshold, &mut r)
-                    .unwrap();
+                compute_bottlenecks(&topo, SimConfig::default(), &coll, threshold, &mut r).unwrap();
             assert!(res.congestion_after <= threshold);
             assert!(res.b.len() <= prev_b, "B must shrink as threshold grows");
             prev_b = res.b.len();

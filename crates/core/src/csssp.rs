@@ -223,16 +223,21 @@ mod tests {
     use super::*;
     use congest_graph::generators::{gnm_connected, Family, WeightDist};
 
-    fn build(
-        g: &Graph<u64>,
-        sources: &[NodeId],
-        h: usize,
-        dir: Direction,
-    ) -> SsspCollection<u64> {
+    fn build(g: &Graph<u64>, sources: &[NodeId], h: usize, dir: Direction) -> SsspCollection<u64> {
         let topo = Topology::from_graph(g);
         let mut rec = Recorder::new();
-        build_csssp(g, &topo, sources, h, dir, SimConfig::default(), Charging::Quiesce, &mut rec, "csssp")
-            .unwrap()
+        build_csssp(
+            g,
+            &topo,
+            sources,
+            h,
+            dir,
+            SimConfig::default(),
+            Charging::Quiesce,
+            &mut rec,
+            "csssp",
+        )
+        .unwrap()
     }
 
     #[test]

@@ -96,8 +96,7 @@ mod tests {
         // at_blocker[qi][x] = δ(x, qi)
         let at_blocker: Vec<Vec<u64>> =
             (0..n).map(|c| (0..n).map(|x| exact[x][c]).collect()).collect();
-        let dist =
-            extend_all_sources(&g, &topo, &cfg, &coll, &q, &at_blocker, &mut rec).unwrap();
+        let dist = extend_all_sources(&g, &topo, &cfg, &coll, &q, &at_blocker, &mut rec).unwrap();
         assert_eq!(dist, exact);
     }
 
@@ -122,8 +121,7 @@ mod tests {
             "csssp",
         )
         .unwrap();
-        let dist =
-            extend_all_sources(&g, &topo, &cfg, &coll, &[], &[], &mut rec).unwrap();
+        let dist = extend_all_sources(&g, &topo, &cfg, &coll, &[], &[], &mut rec).unwrap();
         // with no blockers, result must be within [δ, δ_2h]: at least the
         // h-hop reachability of the CSSSP extended by h more hops.
         let exact = apsp_dijkstra(&g);

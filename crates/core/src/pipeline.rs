@@ -17,17 +17,16 @@
 //!   per-checkpoint "active tree" counts to reproduce the Lemma 4.8
 //!   progress measure (experiment F3).
 
+use crate::bf::run_full_sssp;
+use crate::blocker::{alg2_blocker, Selection};
 use crate::bottleneck::{compute_bottlenecks, BottleneckResult};
 use crate::config::{ApspConfig, BlockerParams};
-use crate::blocker::{alg2_blocker, Selection};
 use crate::csssp::build_csssp;
-use crate::bf::run_full_sssp;
 use congest_graph::seq::Direction;
 use congest_graph::{Graph, NodeId, Weight};
 use congest_sim::primitives::all_to_all_broadcast;
 use congest_sim::{
-    Engine, Envelope, NodeEnv, NodeLogic, Outbox, Recorder, RunUntil, SimConfig, SimError,
-    Topology,
+    Engine, Envelope, NodeEnv, NodeLogic, Outbox, Recorder, RunUntil, SimConfig, SimError, Topology,
 };
 use std::collections::VecDeque;
 
@@ -77,8 +76,9 @@ struct RrMsg<W> {
 
 struct RrNode<W> {
     discipline: PushDiscipline,
-    /// Per tree: parent toward the blocker root.
-    parent: Vec<Option<NodeId>>,
+    /// Per tree: channel index of the parent toward the blocker root
+    /// (pre-resolved so the push uses [`Outbox::send_nbr`]).
+    parent_ni: Vec<Option<usize>>,
     /// Per tree: FIFO of (source, value) messages to forward.
     queues: Vec<VecDeque<(NodeId, W)>>,
     /// Cyclic pointer into the blocker order O (Step 7).
@@ -118,20 +118,18 @@ impl<W: Weight> NodeLogic for RrNode<W> {
         // design decision under ablation.
         let k = self.queues.len();
         let next = match self.discipline {
-            PushDiscipline::RoundRobin => (0..k)
-                .map(|t| (self.ptr + t) % k)
-                .find(|&qi| !self.queues[qi].is_empty()),
-            PushDiscipline::FixedPriority => {
-                (0..k).find(|&qi| !self.queues[qi].is_empty())
+            PushDiscipline::RoundRobin => {
+                (0..k).map(|t| (self.ptr + t) % k).find(|&qi| !self.queues[qi].is_empty())
             }
+            PushDiscipline::FixedPriority => (0..k).find(|&qi| !self.queues[qi].is_empty()),
             PushDiscipline::LongestFirst => (0..k)
                 .filter(|&qi| !self.queues[qi].is_empty())
                 .max_by_key(|&qi| self.queues[qi].len()),
         };
         if let Some(qi) = next {
             let (x, dist) = self.queues[qi].pop_front().expect("nonempty");
-            let p = self.parent[qi].expect("queued message implies a parent");
-            out.send(p, RrMsg { qi: qi as u32, x, dist });
+            let ni = self.parent_ni[qi].expect("queued message implies a parent");
+            out.send_nbr(ni, RrMsg { qi: qi as u32, x, dist });
             self.ptr = (qi + 1) % k;
             self.outstanding -= 1;
         }
@@ -206,8 +204,7 @@ pub fn propagate_to_blockers_with<W: Weight>(
 
     // ---------------- Algorithm 8 (far case) ----------------
     let mut qp_rec = Recorder::new();
-    let (qp_res, _) =
-        alg2_blocker(topo, sim, &cq, params, Selection::Derandomized, &mut qp_rec)?;
+    let (qp_res, _) = alg2_blocker(topo, sim, &cq, params, Selection::Derandomized, &mut qp_rec)?;
     rec.absorb("step6/alg8: Q' ", qp_rec);
     stats.q_prime_size = qp_res.q.len();
     apply_relay_set(g, topo, cfg, q, dvals, &qp_res.q, &mut out, rec, "alg8")?;
@@ -227,32 +224,29 @@ pub fn propagate_to_blockers_with<W: Weight>(
     let engine = Engine::new(topo, sim);
     let mut nodes: Vec<RrNode<W>> = (0..n)
         .map(|v| {
-            let parent: Vec<Option<NodeId>> = (0..q.len())
+            let nbrs = topo.neighbors(v as NodeId);
+            let parent_ni: Vec<Option<usize>> = (0..q.len())
                 .map(|qi| {
                     if removed[v][qi] {
                         None
                     } else {
                         cq.parent[v][qi]
+                            .map(|p| nbrs.binary_search(&p).expect("tree parent is a neighbor"))
                     }
                 })
                 .collect();
-            let mut queues: Vec<VecDeque<(NodeId, W)>> =
-                vec![VecDeque::new(); q.len()];
+            let mut queues: Vec<VecDeque<(NodeId, W)>> = vec![VecDeque::new(); q.len()];
             let mut outstanding = 0;
             for (qi, &c) in q.iter().enumerate() {
                 let vn = v as NodeId;
-                if vn != c
-                    && cq.is_member(vn, qi)
-                    && !removed[v][qi]
-                    && !dvals[v][qi].is_inf()
-                {
+                if vn != c && cq.is_member(vn, qi) && !removed[v][qi] && !dvals[v][qi].is_inf() {
                     queues[qi].push_back((vn, dvals[v][qi]));
                     outstanding += 1;
                 }
             }
             RrNode {
                 discipline,
-                parent,
+                parent_ni,
                 queues,
                 ptr: 0,
                 outstanding,
@@ -452,16 +446,9 @@ mod tests {
         let dvals: Vec<Vec<u64>> =
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
         let mut rec = Recorder::new();
-        let (out, stats) = propagate_to_blockers(
-            &g,
-            &topo,
-            &cfg,
-            BlockerParams::default(),
-            &q,
-            &dvals,
-            &mut rec,
-        )
-        .unwrap();
+        let (out, stats) =
+            propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
+                .unwrap();
         for (qi, &c) in q.iter().enumerate() {
             let oracle = dijkstra(&g, c, Direction::In);
             for x in 0..n {
@@ -522,8 +509,7 @@ mod tests {
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
         let mut rec = Recorder::new();
         let out =
-            propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut rec)
-                .unwrap();
+            propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut rec).unwrap();
         for (qi, &c) in q.iter().enumerate() {
             for x in 0..n {
                 assert_eq!(out[qi][x], exact[x][c as usize], "blocker {c} x {x}");
@@ -542,16 +528,9 @@ mod tests {
         let dvals: Vec<Vec<u64>> =
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
         let mut rec = Recorder::new();
-        let (_, stats) = propagate_to_blockers(
-            &g,
-            &topo,
-            &cfg,
-            BlockerParams::default(),
-            &q,
-            &dvals,
-            &mut rec,
-        )
-        .unwrap();
+        let (_, stats) =
+            propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
+                .unwrap();
         // the max active-tree count must never increase over checkpoints
         // beyond its starting value's neighborhood (weak monotonicity: the
         // final checkpoint is 0 or the run ended early)

@@ -66,17 +66,17 @@ impl NodeLogic for ConvTreeNode {
         // Move newly-ready trees into their channel queues.
         while let Some(si) = self.ready.pop_front() {
             if let Some(p) = self.parent[si as usize] {
-                let ni = env.neighbors.binary_search(&p).expect("parent is a neighbor");
+                let ni = env.neighbor_index(p).expect("parent is a neighbor");
                 self.queues[ni].push_back(si);
             } else {
                 // Root or non-member: nothing to send.
                 self.outstanding -= 1;
             }
         }
-        // One message per channel per round.
+        // One message per channel per round, addressed by channel index.
         for ni in 0..self.queues.len() {
             if let Some(si) = self.queues[ni].pop_front() {
-                out.send(env.neighbors[ni], (si, self.acc[si as usize]));
+                out.send_nbr(ni, (si, self.acc[si as usize]));
                 self.outstanding -= 1;
             }
         }
@@ -105,8 +105,7 @@ pub fn convergecast_trees<W: Weight>(
     let engine = Engine::new(topo, sim);
     let mut nodes: Vec<ConvTreeNode> = (0..n)
         .map(|v| {
-            let pending: Vec<u32> =
-                (0..s).map(|si| coll.children[v][si].len() as u32).collect();
+            let pending: Vec<u32> = (0..s).map(|si| coll.children[v][si].len() as u32).collect();
             let mut ready = VecDeque::new();
             let mut outstanding = 0;
             for si in 0..s {
@@ -178,7 +177,7 @@ impl NodeLogic for RemoveNode {
         }
         for ni in 0..self.queues.len() {
             if let Some(si) = self.queues[ni].pop_front() {
-                out.send(env.neighbors[ni], si);
+                out.send_nbr(ni, si);
                 self.queued -= 1;
             }
         }
@@ -225,9 +224,7 @@ pub fn remove_subtrees<W: Weight>(
     let mask: Vec<Vec<bool>> = nodes
         .into_iter()
         .enumerate()
-        .map(|(v, nd)| {
-            (0..s).map(|si| nd.removed[si] || existing_mask[v][si]).collect()
-        })
+        .map(|(v, nd)| (0..s).map(|si| nd.removed[si] || existing_mask[v][si]).collect())
         .collect();
     Ok((mask, report))
 }
@@ -319,11 +316,7 @@ pub fn collect_ancestors<W: Weight>(
                 children: coll.children[v][si].clone(),
                 member: coll.is_member(v as NodeId, si),
                 path: Vec::new(),
-                depth: if coll.is_member(v as NodeId, si) {
-                    coll.hops[v][si] as usize
-                } else {
-                    0
-                },
+                depth: if coll.is_member(v as NodeId, si) { coll.hops[v][si] as usize } else { 0 },
                 next_fwd: 0,
             })
             .collect();
@@ -351,7 +344,12 @@ mod tests {
     use congest_graph::Graph;
     use congest_sim::Recorder;
 
-    fn build(n: usize, extra: usize, h: usize, seed: u64) -> (Graph<u64>, Topology, SsspCollection<u64>) {
+    fn build(
+        n: usize,
+        extra: usize,
+        h: usize,
+        seed: u64,
+    ) -> (Graph<u64>, Topology, SsspCollection<u64>) {
         let g = gnm_connected(n, extra, true, WeightDist::Uniform(0, 7), seed);
         let topo = Topology::from_graph(&g);
         let mut rec = Recorder::new();
@@ -378,9 +376,8 @@ mod tests {
         let mut acc = vec![vec![0u64; s]; n];
         for si in 0..s {
             // process nodes in decreasing depth
-            let mut order: Vec<NodeId> = (0..n as NodeId)
-                .filter(|&v| coll.is_member(v, si))
-                .collect();
+            let mut order: Vec<NodeId> =
+                (0..n as NodeId).filter(|&v| coll.is_member(v, si)).collect();
             order.sort_by_key(|&v| std::cmp::Reverse(coll.hops[v as usize][si]));
             for &v in &order {
                 let mut sum = init[v as usize][si];
@@ -506,10 +503,7 @@ mod tests {
         for si in 0..coll.sources.len() {
             for v in 0..16u32 {
                 // oracle: v below-or-at 5 in tree si?
-                let below = coll
-                    .root_path(v, si)
-                    .map(|p| p.contains(&5))
-                    .unwrap_or(false);
+                let below = coll.root_path(v, si).map(|p| p.contains(&5)).unwrap_or(false);
                 assert_eq!(mask[v as usize][si], below, "v={v} si={si}");
             }
         }

@@ -152,9 +152,8 @@ mod tests {
     fn assert_pairwise_independent(space: &impl SampleSpace) {
         let n = space.n_vars();
         let m = space.len();
-        let ones: Vec<u64> = (0..n)
-            .map(|v| (0..m).filter(|&mu| space.eval(mu, v)).count() as u64)
-            .collect();
+        let ones: Vec<u64> =
+            (0..n).map(|v| (0..m).filter(|&mu| space.eval(mu, v)).count() as u64).collect();
         for v in 0..n {
             // exact marginal
             let expect = (space.bias() * m as f64).round() as u64;

@@ -80,8 +80,7 @@ mod tests {
 
     #[test]
     fn small_primes() {
-        let primes: Vec<u64> =
-            (0..60).filter(|&n| is_prime(n)).collect();
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
         assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
     }
 
@@ -111,7 +110,10 @@ mod tests {
     #[test]
     fn mod_arith() {
         assert_eq!(mod_pow(2, 10, 1000), 24);
-        assert_eq!(mod_mul(u64::MAX / 2, 3, u64::MAX - 58), ((u64::MAX / 2) as u128 * 3 % (u64::MAX - 58) as u128) as u64);
+        assert_eq!(
+            mod_mul(u64::MAX / 2, 3, u64::MAX - 58),
+            ((u64::MAX / 2) as u128 * 3 % (u64::MAX - 58) as u128) as u64
+        );
     }
 }
 

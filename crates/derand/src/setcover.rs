@@ -10,8 +10,8 @@
 
 use crate::pairwise::{AffineSpace, SampleSpace};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// A hypergraph: `edges[e]` lists the vertices of hyperedge `e` (deduped).
 #[derive(Clone, Debug)]
@@ -206,10 +206,7 @@ impl<'h> BrsState<'h> {
 
 /// Covers covered-count of `set` over the given edge list.
 fn coverage(hg: &Hypergraph, edges: &[usize], in_set: &[bool]) -> usize {
-    edges
-        .iter()
-        .filter(|&&ei| hg.edges[ei].iter().any(|&v| in_set[v as usize]))
-        .count()
+    edges.iter().filter(|&&ei| hg.edges[ei].iter().any(|&v| in_set[v as usize])).count()
 }
 
 /// The BRS set cover (sequential executable specification of the paper's
@@ -276,8 +273,7 @@ pub fn brs_cover(hg: &Hypergraph, params: BrsParams, selection: Selection) -> (V
                         }
                     }
                 }
-                let single_threshold =
-                    params.delta.powi(3) / one_eps * pij.len() as f64;
+                let single_threshold = params.delta.powi(3) / one_eps * pij.len() as f64;
                 let best = (0..hg.n)
                     .filter(|&v| in_vi[v])
                     .max_by_key(|&v| (scoreij[v], std::cmp::Reverse(v)));
@@ -290,8 +286,7 @@ pub fn brs_cover(hg: &Hypergraph, params: BrsParams, selection: Selection) -> (V
                 }
 
                 // Selection of a good set A over Vi with bias δ/(1+ε)^j.
-                let vi_list: Vec<u32> =
-                    (0..hg.n as u32).filter(|&v| in_vi[v as usize]).collect();
+                let vi_list: Vec<u32> = (0..hg.n as u32).filter(|&v| in_vi[v as usize]).collect();
                 let p = params.delta / one_eps.powi(j as i32);
                 let space = AffineSpace::new(vi_list.len() as u64, p);
                 let pi_edges: Vec<usize> = pi.iter().map(|&(ei, _)| ei).collect();
@@ -431,10 +426,7 @@ mod tests {
             total_brs += b.len();
             total_greedy += g.len();
         }
-        assert!(
-            total_brs <= 4 * total_greedy,
-            "BRS {total_brs} vs greedy {total_greedy}"
-        );
+        assert!(total_brs <= 4 * total_greedy, "BRS {total_brs} vs greedy {total_greedy}");
     }
 
     #[test]
@@ -478,9 +470,8 @@ mod sampling_path_tests {
     /// the pairwise-independent set-selection path.
     fn flat_instance(groups: usize, size: usize) -> Hypergraph {
         let n = groups * size;
-        let edges = (0..groups)
-            .map(|g| ((g * size) as u32..(g * size + size) as u32).collect())
-            .collect();
+        let edges =
+            (0..groups).map(|g| ((g * size) as u32..(g * size + size) as u32).collect()).collect();
         Hypergraph::new(n, edges)
     }
 
@@ -497,11 +488,8 @@ mod sampling_path_tests {
     #[test]
     fn set_selection_path_exercised_randomized() {
         let hg = flat_instance(400, 3);
-        let (cover, stats) = brs_cover(
-            &hg,
-            BrsParams::exercise_sampling(),
-            Selection::Randomized { seed: 5 },
-        );
+        let (cover, stats) =
+            brs_cover(&hg, BrsParams::exercise_sampling(), Selection::Randomized { seed: 5 });
         assert!(verify_cover(&hg, &cover));
         assert!(stats.set_picks > 0, "sampling path not exercised: {stats:?}");
     }
@@ -513,11 +501,8 @@ mod sampling_path_tests {
         // average number of points examined per accepted set should be
         // well under 8x retries... allow a loose bound.
         let hg = flat_instance(400, 3);
-        let (_, stats) = brs_cover(
-            &hg,
-            BrsParams::exercise_sampling(),
-            Selection::Randomized { seed: 11 },
-        );
+        let (_, stats) =
+            brs_cover(&hg, BrsParams::exercise_sampling(), Selection::Randomized { seed: 11 });
         if stats.set_picks > 0 {
             let avg = stats.sample_points_examined as f64 / stats.set_picks as f64;
             assert!(avg <= 64.0, "avg sample points per good set = {avg}");

@@ -78,10 +78,7 @@ impl<W: Weight> Csr<W> {
     fn row(&self, v: NodeId) -> impl Iterator<Item = (NodeId, W)> + '_ {
         let lo = self.index[v as usize] as usize;
         let hi = self.index[v as usize + 1] as usize;
-        self.targets[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
     }
 
     #[inline]
@@ -118,10 +115,7 @@ impl<W: Weight> Graph<W> {
     #[must_use]
     pub fn from_edges(n: usize, directed: bool, edges: Vec<Edge<W>>) -> Self {
         assert!(n > 0, "graph must have at least one node");
-        assert!(
-            n <= u32::MAX as usize / 4,
-            "node count {n} exceeds NodeId capacity"
-        );
+        assert!(n <= u32::MAX as usize / 4, "node count {n} exceeds NodeId capacity");
         for e in &edges {
             assert!(
                 (e.from as usize) < n && (e.to as usize) < n,
@@ -136,16 +130,10 @@ impl<W: Weight> Graph<W> {
         let bwd = edges.iter().map(|e| (e.to, e.from, e.weight));
 
         let (out, into) = if directed {
-            (
-                Csr::build(n, fwd.clone()),
-                Csr::build(n, bwd.clone()),
-            )
+            (Csr::build(n, fwd.clone()), Csr::build(n, bwd.clone()))
         } else {
             let both = fwd.clone().chain(bwd.clone()).collect::<Vec<_>>();
-            (
-                Csr::build(n, both.iter().copied()),
-                Csr::build(n, both.iter().copied()),
-            )
+            (Csr::build(n, both.iter().copied()), Csr::build(n, both.iter().copied()))
         };
 
         let mut comm: Vec<Vec<NodeId>> = vec![Vec::new(); n];
@@ -285,11 +273,7 @@ impl<W: Weight> Graph<W> {
     /// Maps the weights of the graph through `f`, preserving structure.
     #[must_use]
     pub fn map_weights<W2: Weight>(&self, mut f: impl FnMut(W) -> W2) -> Graph<W2> {
-        let edges = self
-            .edges
-            .iter()
-            .map(|e| Edge::new(e.from, e.to, f(e.weight)))
-            .collect();
+        let edges = self.edges.iter().map(|e| Edge::new(e.from, e.to, f(e.weight))).collect();
         Graph::from_edges(self.n, self.directed, edges)
     }
 }
@@ -303,12 +287,7 @@ mod tests {
         Graph::from_edges(
             4,
             true,
-            vec![
-                Edge::new(0, 1, 1),
-                Edge::new(1, 3, 1),
-                Edge::new(0, 2, 5),
-                Edge::new(2, 3, 1),
-            ],
+            vec![Edge::new(0, 1, 1), Edge::new(1, 3, 1), Edge::new(0, 2, 5), Edge::new(2, 3, 1)],
         )
     }
 

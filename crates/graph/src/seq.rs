@@ -60,9 +60,7 @@ pub type DistMatrix<W> = Vec<Vec<W>>;
 /// Exact APSP matrix via one Dijkstra per source.
 #[must_use]
 pub fn apsp_dijkstra<W: Weight>(g: &Graph<W>) -> DistMatrix<W> {
-    (0..g.n() as NodeId)
-        .map(|s| dijkstra(g, s, Direction::Out))
-        .collect()
+    (0..g.n() as NodeId).map(|s| dijkstra(g, s, Direction::Out)).collect()
 }
 
 /// Exact APSP via Floyd–Warshall; an independent oracle used to
@@ -207,12 +205,7 @@ mod tests {
         let g = Graph::from_edges(
             4,
             true,
-            vec![
-                Edge::new(0, 1, 1u64),
-                Edge::new(1, 3, 1),
-                Edge::new(0, 2, 5),
-                Edge::new(2, 3, 1),
-            ],
+            vec![Edge::new(0, 1, 1u64), Edge::new(1, 3, 1), Edge::new(0, 2, 5), Edge::new(2, 3, 1)],
         );
         assert_eq!(dijkstra(&g, 0, Direction::Out), vec![0, 1, 5, 2]);
         assert_eq!(dijkstra(&g, 3, Direction::In), vec![2, 1, 1, 0]);
@@ -274,11 +267,7 @@ mod tests {
 
     #[test]
     fn zero_weights_supported() {
-        let g = Graph::from_edges(
-            3,
-            true,
-            vec![Edge::new(0, 1, 0u64), Edge::new(1, 2, 0)],
-        );
+        let g = Graph::from_edges(3, true, vec![Edge::new(0, 1, 0u64), Edge::new(1, 2, 0)]);
         assert_eq!(dijkstra(&g, 0, Direction::Out), vec![0, 0, 0]);
         assert_eq!(hop_limited_distances(&g, 0, 1, Direction::Out), vec![0, 0, u64::INF]);
     }

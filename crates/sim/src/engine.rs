@@ -1,4 +1,5 @@
-//! The round-synchronous CONGEST engine.
+//! The round-synchronous CONGEST engine, built on a zero-allocation,
+//! double-buffered message plane.
 //!
 //! Model (paper §1.1): n nodes communicate over the *underlying undirected
 //! graph* of the input in synchronous rounds. In each round every node may
@@ -11,17 +12,57 @@
 //! [`SimError`], so a protocol that compiles *and runs* is certified to be
 //! a legal CONGEST algorithm, and its measured round count is the quantity
 //! the paper bounds.
+//!
+//! ## The message plane
+//!
+//! Every phase of the APSP pipeline executes through [`Engine::run`], so
+//! its per-round constant factor multiplies the paper's Õ(n^{4/3}) round
+//! counts. The round loop therefore performs **no heap allocation in
+//! steady state**; all buffers are sized once per phase from the topology
+//! and reused every round:
+//!
+//! * **Send side** — [`Topology`] stores the communication graph in CSR
+//!   form: one flat sorted neighbor array plus per-node offsets. Each
+//!   *directed channel* (v, i-th neighbor of v) owns `bandwidth` slots in
+//!   a flat `out` array; [`Outbox::send`] writes messages straight into
+//!   the sender's slot range and bumps a per-channel counter. Target
+//!   resolution goes through a dense, epoch-stamped neighbor-index map
+//!   (O(1) per send after an O(deg) lazy fill) instead of a binary search.
+//! * **Receive side** — delivery walks each receiver's channel slots via
+//!   the precomputed reverse-channel index ([`Topology`] knows, for every
+//!   channel (v → u), where (u ← v) lives in u's row) and compacts the
+//!   messages into one flat envelope array with per-node offsets. Since a
+//!   node's channel slots are ordered by neighbor id, the compacted inbox
+//!   is automatically **sender-id sorted** — the deterministic receive
+//!   order the protocols rely on. Two such arrays (current/next) are
+//!   swapped each round: the classic double buffer.
+//! * **Stepping** — above [`SimConfig::parallel_threshold`] nodes, rounds
+//!   are stepped by a persistent [`crate::parallel::WorkerPool`] (spawned
+//!   once per phase, round barrier per round) over contiguous node ranges
+//!   whose outbox slot ranges are disjoint by construction. The parallel
+//!   path runs the same per-node step function in the same index order
+//!   within each range, so results are bit-identical to sequential
+//!   stepping (enforced by the determinism test suite).
+//! * **Accounting** — in-flight messages are the length of the current
+//!   envelope array (O(1)), not a per-round sum over all inboxes.
 
 use crate::error::SimError;
 use crate::metrics::PhaseReport;
-use crate::parallel::par_indexed_map;
+use crate::parallel::{worker_count, WorkerPool};
 use congest_graph::{Graph, NodeId, Weight};
 
-/// Communication topology: the undirected adjacency over which messages
-/// flow. Extracted from a [`Graph`] so the engine is weight-agnostic.
+/// Communication topology in CSR form: the undirected adjacency over which
+/// messages flow, with precomputed reverse-channel indices. Extracted from
+/// a [`Graph`] so the engine is weight-agnostic.
 #[derive(Clone, Debug)]
 pub struct Topology {
-    adj: Vec<Vec<NodeId>>,
+    /// `off[v]..off[v+1]` delimits v's row in `adj` (and v's channel slots).
+    off: Vec<u32>,
+    /// Flat neighbor array; each row sorted ascending.
+    adj: Vec<NodeId>,
+    /// `rev[s]` for slot `s` = (v, u): the slot of the reverse channel
+    /// (u, v) in u's row. Delivery walks a receiver's slots through this.
+    rev: Vec<u32>,
 }
 
 impl Topology {
@@ -29,26 +70,65 @@ impl Topology {
     /// §1.1: channels are bidirectional even for directed inputs).
     #[must_use]
     pub fn from_graph<W: Weight>(g: &Graph<W>) -> Self {
-        let adj = (0..g.n() as NodeId).map(|v| g.comm_neighbors(v).to_vec()).collect();
-        Topology { adj }
+        Self::from_adjacency(g.n(), |v| g.comm_neighbors(v))
+    }
+
+    /// Builds a topology from any sorted-adjacency accessor.
+    fn from_adjacency<'a>(n: usize, neighbors_of: impl Fn(NodeId) -> &'a [NodeId]) -> Self {
+        let mut off = Vec::with_capacity(n + 1);
+        off.push(0u32);
+        let mut adj: Vec<NodeId> = Vec::new();
+        for v in 0..n as NodeId {
+            let row = neighbors_of(v);
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "adjacency rows must be sorted");
+            adj.extend_from_slice(row);
+            let total = u32::try_from(adj.len()).expect("channel count exceeds u32");
+            off.push(total);
+        }
+        // Reverse-channel index: for slot s = (v, u), find v in u's row.
+        let mut rev = vec![0u32; adj.len()];
+        for v in 0..n {
+            let (lo, hi) = (off[v] as usize, off[v + 1] as usize);
+            for s in lo..hi {
+                let u = adj[s] as usize;
+                let urow = &adj[off[u] as usize..off[u + 1] as usize];
+                let i = urow
+                    .binary_search(&(v as NodeId))
+                    .expect("communication adjacency must be symmetric");
+                rev[s] = off[u] + u32::try_from(i).expect("row length exceeds u32");
+            }
+        }
+        Topology { off, adj, rev }
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn n(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// Total number of *directed* channels (twice the undirected edges).
+    #[must_use]
+    pub fn channels(&self) -> usize {
         self.adj.len()
     }
 
     /// Sorted neighbor list of `v`.
     #[must_use]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v as usize]
+        &self.adj[self.off[v as usize] as usize..self.off[v as usize + 1] as usize]
+    }
+
+    /// Degree of `v` in the communication graph.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.off[v as usize + 1] - self.off[v as usize]) as usize
     }
 
     /// `true` iff `u`–`v` is a channel.
     #[must_use]
     pub fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u as usize].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 }
 
@@ -74,26 +154,81 @@ pub struct NodeEnv<'a> {
     pub neighbors: &'a [NodeId],
 }
 
-/// Per-round send buffer with CONGEST legality checks.
+impl NodeEnv<'_> {
+    /// Position of neighbor `id` in [`NodeEnv::neighbors`], usable with
+    /// [`Outbox::send_nbr`]. `None` if `id` is not a neighbor.
+    #[must_use]
+    pub fn neighbor_index(&self, id: NodeId) -> Option<usize> {
+        self.neighbors.binary_search(&id).ok()
+    }
+}
+
+/// Dense neighbor-index map: `idx[u]` is the position of `u` in the current
+/// node's neighbor list, valid only while `stamp[u]` equals the current
+/// epoch. One map lives per worker and is re-stamped (not cleared) per
+/// node, so lookups are O(1) and a node that never sends pays nothing.
+struct NbrMap {
+    stamp: Vec<u64>,
+    idx: Vec<u32>,
+    epoch: u64,
+}
+
+impl NbrMap {
+    fn new(n: usize) -> Self {
+        NbrMap { stamp: vec![0; n], idx: vec![0; n], epoch: 0 }
+    }
+
+    /// Re-key the map to `neighbors` (O(deg)).
+    fn fill(&mut self, neighbors: &[NodeId]) {
+        self.epoch += 1;
+        for (i, &u) in neighbors.iter().enumerate() {
+            self.stamp[u as usize] = self.epoch;
+            self.idx[u as usize] = u32::try_from(i).expect("degree exceeds u32");
+        }
+    }
+
+    fn get(&self, u: NodeId) -> Option<usize> {
+        (self.stamp[u as usize] == self.epoch).then(|| self.idx[u as usize] as usize)
+    }
+}
+
+/// Per-round send view with CONGEST legality checks, writing directly into
+/// the sender's channel slots of the flat message plane.
 pub struct Outbox<'a, M> {
     from: NodeId,
     round: u64,
     neighbors: &'a [NodeId],
     bandwidth: u32,
-    counts: Vec<u32>,
-    sends: Vec<(NodeId, M)>,
+    /// Per-channel message counts for this node's `deg` channels.
+    cnt: &'a mut [u32],
+    /// This node's `deg * bandwidth` message slots.
+    buf: &'a mut [Option<M>],
+    map: &'a mut NbrMap,
+    map_filled: bool,
+    queued: u32,
     error: Option<SimError>,
 }
 
 impl<'a, M> Outbox<'a, M> {
-    fn new(from: NodeId, round: u64, neighbors: &'a [NodeId], bandwidth: u32) -> Self {
+    fn new(
+        from: NodeId,
+        round: u64,
+        neighbors: &'a [NodeId],
+        bandwidth: u32,
+        cnt: &'a mut [u32],
+        buf: &'a mut [Option<M>],
+        map: &'a mut NbrMap,
+    ) -> Self {
         Outbox {
             from,
             round,
             neighbors,
             bandwidth,
-            counts: vec![0; neighbors.len()],
-            sends: Vec::new(),
+            cnt,
+            buf,
+            map,
+            map_filled: false,
+            queued: 0,
             error: None,
         }
     }
@@ -107,42 +242,69 @@ impl<'a, M> Outbox<'a, M> {
         if self.error.is_some() {
             return;
         }
-        match self.neighbors.binary_search(&to) {
-            Err(_) => {
+        if !self.map_filled {
+            self.map.fill(self.neighbors);
+            self.map_filled = true;
+        }
+        match self.map.get(to) {
+            None => {
                 self.error =
                     Some(SimError::NotANeighbor { from: self.from, to, round: self.round });
             }
-            Ok(idx) => {
-                if self.counts[idx] >= self.bandwidth {
-                    self.error = Some(SimError::BandwidthExceeded {
-                        from: self.from,
-                        to,
-                        round: self.round,
-                        limit: self.bandwidth,
-                    });
-                } else {
-                    self.counts[idx] += 1;
-                    self.sends.push((to, msg));
-                }
-            }
+            Some(i) => self.push_slot(i, msg),
         }
     }
 
-    /// Sends a copy of `msg` to every neighbor.
+    /// Queues `msg` for the neighbor at position `ni` of
+    /// [`NodeEnv::neighbors`] — the zero-lookup fast path for protocols
+    /// that already track neighbors by index.
+    ///
+    /// # Panics
+    /// Panics if `ni` is out of range (a protocol bug, not a CONGEST
+    /// violation — there is no node the message could even be addressed to).
+    pub fn send_nbr(&mut self, ni: usize, msg: M) {
+        if self.error.is_some() {
+            return;
+        }
+        assert!(ni < self.neighbors.len(), "send_nbr: neighbor index out of range");
+        self.push_slot(ni, msg);
+    }
+
+    /// Sends a copy of `msg` to every neighbor. Broadcast targets are
+    /// legal by construction, so this skips target resolution entirely and
+    /// only checks bandwidth.
     pub fn broadcast(&mut self, msg: M)
     where
         M: Clone,
     {
-        for i in 0..self.neighbors.len() {
-            let to = self.neighbors[i];
-            self.send(to, msg.clone());
+        for ni in 0..self.neighbors.len() {
+            if self.error.is_some() {
+                return;
+            }
+            self.push_slot(ni, msg.clone());
         }
+    }
+
+    fn push_slot(&mut self, ni: usize, msg: M) {
+        let used = self.cnt[ni];
+        if used >= self.bandwidth {
+            self.error = Some(SimError::BandwidthExceeded {
+                from: self.from,
+                to: self.neighbors[ni],
+                round: self.round,
+                limit: self.bandwidth,
+            });
+            return;
+        }
+        self.buf[ni * self.bandwidth as usize + used as usize] = Some(msg);
+        self.cnt[ni] = used + 1;
+        self.queued += 1;
     }
 
     /// Number of messages queued so far this round.
     #[must_use]
     pub fn queued(&self) -> usize {
-        self.sends.len()
+        self.queued as usize
     }
 }
 
@@ -195,16 +357,96 @@ pub enum RunUntil {
 pub struct SimConfig {
     /// Messages per directed channel per round (paper: O(1); default 1).
     pub bandwidth: u32,
-    /// Node-count threshold above which rounds are stepped with the
-    /// fork-join helper. Simulations in this repo are usually small enough
-    /// that sequential stepping is faster; heavy *local* computation inside
-    /// protocols is parallelized separately by the algorithm crates.
+    /// Node-count threshold above which rounds are stepped by the
+    /// persistent worker pool. Simulations in this repo are usually small
+    /// enough that sequential stepping is faster; heavy *local* computation
+    /// inside protocols is parallelized separately by the algorithm crates.
     pub parallel_threshold: usize,
+    /// Worker slots for parallel stepping; 0 picks
+    /// [`worker_count`](crate::parallel::worker_count) automatically.
+    /// Results are identical for every value (determinism suite).
+    pub workers: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { bandwidth: 1, parallel_threshold: 4096 }
+        SimConfig { bandwidth: 1, parallel_threshold: 4096, workers: 0 }
+    }
+}
+
+/// The flat double-buffered message plane for one phase. All vectors are
+/// sized once from the topology; the round loop only writes in place,
+/// `clear()`s (capacity-preserving) and swaps.
+struct Plane<M> {
+    /// Per directed channel: messages queued this round (send side).
+    out_cnt: Vec<u32>,
+    /// `channels * bandwidth` message slots (send side).
+    out_buf: Vec<Option<M>>,
+    /// Compacted inbox being *read* this round, grouped by receiver,
+    /// each group sorted by sender id.
+    cur_buf: Vec<Envelope<M>>,
+    /// `cur_off[v]..cur_off[v+1]` delimits v's inbox in `cur_buf`.
+    cur_off: Vec<u32>,
+    /// The buffers being *written* during delivery; swapped into place at
+    /// the end of every round.
+    next_buf: Vec<Envelope<M>>,
+    next_off: Vec<u32>,
+}
+
+impl<M> Plane<M> {
+    fn new(topo: &Topology, bandwidth: u32) -> Self {
+        let channels = topo.channels();
+        let slots =
+            channels.checked_mul(bandwidth as usize).expect("channels * bandwidth overflows usize");
+        Plane {
+            out_cnt: vec![0; channels],
+            out_buf: (0..slots).map(|_| None).collect(),
+            cur_buf: Vec::new(),
+            cur_off: vec![0; topo.n() + 1],
+            next_buf: Vec::new(),
+            next_off: vec![0; topo.n() + 1],
+        }
+    }
+
+    /// Messages currently in flight (delivered last round, readable this
+    /// round). O(1) — this replaces the old per-round sum over all inboxes.
+    fn in_flight(&self) -> usize {
+        self.cur_buf.len()
+    }
+
+    /// Moves every queued message from the send slots into the next inbox
+    /// buffer, grouped by receiver and sorted by sender, resetting the
+    /// send side for the next round. Returns the number delivered and
+    /// charges per-sender counts into `node_sent`.
+    fn deliver(&mut self, topo: &Topology, bandwidth: u32, node_sent: &mut [u64]) -> u64 {
+        let b = bandwidth as usize;
+        self.next_buf.clear();
+        self.next_off[0] = 0;
+        let mut delivered = 0u64;
+        for u in 0..topo.n() {
+            let (lo, hi) = (topo.off[u] as usize, topo.off[u + 1] as usize);
+            for s in lo..hi {
+                // Slot s is the channel u ← adj[s]; its send side lives at
+                // the reverse slot in the sender's row.
+                let rs = topo.rev[s] as usize;
+                let c = self.out_cnt[rs];
+                if c > 0 {
+                    let from = topo.adj[s];
+                    node_sent[from as usize] += u64::from(c);
+                    delivered += u64::from(c);
+                    for t in 0..c as usize {
+                        let msg = self.out_buf[rs * b + t].take().expect("counted slot is full");
+                        self.next_buf.push(Envelope { from, msg });
+                    }
+                    self.out_cnt[rs] = 0;
+                }
+            }
+            self.next_off[u + 1] =
+                u32::try_from(self.next_buf.len()).expect("in-flight messages exceed u32");
+        }
+        std::mem::swap(&mut self.cur_buf, &mut self.next_buf);
+        std::mem::swap(&mut self.cur_off, &mut self.next_off);
+        delivered
     }
 }
 
@@ -212,11 +454,6 @@ impl Default for SimConfig {
 pub struct Engine<'t> {
     topo: &'t Topology,
     cfg: SimConfig,
-}
-
-struct StepOut<M> {
-    sends: Vec<(NodeId, M)>,
-    error: Option<SimError>,
 }
 
 impl<'t> Engine<'t> {
@@ -245,11 +482,29 @@ impl<'t> Engine<'t> {
     ) -> Result<PhaseReport, SimError> {
         let n = self.topo.n();
         assert_eq!(nodes.len(), n, "one NodeLogic per topology node");
+        let bandwidth = self.cfg.bandwidth;
 
-        let mut inboxes: Vec<Vec<Envelope<N::Msg>>> = vec![Vec::new(); n];
+        let mut plane: Plane<N::Msg> = Plane::new(self.topo, bandwidth);
         let mut node_sent = vec![0u64; n];
         let mut messages: u64 = 0;
         let mut rounds: u64 = 0;
+        let mut peak_in_flight: u64 = 0;
+
+        // Persistent worker team for the whole phase; nothing is spawned
+        // per round. `workers == 1` keeps everything on this thread.
+        let workers = if n >= self.cfg.parallel_threshold {
+            if self.cfg.workers > 0 {
+                self.cfg.workers
+            } else {
+                worker_count(n)
+            }
+        } else {
+            1
+        };
+        let pool = (workers > 1).then(|| WorkerPool::new(workers));
+        let node_chunk = n.div_ceil(workers.max(1));
+        let mut maps: Vec<NbrMap> = (0..workers).map(|_| NbrMap::new(n)).collect();
+        let mut errors: Vec<Option<(usize, SimError)>> = vec![None; workers];
 
         let budget = match until {
             RunUntil::Exact(r) => r,
@@ -257,7 +512,7 @@ impl<'t> Engine<'t> {
         };
 
         loop {
-            let in_flight = inboxes.iter().map(Vec::len).sum::<usize>();
+            let in_flight = plane.in_flight();
             let anyone_active = nodes.iter().any(NodeLogic::active);
             match until {
                 RunUntil::Exact(r) => {
@@ -278,44 +533,168 @@ impl<'t> Engine<'t> {
                 }
             }
 
-            // Step every node for round `rounds`.
-            let round = rounds;
-            let bandwidth = self.cfg.bandwidth;
-            let topo = self.topo;
-            let inbox_ref = &inboxes;
-            let step = |i: usize, node: &mut N| -> StepOut<N::Msg> {
-                let id = i as NodeId;
-                let env =
-                    NodeEnv { id, n, round, neighbors: topo.neighbors(id) };
-                let mut out = Outbox::new(id, round, topo.neighbors(id), bandwidth);
-                node.on_round(&env, &inbox_ref[i], &mut out);
-                StepOut { sends: out.sends, error: out.error }
-            };
-            let outs: Vec<StepOut<N::Msg>> = if n >= self.cfg.parallel_threshold {
-                par_indexed_map(nodes, step)
-            } else {
-                nodes.iter_mut().enumerate().map(|(i, nd)| step(i, nd)).collect()
-            };
+            // Step every node for round `rounds`. Split the plane into its
+            // read side (current inboxes) and write side (send slots).
+            let Plane { out_cnt, out_buf, cur_buf, cur_off, .. } = &mut plane;
+            let (in_buf, in_off): (&[Envelope<N::Msg>], &[u32]) = (cur_buf, cur_off);
+            match &pool {
+                Some(pool) => {
+                    let ctx = StepCtx {
+                        topo: self.topo,
+                        round: rounds,
+                        bandwidth,
+                        n,
+                        nodes: SyncPtr(nodes.as_mut_ptr()),
+                        in_buf,
+                        in_off,
+                        out_cnt: SyncPtr(out_cnt.as_mut_ptr()),
+                        out_buf: SyncPtr(out_buf.as_mut_ptr()),
+                        maps: SyncPtr(maps.as_mut_ptr()),
+                        errors: SyncPtr(errors.as_mut_ptr()),
+                    };
+                    pool.run(&|slot| {
+                        let lo = (slot * node_chunk).min(n);
+                        let hi = ((slot + 1) * node_chunk).min(n);
+                        // SAFETY: slots own disjoint node ranges, hence
+                        // disjoint outbox slot ranges, maps and error cells;
+                        // the barrier in `pool.run` sequences all writes
+                        // before the main thread reads them.
+                        unsafe { step_range(&ctx, slot, lo, hi) };
+                    });
+                }
+                None => {
+                    let b = bandwidth as usize;
+                    let map = &mut maps[0];
+                    let err = &mut errors[0];
+                    for (i, node) in nodes.iter_mut().enumerate() {
+                        let (a, z) = (self.topo.off[i] as usize, self.topo.off[i + 1] as usize);
+                        let inbox = &in_buf[in_off[i] as usize..in_off[i + 1] as usize];
+                        step_node(
+                            self.topo,
+                            rounds,
+                            bandwidth,
+                            n,
+                            i,
+                            node,
+                            inbox,
+                            &mut out_cnt[a..z],
+                            &mut out_buf[a * b..z * b],
+                            map,
+                            err,
+                        );
+                    }
+                }
+            }
 
-            // Deliver: clear inboxes, then append in sender-id order so the
-            // receive order is deterministic.
-            for ib in &mut inboxes {
-                ib.clear();
+            // First CONGEST violation wins, by node id (worker ranges are
+            // id-ordered, so the first per-worker error with the smallest
+            // node index is the global first).
+            if let Some((_, err)) =
+                errors.iter_mut().filter_map(Option::take).min_by_key(|(i, _)| *i)
+            {
+                return Err(err);
             }
-            for (i, out) in outs.into_iter().enumerate() {
-                if let Some(err) = out.error {
-                    return Err(err);
-                }
-                node_sent[i] += out.sends.len() as u64;
-                messages += out.sends.len() as u64;
-                for (to, msg) in out.sends {
-                    inboxes[to as usize].push(Envelope { from: i as NodeId, msg });
-                }
-            }
+
+            // Deliver into the next buffer and swap: receive order is
+            // sender-id sorted by construction of the slot walk.
+            let delivered = plane.deliver(self.topo, bandwidth, &mut node_sent);
+            messages += delivered;
+            peak_in_flight = peak_in_flight.max(delivered);
             rounds += 1;
         }
 
-        Ok(PhaseReport { name: String::new(), rounds, messages, node_sent })
+        Ok(PhaseReport { name: String::new(), rounds, messages, node_sent, peak_in_flight })
+    }
+}
+
+/// Raw pointer wrapper that lets the pool task share per-worker bases.
+#[derive(Copy, Clone)]
+struct SyncPtr<T>(*mut T);
+// SAFETY: every use derives disjoint ranges per worker (see `step_range`).
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+/// Shared read-only context of one parallel round step.
+struct StepCtx<'a, N: NodeLogic> {
+    topo: &'a Topology,
+    round: u64,
+    bandwidth: u32,
+    n: usize,
+    nodes: SyncPtr<N>,
+    in_buf: &'a [Envelope<N::Msg>],
+    in_off: &'a [u32],
+    out_cnt: SyncPtr<u32>,
+    out_buf: SyncPtr<Option<N::Msg>>,
+    maps: SyncPtr<NbrMap>,
+    errors: SyncPtr<Option<(usize, SimError)>>,
+}
+
+/// Steps nodes `lo..hi` for worker `slot`.
+///
+/// # Safety
+/// Caller must guarantee that distinct concurrent calls use disjoint
+/// `lo..hi` ranges and distinct `slot`s, and that `ctx` outlives the call;
+/// the outbox slot ranges of disjoint node ranges are disjoint because the
+/// topology is CSR-ordered.
+unsafe fn step_range<N: NodeLogic>(ctx: &StepCtx<'_, N>, slot: usize, lo: usize, hi: usize) {
+    if lo >= hi {
+        return;
+    }
+    let map = &mut *ctx.maps.0.add(slot);
+    let err = &mut *ctx.errors.0.add(slot);
+    let b = ctx.bandwidth as usize;
+    let s0 = ctx.topo.off[lo] as usize;
+    let s1 = ctx.topo.off[hi] as usize;
+    let cnt = std::slice::from_raw_parts_mut(ctx.out_cnt.0.add(s0), s1 - s0);
+    let buf = std::slice::from_raw_parts_mut(ctx.out_buf.0.add(s0 * b), (s1 - s0) * b);
+    for i in lo..hi {
+        let node = &mut *ctx.nodes.0.add(i);
+        let (a, z) = (ctx.topo.off[i] as usize - s0, ctx.topo.off[i + 1] as usize - s0);
+        let inbox = &ctx.in_buf[ctx.in_off[i] as usize..ctx.in_off[i + 1] as usize];
+        step_node(
+            ctx.topo,
+            ctx.round,
+            ctx.bandwidth,
+            ctx.n,
+            i,
+            node,
+            inbox,
+            &mut cnt[a..z],
+            &mut buf[a * b..z * b],
+            map,
+            err,
+        );
+    }
+}
+
+/// Steps one node: builds its env/outbox views over the shared buffers and
+/// invokes the protocol. Identical on the sequential and parallel paths.
+#[allow(clippy::too_many_arguments)]
+fn step_node<N: NodeLogic>(
+    topo: &Topology,
+    round: u64,
+    bandwidth: u32,
+    n: usize,
+    i: usize,
+    node: &mut N,
+    inbox: &[Envelope<N::Msg>],
+    cnt: &mut [u32],
+    buf: &mut [Option<N::Msg>],
+    map: &mut NbrMap,
+    err: &mut Option<(usize, SimError)>,
+) {
+    let id = i as NodeId;
+    let neighbors = topo.neighbors(id);
+    let b = bandwidth as usize;
+    let deg = neighbors.len();
+    let env = NodeEnv { id, n, round, neighbors };
+    let mut out =
+        Outbox::new(id, round, neighbors, bandwidth, &mut cnt[..deg], &mut buf[..deg * b], map);
+    node.on_round(&env, inbox, &mut out);
+    if let Some(e) = out.error {
+        if err.is_none() {
+            *err = Some((i, e));
+        }
     }
 }
 
@@ -333,7 +712,12 @@ mod tests {
 
     impl NodeLogic for Flood {
         type Msg = ();
-        fn on_round(&mut self, env: &NodeEnv<'_>, inbox: &[Envelope<()>], out: &mut Outbox<'_, ()>) {
+        fn on_round(
+            &mut self,
+            env: &NodeEnv<'_>,
+            inbox: &[Envelope<()>],
+            out: &mut Outbox<'_, ()>,
+        ) {
             if env.round == 0 && self.is_root {
                 self.reached = Some(0);
             }
@@ -435,7 +819,12 @@ mod tests {
     }
     impl NodeLogic for Echoer {
         type Msg = u32;
-        fn on_round(&mut self, env: &NodeEnv<'_>, inbox: &[Envelope<u32>], out: &mut Outbox<'_, u32>) {
+        fn on_round(
+            &mut self,
+            env: &NodeEnv<'_>,
+            inbox: &[Envelope<u32>],
+            out: &mut Outbox<'_, u32>,
+        ) {
             if env.round == 0 && env.id == 0 {
                 out.send(env.neighbors[0], 0);
                 return;
@@ -460,6 +849,7 @@ mod tests {
         assert_eq!(report.messages, 7);
         assert_eq!(report.rounds, 8);
         assert_eq!(report.max_node_congestion(), 4);
+        assert_eq!(report.peak_in_flight, 1);
     }
 
     #[test]
@@ -498,5 +888,53 @@ mod tests {
         let mut nodes: Vec<Collect> = (0..4).map(|_| Collect { seen: vec![] }).collect();
         engine.run(&mut nodes, RunUntil::Quiesce { max: 10 }).unwrap();
         assert_eq!(nodes[2].seen, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn send_nbr_and_send_agree() {
+        struct ByIndex;
+        impl NodeLogic for ByIndex {
+            type Msg = u32;
+            fn on_round(
+                &mut self,
+                env: &NodeEnv<'_>,
+                _ib: &[Envelope<u32>],
+                out: &mut Outbox<'_, u32>,
+            ) {
+                if env.round == 0 {
+                    for ni in 0..env.neighbors.len() {
+                        out.send_nbr(ni, env.id);
+                    }
+                }
+            }
+        }
+        let g = path(5, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes = vec![ByIndex, ByIndex, ByIndex, ByIndex, ByIndex];
+        let report = engine.run(&mut nodes, RunUntil::Quiesce { max: 10 }).unwrap();
+        assert_eq!(report.messages, 8); // every directed path channel once
+    }
+
+    #[test]
+    fn topology_csr_shape() {
+        let g = path(4, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        assert_eq!(topo.n(), 4);
+        assert_eq!(topo.channels(), 6);
+        assert_eq!(topo.neighbors(1), &[0, 2]);
+        assert_eq!(topo.degree(0), 1);
+        assert!(topo.are_neighbors(2, 3));
+        assert!(!topo.are_neighbors(0, 3));
+        // Reverse-channel index round-trips.
+        for v in 0..4usize {
+            for s in topo.off[v] as usize..topo.off[v + 1] as usize {
+                let u = topo.adj[s] as usize;
+                let rs = topo.rev[s] as usize;
+                assert!((topo.off[u] as usize..topo.off[u + 1] as usize).contains(&rs));
+                assert_eq!(topo.adj[rs], v as NodeId);
+                assert_eq!(topo.rev[rs] as usize, s);
+            }
+        }
     }
 }

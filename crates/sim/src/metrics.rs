@@ -7,7 +7,7 @@
 //! algorithm.
 
 /// Statistics for one protocol phase (one [`crate::Engine::run`] call).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseReport {
     /// Human-readable phase label, e.g. `"step1: h-CSSSP"`.
     pub name: String,
@@ -17,6 +17,10 @@ pub struct PhaseReport {
     pub messages: u64,
     /// Per-node messages sent during this phase.
     pub node_sent: Vec<u64>,
+    /// Maximum number of messages in flight after any single round — the
+    /// high-water mark of the engine's message plane, tracked incrementally
+    /// by the delivery pass.
+    pub peak_in_flight: u64,
 }
 
 impl PhaseReport {
@@ -103,7 +107,8 @@ impl Recorder {
     pub fn table(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "{:<44} {:>10} {:>12} {:>10}", "phase", "rounds", "messages", "max-cong");
+        let _ =
+            writeln!(s, "{:<44} {:>10} {:>12} {:>10}", "phase", "rounds", "messages", "max-cong");
         for p in &self.phases {
             let _ = writeln!(
                 s,
@@ -131,7 +136,7 @@ mod tests {
     use super::*;
 
     fn phase(rounds: u64, messages: u64, sent: Vec<u64>) -> PhaseReport {
-        PhaseReport { name: String::new(), rounds, messages, node_sent: sent }
+        PhaseReport { rounds, messages, node_sent: sent, ..Default::default() }
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl NodeLogic for BfsNode {
                 self.announced = true;
             } else if !self.adopted_sent {
                 if let Some(p) = self.parent {
-                    out.send(p, BfsMsg::Adopt);
+                    let ni = env.neighbor_index(p).expect("parent is a neighbor");
+                    out.send_nbr(ni, BfsMsg::Adopt);
                 }
                 self.adopted_sent = true;
             }

@@ -67,10 +67,10 @@ impl<T: FloodItem> NodeLogic for FloodNode<T> {
         // Receive first: dedup and remember that the sender knows the item.
         for e in inbox {
             let idx = self.learn(e.msg.clone());
-            let ni = env.neighbors.binary_search(&e.from).expect("sender is a neighbor");
+            let ni = env.neighbor_index(e.from).expect("sender is a neighbor");
             self.peer_knows[ni].set(idx);
         }
-        // Send: for each neighbor, the first known item the peer lacks.
+        // Send: for each channel, the first known item the peer lacks.
         for ni in 0..env.neighbors.len() {
             while self.cursor[ni] < self.log.len() {
                 let i = self.cursor[ni];
@@ -78,7 +78,7 @@ impl<T: FloodItem> NodeLogic for FloodNode<T> {
                     self.cursor[ni] += 1;
                     continue;
                 }
-                out.send(env.neighbors[ni], self.log[i].clone());
+                out.send_nbr(ni, self.log[i].clone());
                 self.peer_knows[ni].set(i);
                 self.cursor[ni] += 1;
                 break;
@@ -87,9 +87,10 @@ impl<T: FloodItem> NodeLogic for FloodNode<T> {
     }
 
     fn active(&self) -> bool {
-        self.cursor.iter().enumerate().any(|(ni, &c)| {
-            (c..self.log.len()).any(|i| !self.peer_knows[ni].get(i))
-        })
+        self.cursor
+            .iter()
+            .enumerate()
+            .any(|(ni, &c)| (c..self.log.len()).any(|i| !self.peer_knows[ni].get(i)))
     }
 }
 
@@ -154,8 +155,7 @@ mod tests {
         let k = 20u32;
         let mut initial: Vec<Vec<u32>> = vec![Vec::new(); 8];
         initial[0] = (0..k).collect();
-        let (logs, report) =
-            all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
         check_all_know_all(&logs, &mut (0..k).collect());
         // Lemma A.1 shape: O(k + D) rounds.
         assert!(report.rounds <= (k as u64 + 8) + 8, "rounds = {}", report.rounds);
@@ -177,8 +177,7 @@ mod tests {
         let g = star(6, false, WeightDist::Unit, 0);
         let topo = Topology::from_graph(&g);
         // every node starts with the same item plus one unique item
-        let initial: Vec<Vec<u32>> =
-            (0..6).map(|i| vec![999, i as u32]).collect();
+        let initial: Vec<Vec<u32>> = (0..6).map(|i| vec![999, i as u32]).collect();
         let (logs, _) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
         check_all_know_all(&logs, &mut vec![999, 0, 1, 2, 3, 4, 5]);
     }
@@ -224,8 +223,7 @@ mod tests {
         let initial: Vec<Vec<u32>> = (0..6).map(|i| vec![i as u32]).collect();
         let budget = 4 * (6 + 6) + 16;
         let (_, report) =
-            flood_broadcast(&topo, SimConfig::default(), initial, RunUntil::Exact(budget))
-                .unwrap();
+            flood_broadcast(&topo, SimConfig::default(), initial, RunUntil::Exact(budget)).unwrap();
         assert_eq!(report.rounds, budget);
     }
 

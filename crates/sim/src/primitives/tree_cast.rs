@@ -15,7 +15,8 @@ use crate::primitives::bfs::BfsTree;
 use congest_graph::NodeId;
 
 struct ConvNode {
-    parent: Option<NodeId>,
+    /// Channel index of the parent (precomputed; `None` at the root).
+    parent_ni: Option<usize>,
     n_children: usize,
     /// Running partial sums; own contribution pre-loaded.
     acc: Vec<u64>,
@@ -38,18 +39,16 @@ impl NodeLogic for ConvNode {
             self.acc[mu as usize] += partial;
             self.reported[mu as usize] += 1;
         }
-        if let Some(p) = self.parent {
-            if self.next_send < self.acc.len()
-                && self.reported[self.next_send] == self.n_children
-            {
-                out.send(p, (self.next_send as u32, self.acc[self.next_send]));
+        if let Some(ni) = self.parent_ni {
+            if self.next_send < self.acc.len() && self.reported[self.next_send] == self.n_children {
+                out.send_nbr(ni, (self.next_send as u32, self.acc[self.next_send]));
                 self.next_send += 1;
             }
         }
     }
 
     fn active(&self) -> bool {
-        self.parent.is_some() && self.next_send < self.acc.len()
+        self.parent_ni.is_some() && self.next_send < self.acc.len()
     }
 }
 
@@ -75,7 +74,9 @@ pub fn convergecast_sum(
         .into_iter()
         .enumerate()
         .map(|(i, v)| ConvNode {
-            parent: tree.parent[i],
+            parent_ni: tree.parent[i].map(|p| {
+                topo.neighbors(i as NodeId).binary_search(&p).expect("tree parent is a neighbor")
+            }),
             n_children: tree.children[i].len(),
             acc: v,
             reported: vec![0; k],
@@ -94,7 +95,8 @@ pub fn convergecast_budget(tree: &BfsTree, k: usize) -> u64 {
 }
 
 struct StreamNode<T> {
-    children: Vec<NodeId>,
+    /// Channel indices of the tree children (precomputed).
+    children_ni: Vec<usize>,
     /// Items received (or originated), in index order.
     received: Vec<T>,
     /// Next item index to forward to children.
@@ -115,18 +117,17 @@ impl<T: Clone + Send + Sync + 'static> NodeLogic for StreamNode<T> {
             debug_assert_eq!(idx as usize, self.received.len(), "in-order stream");
             self.received.push(item);
         }
-        if self.next_fwd < self.received.len() && !self.children.is_empty() {
+        if self.next_fwd < self.received.len() && !self.children_ni.is_empty() {
             let item = self.received[self.next_fwd].clone();
-            for i in 0..self.children.len() {
-                let c = self.children[i];
-                out.send(c, (self.next_fwd as u32, item.clone()));
+            for i in 0..self.children_ni.len() {
+                out.send_nbr(self.children_ni[i], (self.next_fwd as u32, item.clone()));
             }
             self.next_fwd += 1;
         }
     }
 
     fn active(&self) -> bool {
-        !self.children.is_empty() && self.next_fwd < self.received.len()
+        !self.children_ni.is_empty() && self.next_fwd < self.received.len()
     }
 }
 
@@ -147,7 +148,12 @@ pub fn broadcast_stream<T: Clone + Send + Sync + 'static>(
     let engine = Engine::new(topo, cfg);
     let mut nodes: Vec<StreamNode<T>> = (0..n)
         .map(|i| StreamNode {
-            children: tree.children[i].clone(),
+            children_ni: tree.children[i]
+                .iter()
+                .map(|c| {
+                    topo.neighbors(i as NodeId).binary_search(c).expect("tree child is a neighbor")
+                })
+                .collect(),
             received: if i as NodeId == tree.root { values.clone() } else { Vec::new() },
             next_fwd: 0,
         })

@@ -1,0 +1,263 @@
+//! Offline vendor stub of `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`] — over
+//! a plain wall-clock harness: a warm-up pass sizes the batch, then
+//! `sample_size` timed samples produce min/median/mean statistics printed in
+//! a criterion-like format. No plotting, no statistical regression analysis.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, e.g. `name/42`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Per-iteration timing callback holder.
+pub struct Bencher {
+    /// Median/mean/min of the collected samples, filled by [`Bencher::iter`].
+    result: Option<Stats>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, criterion-style: warm up, pick a batch size so one
+    /// sample takes ≳1 ms, then collect `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: run until 10 ms of work or 100 iters.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(10) && warmup_iters < 100 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min_ns = samples[0];
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.result = Some(Stats { min_ns, median_ns, mean_ns, iters_per_sample: iters });
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher {
+            result: None,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) => {
+                println!(
+                    "{full:<48} time: [{} {} {}]  ({} iters/sample)",
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.median_ns),
+                    fmt_ns(s.mean_ns),
+                    s.iters_per_sample
+                );
+                self.criterion.results.push((full, s));
+            }
+            None => println!("{full:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.as_ref(), f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under a parameterized id.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+    /// All `(name, stats)` results collected so far, for programmatic use.
+    pub results: Vec<(String, Stats)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks; harness flags
+        // cargo passes (e.g. --bench) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmarks `f` as a stand-alone (group-less) benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        };
+        group.run(id.as_ref(), f);
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion { filter: None, results: Vec::new() };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(5));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1.median_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_format() {
+        let id = BenchmarkId::new("f", 42);
+        assert_eq!(id.id, "f/42");
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion { filter: Some("nomatch".into()), results: Vec::new() };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| 1));
+        group.finish();
+        assert!(c.results.is_empty());
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline vendor stub of `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`, `x in
+//! strategy` and `x: type` parameters), range and tuple strategies,
+//! [`collection::vec`], `any::<T>()`, and the `prop_assert*` /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed schedule (stable across runs and platforms, good for
+//! CI), and failing inputs are reported but not shrunk.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Outcome of one generated case: `Err` carries the failure message,
+/// `Ok(false)` means the case was discarded by [`prop_assume!`].
+pub type CaseResult = Result<bool, String>;
+
+/// Deterministic SplitMix64 source driving the strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one (test, case) pair.
+    #[must_use]
+    pub fn new(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator. Strategies are sampled fresh for every case.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let r = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) - 1) as f64);
+        self.start() + unit * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Strategy for any value of a type with a canonical distribution.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical whole-type strategy (`any::<bool>()`, ...).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy of [`any::<bool>()`](any): fair coin.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $s:ident),*) => {$(
+        /// Strategy of `any::<$t>()`: uniform over the full range.
+        #[derive(Clone, Copy, Debug)]
+        pub struct $s;
+        impl Strategy for $s {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = $s;
+            fn arbitrary() -> $s { $s }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64, usize => AnyUsize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    pub trait IntoSizeRange {
+        /// Convert to a half-open range of lengths.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into_size_range() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property test: runs `config.cases` generated cases, panicking
+/// on the first failure with the case's seed and bound values.
+pub fn run_property_test(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> (Vec<String>, CaseResult),
+) {
+    let mut executed: u32 = 0;
+    let mut attempts: u64 = 0;
+    // Discarded cases (prop_assume!) don't count toward `cases`, but bail
+    // out if the assumption rejects nearly everything.
+    let max_attempts = u64::from(config.cases) * 16 + 64;
+    while executed < config.cases && attempts < max_attempts {
+        let mut rng = TestRng::new(test_name, attempts);
+        attempts += 1;
+        let (bindings, outcome) = case(&mut rng);
+        match outcome {
+            Ok(true) => executed += 1,
+            Ok(false) => {}
+            Err(msg) => {
+                panic!(
+                    "proptest '{test_name}' failed at case {} (seed {}):\n  {}\n  with inputs:\n    {}",
+                    executed,
+                    attempts - 1,
+                    msg,
+                    bindings.join("\n    "),
+                );
+            }
+        }
+    }
+}
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the case's
+/// inputs are reported and the test panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two expressions differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(false);
+        }
+    };
+}
+
+/// Binds the parameter list of one property-test case. Each parameter is
+/// either `name in strategy` or `name: Type` (which uses `any::<Type>()`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $vals:ident;) => {};
+    ($rng:ident, $vals:ident; $name:ident in $strategy:expr) => {
+        $crate::__proptest_bind!($rng, $vals; $name in $strategy,);
+    };
+    ($rng:ident, $vals:ident; $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strategy), $rng);
+        $vals.push(format!("{} = {:?}", stringify!($name), $name));
+        $crate::__proptest_bind!($rng, $vals; $($rest)*);
+    };
+    ($rng:ident, $vals:ident; $name:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng, $vals; $name : $ty,);
+    };
+    ($rng:ident, $vals:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Strategy::sample(&$crate::any::<$ty>(), $rng);
+        $vals.push(format!("{} = {:?}", stringify!($name), $name));
+        $crate::__proptest_bind!($rng, $vals; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_property_test(stringify!($name), &__config, |__rng| {
+                let mut __vals: Vec<String> = Vec::new();
+                $crate::__proptest_bind!(__rng, __vals; $($params)*);
+                // The body runs in a closure returning `CaseResult`;
+                // prop_assert!/prop_assume! return early from it, and plain
+                // assert!/panic! unwind as usual.
+                let __outcome = (|| -> $crate::CaseResult {
+                    $body
+                    Ok(true)
+                })();
+                (__vals, __outcome)
+            });
+        }
+    )*};
+}
+
+/// The property-test entry macro, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..10, b in 0usize..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn type_params_and_tuples(flag: bool, pair in (0u32..5, 10u64..20)) {
+            let _ = flag;
+            prop_assert!(pair.0 < 5);
+            prop_assert!((10..20).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec((0usize..3, 0u32..7), 0..10)) {
+            prop_assert!(v.len() < 10);
+            for (a, b) in v {
+                prop_assert!(a < 3 && b < 7);
+            }
+        }
+
+        #[test]
+        fn assume_discards(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(n in 0u64..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_schedule() {
+        let mut a = crate::TestRng::new("t", 3);
+        let mut b = crate::TestRng::new("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

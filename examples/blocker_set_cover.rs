@@ -9,9 +9,7 @@
 //! cargo run --release --example blocker_set_cover
 //! ```
 
-use congest_apsp::blocker::{
-    alg2_blocker, greedy_blocker, is_valid_blocker, PathCtx, Selection,
-};
+use congest_apsp::blocker::{alg2_blocker, greedy_blocker, is_valid_blocker, PathCtx, Selection};
 use congest_apsp::config::{BlockerParams, Charging};
 use congest_apsp::csssp::build_csssp;
 use congest_derand::{brs_cover, greedy_cover, verify_cover, BrsParams};
@@ -42,20 +40,13 @@ fn main() {
     )
     .unwrap();
     let (ctx, _) = PathCtx::build(&topo, SimConfig::default(), &coll).unwrap();
-    println!(
-        "workload: broom n={n}, h={h}: {} full-length paths to cover\n",
-        ctx.alive_count()
-    );
+    println!("workload: broom n={n}, h={h}: {} full-length paths to cover\n", ctx.alive_count());
 
     // Greedy baseline of [2].
     let mut grec = Recorder::new();
     let gres = greedy_blocker(&topo, SimConfig::default(), &coll, &mut grec).unwrap();
     assert!(is_valid_blocker(&coll, &gres.q));
-    println!(
-        "greedy [2]          : |Q| = {:2}, rounds = {:6}",
-        gres.q.len(),
-        grec.total_rounds()
-    );
+    println!("greedy [2]          : |Q| = {:2}, rounds = {:6}", gres.q.len(), grec.total_rounds());
 
     // Randomized Algorithm 2.
     let mut rrec = Recorder::new();
@@ -103,11 +94,7 @@ fn main() {
     let sg = greedy_cover(&hg);
     let (sb, _) = brs_cover(&hg, BrsParams::default(), congest_derand::Selection::Derandomized);
     assert!(verify_cover(&hg, &sg) && verify_cover(&hg, &sb));
-    println!(
-        "\nsequential oracles  : greedy cover = {}, BRS cover = {}",
-        sg.len(),
-        sb.len()
-    );
+    println!("\nsequential oracles  : greedy cover = {}, BRS cover = {}", sg.len(), sb.len());
     println!(
         "\nLemma 3.10 bound    : O(n ln p / h) = {:.1} (p = {} paths)",
         (n as f64) * (ctx.alive_count().max(2) as f64).ln() / h as f64,

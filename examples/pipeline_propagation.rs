@@ -32,16 +32,9 @@ fn main() {
 
     // Paper pipeline (Algorithms 8 + 9).
     let mut rec = Recorder::new();
-    let (out, stats) = propagate_to_blockers(
-        &g,
-        &topo,
-        &cfg,
-        BlockerParams::default(),
-        &q,
-        &dvals,
-        &mut rec,
-    )
-    .unwrap();
+    let (out, stats) =
+        propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
+            .unwrap();
     for (qi, &c) in q.iter().enumerate() {
         let oracle = dijkstra(&g, c, Direction::In);
         assert_eq!(out[qi], oracle, "delivery to blocker {c} incomplete");

@@ -13,21 +13,12 @@ use congest_graph::seq::apsp_dijkstra;
 fn main() {
     let n = 48;
     let g = gnm_connected(n, 3 * n, true, WeightDist::Uniform(0, 100), 2026);
-    println!(
-        "graph: n = {}, m = {}, directed = {}\n",
-        g.n(),
-        g.m(),
-        g.is_directed()
-    );
+    println!("graph: n = {}, m = {}, directed = {}\n", g.n(), g.m(), g.is_directed());
 
     let cfg = ApspConfig::default();
-    let out = apsp_agarwal_ramachandran(
-        &g,
-        &cfg,
-        BlockerMethod::Derandomized,
-        Step6Method::Pipelined,
-    )
-    .expect("simulation is a legal CONGEST protocol");
+    let out =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .expect("simulation is a legal CONGEST protocol");
 
     // Verify exactness against the sequential oracle.
     let oracle = apsp_dijkstra(&g);

@@ -59,12 +59,13 @@ fn main() {
         rows.push(row);
     }
     let series = |f: fn(&(usize, u64, u64, u64)) -> u64| -> f64 {
-        fit_exponent(
-            &rows.iter().map(|r| (r.0 as f64, f(r) as f64)).collect::<Vec<_>>(),
-        )
+        fit_exponent(&rows.iter().map(|r| (r.0 as f64, f(r) as f64)).collect::<Vec<_>>())
     };
     println!("\nfitted log-log exponents (paper bounds: 4/3, 3/2, 2):");
-    println!("  this-paper : {:.2}  (Õ(n^4/3); polylog factors inflate small-n fits)", series(|r| r.1));
+    println!(
+        "  this-paper : {:.2}  (Õ(n^4/3); polylog factors inflate small-n fits)",
+        series(|r| r.1)
+    );
     println!("  AR18-style : {:.2}  (Õ(n^3/2))", series(|r| r.2));
     println!("  naive      : {:.2}  (O(n^2))", series(|r| r.3));
 }

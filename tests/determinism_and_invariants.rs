@@ -2,9 +2,7 @@
 //! blocker validity through the public API, congestion bounds, and
 //! randomized-variant stability across seeds.
 
-use congest_apsp::{
-    apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Charging, Step6Method,
-};
+use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Charging, Step6Method};
 use congest_graph::generators::{Family, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 
@@ -12,10 +10,12 @@ use congest_graph::seq::apsp_dijkstra;
 fn deterministic_runs_are_bit_identical() {
     let g = Family::SparseRandom.build(16, true, WeightDist::Uniform(0, 9), 77);
     let cfg = ApspConfig::default();
-    let a = apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-        .unwrap();
-    let b = apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-        .unwrap();
+    let a =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
+    let b =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
     assert_eq!(a.dist, b.dist);
     assert_eq!(a.meta.q, b.meta.q);
     assert_eq!(a.recorder.total_rounds(), b.recorder.total_rounds());
@@ -33,13 +33,9 @@ fn randomized_variant_same_answer_any_seed() {
     let mut rounds = Vec::new();
     for seed in [1u64, 99, 12345] {
         let cfg = ApspConfig { seed, ..Default::default() };
-        let out = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Randomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let out =
+            apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Randomized, Step6Method::Pipelined)
+                .unwrap();
         assert_eq!(out.dist, oracle, "seed {seed}");
         rounds.push(out.recorder.total_rounds());
     }
@@ -59,13 +55,9 @@ fn blocker_set_reported_in_meta_is_valid() {
 
     let g = Family::Broom.build(18, true, WeightDist::Uniform(1, 5), 9);
     let cfg = ApspConfig::default();
-    let out = apsp_agarwal_ramachandran(
-        &g,
-        &cfg,
-        BlockerMethod::Derandomized,
-        Step6Method::Pipelined,
-    )
-    .unwrap();
+    let out =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
     let topo = Topology::from_graph(&g);
     let mut rec = Recorder::new();
     let sources: Vec<NodeId> = (0..g.n() as NodeId).collect();
@@ -88,13 +80,9 @@ fn blocker_set_reported_in_meta_is_valid() {
 fn step6_congestion_bound_holds() {
     let g = Family::SparseRandom.build(20, true, WeightDist::Uniform(0, 9), 21);
     let cfg = ApspConfig::default();
-    let out = apsp_agarwal_ramachandran(
-        &g,
-        &cfg,
-        BlockerMethod::Derandomized,
-        Step6Method::Pipelined,
-    )
-    .unwrap();
+    let out =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
     if let Some(s6) = &out.meta.step6 {
         let q = out.meta.q.len();
         if q > 0 {
@@ -133,8 +121,9 @@ fn quiesce_never_slower_than_worst_case() {
 fn trivial_step6_matches_pipelined() {
     let g = Family::Grid.build(16, false, WeightDist::Uniform(1, 9), 8);
     let cfg = ApspConfig::default();
-    let a = apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-        .unwrap();
+    let a =
+        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
+            .unwrap();
     let b = apsp_agarwal_ramachandran(
         &g,
         &cfg,

@@ -2,9 +2,7 @@
 //! distributed APSP must always equal the oracle, blocker sets must always
 //! cover, and the simulator must never report a CONGEST violation.
 
-use congest_apsp::{
-    apsp_agarwal_ramachandran, apsp_ar18, ApspConfig, BlockerMethod, Step6Method,
-};
+use congest_apsp::{apsp_agarwal_ramachandran, apsp_ar18, ApspConfig, BlockerMethod, Step6Method};
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 use proptest::prelude::*;
