@@ -1,6 +1,8 @@
 //! Engine-throughput benchmark: the flat double-buffered message plane vs
 //! the pre-refactor boxed engine (`congest_bench::legacy`), on sustained
-//! flood and Bellman–Ford workloads at n = 2^12.
+//! flood and Bellman–Ford workloads at n = 2^12 and n = 2^15 (the larger
+//! size answers the ROADMAP question of where the persistent worker pool
+//! starts paying off).
 //!
 //! Run with `cargo bench -p congest_bench --bench engine`. Set
 //! `BENCH_ENGINE_JSON=path` to additionally write the measured numbers as
@@ -17,7 +19,7 @@ use congest_sim::{Engine, Envelope, NodeEnv, NodeLogic, Outbox, RunUntil, SimCon
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::VecDeque;
 
-const N: usize = 1 << 12;
+const SIZES: &[usize] = &[1 << 12, 1 << 15];
 const WAVES: u32 = 64;
 const BF_ROUNDS: u64 = 48;
 
@@ -183,8 +185,8 @@ impl LegacyLogic for BfRelax {
 // Harness
 // ---------------------------------------------------------------------
 
-fn workload_topo() -> Topology {
-    Topology::from_graph(&gnm_connected(N, 2 * N, false, WeightDist::Unit, 7))
+fn workload_topo(n: usize) -> Topology {
+    Topology::from_graph(&gnm_connected(n, 2 * n, false, WeightDist::Unit, 7))
 }
 
 /// Sequential flat-plane configuration.
@@ -216,12 +218,16 @@ struct MeasuredWorkload {
     flat_par_ns: f64,
 }
 
-#[allow(clippy::too_many_lines)]
-fn bench_engine(c: &mut Criterion) {
-    let topo = workload_topo();
+struct MeasuredSize {
+    n: usize,
+    workloads: Vec<MeasuredWorkload>,
+}
+
+fn measure_size(c: &mut Criterion, n: usize) -> MeasuredSize {
+    let topo = workload_topo(n);
 
     // -------- cross-check both engines before timing --------
-    let mk_flood = || (0..N).map(|i| WaveFlood::new(i == 0)).collect::<Vec<_>>();
+    let mk_flood = || (0..n).map(|i| WaveFlood::new(i == 0)).collect::<Vec<_>>();
     let (fr, fm) = {
         let mut nodes = mk_flood();
         legacy_run(&topo, 1, &mut nodes, 100_000)
@@ -229,7 +235,7 @@ fn bench_engine(c: &mut Criterion) {
     assert_eq!((fr, fm), run_flat(&topo, flat_seq(), mk_flood), "flood: engines disagree");
     assert_eq!((fr, fm), run_flat(&topo, flat_par(), mk_flood), "flood: parallel disagrees");
 
-    let mk_bf = || (0..N).map(|i| BfRelax::new(i as NodeId)).collect::<Vec<_>>();
+    let mk_bf = || (0..n).map(|i| BfRelax::new(i as NodeId)).collect::<Vec<_>>();
     let (br, bm) = {
         let mut nodes = mk_bf();
         legacy_run(&topo, 1, &mut nodes, 100_000)
@@ -238,7 +244,8 @@ fn bench_engine(c: &mut Criterion) {
     assert_eq!((br, bm), run_flat(&topo, flat_par(), mk_bf), "bf: parallel disagrees");
 
     // -------- timing --------
-    let mut group = c.benchmark_group("engine-n4096");
+    let group_name = format!("engine-n{n}");
+    let mut group = c.benchmark_group(&group_name);
     group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("flood/legacy-boxed", |b| {
         b.iter(|| {
@@ -258,11 +265,13 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("bf/flat-par", |b| b.iter(|| run_flat(&topo, flat_par(), mk_bf)));
     group.finish();
 
-    // -------- summary + optional JSON --------
     let median = |suffix: &str| -> f64 {
-        c.results.iter().find(|(n, _)| n.ends_with(suffix)).map_or(0.0, |(_, s)| s.median_ns)
+        c.results
+            .iter()
+            .find(|(name, _)| name.starts_with(&group_name) && name.ends_with(suffix))
+            .map_or(0.0, |(_, s)| s.median_ns)
     };
-    let measured = [
+    let workloads = vec![
         MeasuredWorkload {
             name: "flood",
             rounds: fr,
@@ -281,12 +290,12 @@ fn bench_engine(c: &mut Criterion) {
         },
     ];
 
-    for w in &measured {
+    for w in &workloads {
         if w.flat_seq_ns == 0.0 || w.flat_par_ns == 0.0 {
             continue; // filtered out on this run
         }
         println!(
-            "{}: rounds={} messages={} | legacy {:.2} ms | flat-seq {:.2} ms ({:.2}x) | flat-par {:.2} ms ({:.2}x)",
+            "n={n} {}: rounds={} messages={} | legacy {:.2} ms | flat-seq {:.2} ms ({:.2}x) | flat-par {:.2} ms ({:.2}x, par-vs-seq {:.2}x)",
             w.name,
             w.rounds,
             w.messages,
@@ -295,28 +304,55 @@ fn bench_engine(c: &mut Criterion) {
             w.legacy_ns / w.flat_seq_ns,
             w.flat_par_ns / 1e6,
             w.legacy_ns / w.flat_par_ns,
+            w.flat_seq_ns / w.flat_par_ns,
         );
     }
+
+    MeasuredSize { n, workloads }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let sizes: Vec<MeasuredSize> = SIZES.iter().map(|&n| measure_size(c, n)).collect();
 
     if let Ok(path) = std::env::var("BENCH_ENGINE_JSON") {
         let mut json = String::from("{\n");
         json.push_str(
             "  \"benchmark\": \"engine message plane: legacy boxed vs flat double-buffered\",\n",
         );
-        json.push_str(&format!("  \"n\": {N},\n  \"extra_edges\": {},\n", 2 * N));
-        json.push_str("  \"workloads\": [\n");
-        for (i, w) in measured.iter().enumerate() {
+        json.push_str("  \"sizes\": [\n");
+        for (si, size) in sizes.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\n      \"name\": \"{}\",\n      \"rounds\": {},\n      \"messages\": {},\n      \"legacy_boxed_ms\": {:.3},\n      \"flat_seq_ms\": {:.3},\n      \"flat_par_ms\": {:.3},\n      \"speedup_flat_seq_vs_legacy\": {:.2},\n      \"speedup_flat_par_vs_legacy\": {:.2}\n    }}{}\n",
-                w.name,
-                w.rounds,
-                w.messages,
-                w.legacy_ns / 1e6,
-                w.flat_seq_ns / 1e6,
-                w.flat_par_ns / 1e6,
-                w.legacy_ns / w.flat_seq_ns,
-                w.legacy_ns / w.flat_par_ns,
-                if i + 1 < measured.len() { "," } else { "" },
+                "    {{\n      \"n\": {},\n      \"extra_edges\": {},\n      \"workloads\": [\n",
+                size.n,
+                2 * size.n
+            ));
+            // A name filter (`cargo bench ... -- <substring>`) leaves
+            // skipped benchmarks with 0.0 medians; emitting those would put
+            // NaN/inf ratios in the JSON, so drop them like the console
+            // summary does.
+            let complete: Vec<&MeasuredWorkload> = size
+                .workloads
+                .iter()
+                .filter(|w| w.legacy_ns > 0.0 && w.flat_seq_ns > 0.0 && w.flat_par_ns > 0.0)
+                .collect();
+            for (i, w) in complete.iter().enumerate() {
+                json.push_str(&format!(
+                    "        {{\n          \"name\": \"{}\",\n          \"rounds\": {},\n          \"messages\": {},\n          \"legacy_boxed_ms\": {:.3},\n          \"flat_seq_ms\": {:.3},\n          \"flat_par_ms\": {:.3},\n          \"speedup_flat_seq_vs_legacy\": {:.2},\n          \"speedup_flat_par_vs_legacy\": {:.2},\n          \"speedup_flat_par_vs_flat_seq\": {:.2}\n        }}{}\n",
+                    w.name,
+                    w.rounds,
+                    w.messages,
+                    w.legacy_ns / 1e6,
+                    w.flat_seq_ns / 1e6,
+                    w.flat_par_ns / 1e6,
+                    w.legacy_ns / w.flat_seq_ns,
+                    w.legacy_ns / w.flat_par_ns,
+                    w.flat_seq_ns / w.flat_par_ns,
+                    if i + 1 < complete.len() { "," } else { "" },
+                ));
+            }
+            json.push_str(&format!(
+                "      ]\n    }}{}\n",
+                if si + 1 < sizes.len() { "," } else { "" }
             ));
         }
         json.push_str("  ]\n}\n");

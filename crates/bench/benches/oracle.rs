@@ -1,0 +1,227 @@
+//! Oracle serving-layer throughput: single-operation latencies via the
+//! criterion harness, plus a multi-threaded queries/sec measurement of the
+//! sharded [`QueryEngine`].
+//!
+//! Run with `cargo bench -p congest_bench --bench oracle`. Set
+//! `BENCH_ORACLE_JSON=path` to additionally write the measured numbers as
+//! JSON (this is how `BENCH_oracle.json` at the repo root is produced).
+//!
+//! The oracle is built from the sequential Dijkstra solution (bit-identical
+//! to the distributed pipeline's output, as the exactness suites prove) so
+//! the benchmark spends its time on the serving layer, not on re-running
+//! the CONGEST simulation.
+
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::NodeId;
+use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 1 << 11; // 2048 nodes => 4M distances, 4M successors
+const QUERIES_PER_THREAD: u64 = 200_000;
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
+/// Fraction of mixed-workload queries that ask for a full path (the rest
+/// are point distance lookups): 1 in 8.
+const PATH_EVERY: u64 = 8;
+
+fn build_engine(cache_per_shard: usize) -> QueryEngine<u64> {
+    let g = gnm_connected(N, 4 * N, true, WeightDist::Uniform(1, 100), 2026);
+    let oracle = Oracle::from_dist(&g, apsp_dijkstra(&g));
+    QueryEngine::new(Arc::new(oracle), EngineConfig { shards: 64, cache_per_shard })
+}
+
+/// xorshift64* — cheap per-thread query-id stream.
+fn next_rng(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn pair(state: &mut u64) -> (NodeId, NodeId) {
+    let r = next_rng(state);
+    (((r % N as u64) as u32), (((r >> 32) % N as u64) as u32))
+}
+
+/// Runs `threads` workers, each issuing `QUERIES_PER_THREAD` mixed
+/// dist/path queries; returns aggregate queries per second.
+fn mixed_qps(engine: &QueryEngine<u64>, threads: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut state = 0x9E37_79B9 + t as u64;
+                let mut checksum = 0u64;
+                for i in 0..QUERIES_PER_THREAD {
+                    let (u, v) = pair(&mut state);
+                    if i % PATH_EVERY == 0 {
+                        if let Some(p) = engine.path(u, v).expect("in range") {
+                            checksum ^= p.len() as u64;
+                        }
+                    } else if let Some(d) = engine.dist(u, v).expect("in range") {
+                        checksum ^= d;
+                    }
+                }
+                black_box(checksum);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * QUERIES_PER_THREAD) as f64 / secs
+}
+
+/// Hot-route workload: every thread requests full paths from a small set
+/// of popular pairs — the skewed-traffic regime the per-shard LRU cache
+/// exists for (uniform random pairs over n² are its worst case).
+fn hot_path_qps(engine: &QueryEngine<u64>, threads: usize, hot: &[(NodeId, NodeId)]) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut state = 0xDEAD_BEEF + t as u64;
+                let mut checksum = 0u64;
+                for _ in 0..QUERIES_PER_THREAD {
+                    let (u, v) = hot[(next_rng(&mut state) % hot.len() as u64) as usize];
+                    if let Some(p) = engine.path(u, v).expect("in range") {
+                        checksum ^= p.len() as u64;
+                    }
+                }
+                black_box(checksum);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * QUERIES_PER_THREAD) as f64 / secs
+}
+
+struct ThroughputPoint {
+    threads: usize,
+    qps: f64,
+    hot_qps: f64,
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let engine = build_engine(4096);
+    let oracle = Arc::clone(engine.oracle());
+
+    // -------- single-operation latencies --------
+    let mut group = c.benchmark_group("oracle-ops");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let mut state = 1u64;
+    group.bench_function("dist", |b| {
+        b.iter(|| {
+            let (u, v) = pair(&mut state);
+            black_box(oracle.distance(u, v))
+        })
+    });
+    group.bench_function("path-uncached", |b| {
+        b.iter(|| {
+            let (u, v) = pair(&mut state);
+            black_box(oracle.path(u, v))
+        })
+    });
+    group.bench_function("path-cached", |b| {
+        b.iter(|| {
+            let (u, v) = pair(&mut state);
+            black_box(engine.path(u, v).expect("in range"))
+        })
+    });
+    group.bench_function("k-nearest-10", |b| {
+        b.iter(|| {
+            let (u, _) = pair(&mut state);
+            black_box(oracle.k_nearest(u, 10))
+        })
+    });
+    group.finish();
+
+    // -------- concurrent throughput --------
+    // Per-workload cache accounting: the counters are cumulative across the
+    // whole process, so each phase's hit rate is computed from the delta of
+    // `cache_stats()` around it (the ops benches above already polluted the
+    // absolute numbers).
+    let delta_rate = |before: congest_oracle::CacheStats, after: congest_oracle::CacheStats| {
+        let hits = after.hits - before.hits;
+        let misses = after.misses - before.misses;
+        hits as f64 / (hits + misses).max(1) as f64
+    };
+    let hot: Vec<(NodeId, NodeId)> = {
+        let mut state = 7u64;
+        (0..4096).map(|_| pair(&mut state)).collect()
+    };
+
+    let before_mixed = engine.cache_stats();
+    let mixed: Vec<f64> = THREAD_COUNTS.iter().map(|&t| mixed_qps(&engine, t)).collect();
+    let uniform_hit_rate = delta_rate(before_mixed, engine.cache_stats());
+
+    let before_hot = engine.cache_stats();
+    let hots: Vec<f64> = THREAD_COUNTS.iter().map(|&t| hot_path_qps(&engine, t, &hot)).collect();
+    let hot_hit_rate = delta_rate(before_hot, engine.cache_stats());
+
+    let points: Vec<ThroughputPoint> = THREAD_COUNTS
+        .iter()
+        .zip(mixed.iter().zip(&hots))
+        .map(|(&threads, (&qps, &hot_qps))| ThroughputPoint { threads, qps, hot_qps })
+        .collect();
+    for p in &points {
+        println!(
+            "oracle-qps/{}-threads: {:.2} M queries/sec (mixed {}:1 dist:path, uniform) | {:.2} M paths/sec (hot routes)",
+            p.threads,
+            p.qps / 1e6,
+            PATH_EVERY - 1,
+            p.hot_qps / 1e6,
+        );
+    }
+    println!(
+        "path cache: {:.1}% hit rate on uniform pairs, {:.1}% on hot routes, {} resident",
+        uniform_hit_rate * 100.0,
+        hot_hit_rate * 100.0,
+        engine.cached_paths()
+    );
+
+    // -------- snapshot size, for the record --------
+    let snapshot_bytes = oracle.to_bytes().len();
+
+    if let Ok(path) = std::env::var("BENCH_ORACLE_JSON") {
+        let median = |suffix: &str| -> f64 {
+            c.results.iter().find(|(n, _)| n.ends_with(suffix)).map_or(0.0, |(_, s)| s.median_ns)
+        };
+        let mut json = String::from("{\n");
+        json.push_str("  \"benchmark\": \"distance-oracle serving layer throughput\",\n");
+        json.push_str(&format!(
+            "  \"n\": {N},\n  \"extra_edges\": {},\n  \"snapshot_bytes\": {snapshot_bytes},\n",
+            4 * N
+        ));
+        json.push_str(&format!(
+            "  \"ops_ns\": {{\n    \"dist\": {:.1},\n    \"path_uncached\": {:.1},\n    \"path_cached\": {:.1},\n    \"k_nearest_10\": {:.1}\n  }},\n",
+            median("dist"),
+            median("path-uncached"),
+            median("path-cached"),
+            median("k-nearest-10"),
+        ));
+        json.push_str(&format!(
+            "  \"workload\": {{\n    \"queries_per_thread\": {QUERIES_PER_THREAD},\n    \"uniform_dist_to_path_ratio\": \"{}:1\",\n    \"uniform_cache_hit_rate\": {uniform_hit_rate:.3},\n    \"hot_route_pairs\": {},\n    \"hot_route_cache_hit_rate\": {hot_hit_rate:.3}\n  }},\n",
+            PATH_EVERY - 1,
+            hot.len(),
+        ));
+        json.push_str("  \"throughput\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{ \"threads\": {}, \"uniform_mixed_queries_per_sec\": {:.0}, \"hot_route_paths_per_sec\": {:.0} }}{}\n",
+                p.threads,
+                p.qps,
+                p.hot_qps,
+                if i + 1 < points.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write BENCH_ORACLE_JSON");
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

@@ -66,6 +66,22 @@ pub struct ApspOutcome<W> {
     pub meta: ApspMeta,
 }
 
+impl<W> ApspOutcome<W> {
+    /// Number of nodes the run covered.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Consumes the outcome, handing the n² distance matrix to a consumer
+    /// (e.g. the `congest_oracle` serving layer) without cloning it; the
+    /// recorder and metadata are dropped.
+    #[must_use]
+    pub fn into_dist(self) -> Vec<Vec<W>> {
+        self.dist
+    }
+}
+
 /// Flood payload for Step 4: one (from-blocker, to-blocker, δ_h) entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct QPairItem<W> {

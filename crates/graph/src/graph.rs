@@ -85,6 +85,13 @@ impl<W: Weight> Csr<W> {
     fn degree(&self, v: NodeId) -> usize {
         (self.index[v as usize + 1] - self.index[v as usize]) as usize
     }
+
+    #[inline]
+    fn row_slices(&self, v: NodeId) -> (&[NodeId], &[W]) {
+        let lo = self.index[v as usize] as usize;
+        let hi = self.index[v as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
 }
 
 /// A weighted graph with n nodes, usable as both the shortest-path input and
@@ -187,6 +194,23 @@ impl<W: Weight> Graph<W> {
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, W)> + '_ {
         self.into.row(v)
+    }
+
+    /// Outgoing adjacency of `v` as parallel `(targets, weights)` CSR row
+    /// slices, sorted by target id. The zero-cost access path for dense
+    /// per-edge scans (e.g. successor-matrix derivation in the oracle).
+    #[inline]
+    #[must_use]
+    pub fn out_row(&self, v: NodeId) -> (&[NodeId], &[W]) {
+        self.out.row_slices(v)
+    }
+
+    /// Incoming adjacency of `v` as parallel `(sources, weights)` CSR row
+    /// slices, sorted by source id.
+    #[inline]
+    #[must_use]
+    pub fn in_row(&self, v: NodeId) -> (&[NodeId], &[W]) {
+        self.into.row_slices(v)
     }
 
     /// Out-degree of `v`.
@@ -312,6 +336,19 @@ mod tests {
         assert!(!g.are_comm_neighbors(0, 3));
         assert!(g.is_comm_connected());
         assert_eq!(g.comm_channel_count(), 4);
+    }
+
+    #[test]
+    fn row_slices_mirror_edge_iterators() {
+        let g = diamond();
+        for v in 0..4u32 {
+            let (t, w) = g.out_row(v);
+            let pairs: Vec<_> = t.iter().copied().zip(w.iter().copied()).collect();
+            assert_eq!(pairs, g.out_edges(v).collect::<Vec<_>>());
+            let (s, w) = g.in_row(v);
+            let pairs: Vec<_> = s.iter().copied().zip(w.iter().copied()).collect();
+            assert_eq!(pairs, g.in_edges(v).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! The sharded, read-mostly concurrent query server.
+//!
+//! A [`QueryEngine`] wraps an `Arc`'d [`Oracle`] and answers
+//! `dist` / `path` / `k_nearest` queries from any number of threads:
+//! distance and k-nearest reads touch only the immutable snapshot (no
+//! locks at all), while path reconstruction goes through a per-shard LRU
+//! cache of `Arc<[NodeId]>` walks so hot routes are served without
+//! re-walking the successor matrix and shard mutexes are only ever held
+//! for O(1) cache operations.
+
+use crate::lru::LruCache;
+use crate::oracle::Oracle;
+use congest_graph::{NodeId, Weight};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs for a [`QueryEngine`].
+#[derive(Copy, Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of cache shards (rounded up to a power of two, min 1). More
+    /// shards mean less lock contention between worker threads.
+    pub shards: usize,
+    /// LRU capacity of each shard's path cache; 0 disables path caching.
+    pub cache_per_shard: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { shards: 16, cache_per_shard: 1024 }
+    }
+}
+
+/// A query that could not be answered.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A node id at or beyond the snapshot's node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the snapshot.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Aggregate path-cache counters across all shards.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Path queries served from a shard cache.
+    pub hits: u64,
+    /// Path queries that had to walk the successor matrix.
+    pub misses: u64,
+}
+
+type PathCache = LruCache<(NodeId, NodeId), Arc<[NodeId]>>;
+
+/// Sharded concurrent query server over an immutable oracle snapshot.
+///
+/// Cheap to share: clone the `Arc<QueryEngine>` (or just `&`-borrow it)
+/// into worker threads.
+pub struct QueryEngine<W> {
+    oracle: Arc<Oracle<W>>,
+    shards: Box<[Mutex<PathCache>]>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<W: Weight> QueryEngine<W> {
+    /// Builds an engine serving `oracle` with the given sharding/caching
+    /// configuration.
+    #[must_use]
+    pub fn new(oracle: Arc<Oracle<W>>, cfg: EngineConfig) -> Self {
+        let shards = cfg.shards.max(1).next_power_of_two();
+        QueryEngine {
+            oracle,
+            shards: (0..shards).map(|_| Mutex::new(LruCache::new(cfg.cache_per_shard))).collect(),
+            mask: shards as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot being served.
+    #[must_use]
+    pub fn oracle(&self) -> &Arc<Oracle<W>> {
+        &self.oracle
+    }
+
+    /// Number of cache shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn check(&self, node: NodeId) -> Result<(), QueryError> {
+        if (node as usize) < self.oracle.n() {
+            Ok(())
+        } else {
+            Err(QueryError::NodeOutOfRange { node, n: self.oracle.n() })
+        }
+    }
+
+    fn shard(&self, u: NodeId, v: NodeId) -> &Mutex<PathCache> {
+        // SplitMix64 finalizer over the packed pair: cheap and well mixed.
+        let mut z = (u64::from(u) << 32) | u64::from(v);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        &self.shards[(z & self.mask) as usize]
+    }
+
+    /// `δ(u, v)`; `Ok(None)` when `v` is unreachable from `u`.
+    ///
+    /// Lock-free: reads only the immutable distance arena.
+    ///
+    /// # Errors
+    /// [`QueryError::NodeOutOfRange`] for invalid node ids.
+    pub fn dist(&self, u: NodeId, v: NodeId) -> Result<Option<W>, QueryError> {
+        self.check(u)?;
+        self.check(v)?;
+        let d = self.oracle.distance(u, v);
+        Ok((!d.is_inf()).then_some(d))
+    }
+
+    /// A shortest `u → v` vertex walk; `Ok(None)` when unreachable.
+    ///
+    /// Served from the shard cache when hot; otherwise reconstructed in
+    /// O(path length) and cached.
+    ///
+    /// # Errors
+    /// [`QueryError::NodeOutOfRange`] for invalid node ids.
+    ///
+    /// # Panics
+    /// Panics only if a shard mutex was poisoned by a panicking thread.
+    pub fn path(&self, u: NodeId, v: NodeId) -> Result<Option<Arc<[NodeId]>>, QueryError> {
+        self.check(u)?;
+        self.check(v)?;
+        if self.oracle.distance(u, v).is_inf() {
+            return Ok(None);
+        }
+        let shard = self.shard(u, v);
+        if let Some(p) = shard.lock().expect("shard cache poisoned").get(&(u, v)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(p));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let p: Arc<[NodeId]> = self.oracle.path(u, v).expect("finite distance has a path").into();
+        shard.lock().expect("shard cache poisoned").insert((u, v), p.clone());
+        Ok(Some(p))
+    }
+
+    /// The `k` nearest other nodes to `u` (see [`Oracle::k_nearest`]).
+    ///
+    /// Lock-free: reads only the immutable distance arena.
+    ///
+    /// # Errors
+    /// [`QueryError::NodeOutOfRange`] for an invalid node id.
+    pub fn k_nearest(&self, u: NodeId, k: usize) -> Result<Vec<(NodeId, W)>, QueryError> {
+        self.check(u)?;
+        Ok(self.oracle.k_nearest(u, k))
+    }
+
+    /// Total number of paths currently resident across all shard caches.
+    ///
+    /// # Panics
+    /// Panics only if a shard mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn cached_paths(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("shard cache poisoned").len()).sum()
+    }
+
+    /// Aggregate path-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, WeightDist};
+    use congest_graph::seq::apsp_dijkstra;
+
+    fn engine(n: usize, seed: u64, cfg: EngineConfig) -> (QueryEngine<u64>, Vec<Vec<u64>>) {
+        let g = gnm_connected(n, 2 * n, true, WeightDist::Uniform(0, 9), seed);
+        let dist = apsp_dijkstra(&g);
+        let oracle = Arc::new(Oracle::from_dist(&g, dist.clone()));
+        (QueryEngine::new(oracle, cfg), dist)
+    }
+
+    #[test]
+    fn answers_match_oracle() {
+        let (e, dist) = engine(24, 5, EngineConfig::default());
+        for u in 0..24u32 {
+            for v in 0..24u32 {
+                let expect = dist[u as usize][v as usize];
+                let got = e.dist(u, v).unwrap();
+                assert_eq!(got, (!expect.is_inf()).then_some(expect));
+                if let Some(p) = e.path(u, v).unwrap() {
+                    assert_eq!(p[0], u);
+                    assert_eq!(*p.last().unwrap(), v);
+                } else {
+                    assert!(expect.is_inf());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let (e, _) = engine(10, 1, EngineConfig::default());
+        assert_eq!(e.dist(0, 10).unwrap_err(), QueryError::NodeOutOfRange { node: 10, n: 10 });
+        assert_eq!(e.path(99, 0).unwrap_err(), QueryError::NodeOutOfRange { node: 99, n: 10 });
+        assert_eq!(e.k_nearest(10, 3).unwrap_err(), QueryError::NodeOutOfRange { node: 10, n: 10 });
+        assert_eq!(format!("{}", e.dist(0, 10).unwrap_err()), "node 10 out of range (n = 10)");
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_queries() {
+        let (e, _) = engine(16, 2, EngineConfig { shards: 4, cache_per_shard: 64 });
+        for _ in 0..10 {
+            let _ = e.path(0, 15).unwrap();
+        }
+        let stats = e.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 9);
+        assert_eq!(e.cached_paths(), 1);
+    }
+
+    #[test]
+    fn zero_cache_capacity_still_serves() {
+        let (e, _) = engine(12, 3, EngineConfig { shards: 2, cache_per_shard: 0 });
+        for _ in 0..3 {
+            assert!(e.path(0, 11).unwrap().is_some());
+        }
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_sequential() {
+        let (e, dist) = engine(32, 7, EngineConfig { shards: 8, cache_per_shard: 128 });
+        let n = 32u32;
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let e = &e;
+                let dist = &dist;
+                scope.spawn(move || {
+                    let mut state = u64::from(t) + 1;
+                    for _ in 0..2000 {
+                        // xorshift over the pair space
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let u = (state % u64::from(n)) as u32;
+                        let v = ((state >> 32) % u64::from(n)) as u32;
+                        let d = e.dist(u, v).unwrap();
+                        assert_eq!(d.is_none(), dist[u as usize][v as usize].is_inf());
+                        if let Some(p) = e.path(u, v).unwrap() {
+                            assert_eq!((p[0], *p.last().unwrap()), (u, v));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = e.cache_stats();
+        assert!(stats.hits + stats.misses > 0);
+        assert!(stats.hits > stats.misses, "repeat queries should mostly hit: {stats:?}");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let (e, _) = engine(8, 4, EngineConfig { shards: 5, cache_per_shard: 8 });
+        assert_eq!(e.shard_count(), 8);
+        let (e, _) = engine(8, 4, EngineConfig { shards: 0, cache_per_shard: 8 });
+        assert_eq!(e.shard_count(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! # congest-oracle
+//!
+//! The **serving layer** on top of the CONGEST APSP reproduction: turns a
+//! computed all-pairs shortest-path solution into a production-shaped
+//! distance oracle — compute once, snapshot to disk, serve
+//! distance/route/k-nearest queries from many threads.
+//!
+//! Three pieces, composable but independent:
+//!
+//! * [`Oracle`] — a compact query-ready snapshot: all `n²` distances in one
+//!   flat arena plus a successor matrix derived from the distances and the
+//!   graph's adjacency, giving O(path-length) shortest-path reconstruction
+//!   (cycle-safe even with zero-weight edges; see [`oracle`] module docs).
+//! * snapshot persistence — a versioned, checksummed binary format
+//!   ([`Oracle::save`] / [`Oracle::load`] / [`Oracle::to_bytes`] /
+//!   [`Oracle::from_bytes`]) with no external dependencies; malformed input
+//!   is always a [`SnapshotError`], never a panic.
+//! * [`QueryEngine`] — a sharded read-mostly server: lock-free distance and
+//!   k-nearest reads over the `Arc`'d snapshot, plus a per-shard LRU path
+//!   cache so concurrent workers answering hot routes never contend on a
+//!   single lock.
+//!
+//! ## Quickstart: compute → snapshot → serve
+//!
+//! ```
+//! use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+//! use congest_graph::generators::{gnm_connected, WeightDist};
+//! use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+//! use std::sync::Arc;
+//!
+//! // 1. Compute: run the paper's deterministic APSP pipeline.
+//! let g = gnm_connected(16, 32, true, WeightDist::Uniform(1, 9), 42);
+//! let out = apsp_agarwal_ramachandran(
+//!     &g,
+//!     &ApspConfig::default(),
+//!     BlockerMethod::Derandomized,
+//!     Step6Method::Pipelined,
+//! )
+//! .unwrap();
+//!
+//! // 2. Snapshot: build the oracle and round-trip it through bytes.
+//! let oracle = Oracle::from_outcome(&g, out);
+//! let bytes = oracle.to_bytes();
+//! let restored = Oracle::<u64>::from_bytes(&bytes).unwrap();
+//! assert_eq!(oracle, restored);
+//!
+//! // 3. Serve: shared, concurrent queries.
+//! let engine = QueryEngine::new(Arc::new(restored), EngineConfig::default());
+//! let d = engine.dist(0, 7).unwrap().expect("connected graph");
+//! let route = engine.path(0, 7).unwrap().expect("connected graph");
+//! assert_eq!(route.first(), Some(&0));
+//! assert_eq!(route.last(), Some(&7));
+//! let near = engine.k_nearest(0, 3).unwrap();
+//! assert_eq!(near.len(), 3);
+//! assert!(near.windows(2).all(|w| w[0].1 <= w[1].1), "sorted by distance");
+//! # let _ = d;
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod lru;
+pub mod oracle;
+mod snapshot;
+
+pub use engine::{CacheStats, EngineConfig, QueryEngine, QueryError};
+pub use oracle::{Oracle, NO_SUCC};
+pub use snapshot::{PortableWeight, SnapshotError, MAGIC, VERSION};

@@ -1,0 +1,180 @@
+//! A compact intrusive-list LRU cache used for per-shard path caching.
+//!
+//! Slots live in one `Vec`; the recency order is a doubly-linked list of
+//! slot indices, so `get`/`insert` are O(1) with no per-entry allocation
+//! beyond the slot itself.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    val: V,
+    prev: u32,
+    next: u32,
+}
+
+/// Fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    cap: usize,
+    map: HashMap<K, u32>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used slot.
+    head: u32,
+    /// Least recently used slot (evicted first).
+    tail: u32,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `cap` entries. A capacity of 0
+    /// disables caching (`insert` is a no-op, `get` always misses).
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap,
+            map: HashMap::with_capacity(cap.min(1 << 20)),
+            slots: Vec::with_capacity(cap.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slots[i as usize].val.clone())
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: K, val: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i as usize].val = val;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        let i = if self.slots.len() < self.cap {
+            let i = u32::try_from(self.slots.len()).expect("cache capacity exceeds u32");
+            self.slots.push(Slot { key, val, prev: NIL, next: NIL });
+            i
+        } else {
+            // Reuse the LRU slot for the new entry.
+            let i = self.tail;
+            self.unlink(i);
+            let slot = &mut self.slots[i as usize];
+            self.map.remove(&slot.key);
+            slot.key = key;
+            slot.val = val;
+            i
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        let s = &mut self.slots[i as usize];
+        s.prev = NIL;
+        s.next = NIL;
+    }
+
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[i as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // 1 is now MRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn refresh_updates_value_and_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 2 becomes LRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn churn_keeps_consistency() {
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        for i in 0..1000u64 {
+            c.insert(i % 13, i);
+            assert!(c.len() <= 8);
+            if let Some(v) = c.get(&(i % 7)) {
+                // Values are inserted under key `value % 13`.
+                assert_eq!(v % 13, i % 7);
+            }
+        }
+    }
+}

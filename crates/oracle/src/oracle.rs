@@ -1,0 +1,366 @@
+//! The [`Oracle`]: a compact, query-ready form of an all-pairs
+//! shortest-path solution.
+//!
+//! Distances live in a single flat arena (`Box<[W]>`, row-major, no nested
+//! `Vec`s), and a successor matrix derived from the distances plus the
+//! graph's adjacency enables O(path-length) shortest-path reconstruction.
+//!
+//! The successor matrix is stored *target-major*: `succ[v*n + u]` is the
+//! next hop on a shortest path from `u` toward target `v`. This makes the
+//! per-target derivation write one contiguous row (so targets parallelize
+//! cleanly) and keeps a whole path walk inside one n-sized row.
+//!
+//! ## Why successors are derived by reverse BFS, not greedy matching
+//!
+//! The obvious derivation — for each `(u, v)` pick any neighbor `w` with
+//! `δ(u,v) = wt(u,w) + δ(w,v)` — is wrong in the presence of zero-weight
+//! edges: two nodes joined by a zero-weight 2-cycle can elect *each other*
+//! as successor and the path walk never terminates. Instead, for every
+//! target `v` we run a reverse BFS over the shortest-path DAG: a node `u`
+//! is only assigned a successor `w` that has already been assigned (or is
+//! `v` itself), so successor chains strictly decrease in hop level and a
+//! walk finishes in at most `n - 1` steps.
+
+use congest_apsp::ApspOutcome;
+use congest_graph::seq::DistMatrix;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_sim::parallel::par_indexed_map;
+use std::collections::BinaryHeap;
+
+/// Sentinel successor value: "no next hop" (unreachable target, or `u == v`).
+///
+/// Never collides with a real node id: [`Graph::from_edges`] caps node
+/// counts well below `NodeId::MAX`.
+pub const NO_SUCC: NodeId = NodeId::MAX;
+
+/// A compact distance + successor oracle over a fixed graph snapshot.
+///
+/// Built once from an APSP solution ([`Oracle::from_outcome`] /
+/// [`Oracle::from_dist`]), then serves `distance`, `path` and `k_nearest`
+/// queries with no further access to the graph. All storage is two flat
+/// arenas: `n²` distances and `n²` successor ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Oracle<W> {
+    n: usize,
+    /// Row-major distances: `dist[u*n + v] = δ(u, v)`.
+    dist: Box<[W]>,
+    /// Target-major successors: `succ[v*n + u]` = next hop from `u`
+    /// toward `v`, or [`NO_SUCC`].
+    succ: Box<[NodeId]>,
+}
+
+impl<W: Weight> Oracle<W> {
+    /// Builds an oracle from a distributed APSP run, consuming the outcome
+    /// (the n² distance matrix is moved, not cloned).
+    ///
+    /// # Panics
+    /// Panics if `out` was not computed on `g` (dimension or diagonal
+    /// mismatch, or distances inconsistent with `g`'s adjacency).
+    #[must_use]
+    pub fn from_outcome(g: &Graph<W>, out: ApspOutcome<W>) -> Self {
+        Self::from_dist(g, out.into_dist())
+    }
+
+    /// Builds an oracle from an exact distance matrix for `g`
+    /// (`dist[u][v] = δ(u, v)`, `W::INF` when unreachable).
+    ///
+    /// Successor derivation is parallelized over targets (one reverse BFS
+    /// per target, O(n·m) total work).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `n×n`, a diagonal entry is not zero, or
+    /// the matrix is inconsistent with `g` (some finite `dist[u][v]` not
+    /// realizable as an edge walk in `g` — e.g. a matrix for a different
+    /// graph).
+    #[must_use]
+    pub fn from_dist(g: &Graph<W>, dist: DistMatrix<W>) -> Self {
+        let n = g.n();
+        assert_eq!(dist.len(), n, "distance matrix must have one row per node");
+        let mut arena = Vec::with_capacity(n * n);
+        for (u, row) in dist.iter().enumerate() {
+            assert_eq!(row.len(), n, "distance row {u} has wrong length");
+            assert_eq!(row[u], W::ZERO, "diagonal entry δ({u},{u}) must be zero");
+            arena.extend_from_slice(row);
+        }
+        let arena = arena.into_boxed_slice();
+
+        let mut succ = vec![NO_SUCC; n * n].into_boxed_slice();
+        {
+            let arena = &arena;
+            let mut cols: Vec<&mut [NodeId]> = succ.chunks_mut(n).collect();
+            par_indexed_map(&mut cols, |v, col| derive_target(g, arena, v as NodeId, col));
+        }
+        Oracle { n, dist: arena, succ }
+    }
+
+    /// Reassembles an oracle from its two arenas (snapshot loading).
+    /// Caller has already validated lengths and value ranges.
+    pub(crate) fn from_parts(n: usize, dist: Box<[W]>, succ: Box<[NodeId]>) -> Self {
+        debug_assert_eq!(dist.len(), n * n);
+        debug_assert_eq!(succ.len(), n * n);
+        Oracle { n, dist, succ }
+    }
+
+    pub(crate) fn dist_arena(&self) -> &[W] {
+        &self.dist
+    }
+
+    pub(crate) fn succ_arena(&self) -> &[NodeId] {
+        &self.succ
+    }
+
+    /// Number of nodes in the snapshot.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `δ(u, v)`; `W::INF` when `v` is unreachable from `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range (use
+    /// [`QueryEngine`](crate::QueryEngine) for checked queries).
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, u: NodeId, v: NodeId) -> W {
+        assert!((v as usize) < self.n, "node {v} out of range");
+        self.dist[u as usize * self.n + v as usize]
+    }
+
+    /// All distances from `u`, indexed by target id.
+    #[inline]
+    #[must_use]
+    pub fn distance_row(&self, u: NodeId) -> &[W] {
+        &self.dist[u as usize * self.n..(u as usize + 1) * self.n]
+    }
+
+    /// The next hop on a shortest path from `u` toward `v`; `None` when
+    /// `u == v` or `v` is unreachable.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn successor(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "node out of range");
+        let s = self.succ[v as usize * self.n + u as usize];
+        (s != NO_SUCC).then_some(s)
+    }
+
+    /// A shortest path from `u` to `v` as a vertex walk
+    /// `[u, ..., v]`, reconstructed in O(path length). `None` when `v` is
+    /// unreachable; `Some(vec![u])` when `u == v`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[must_use]
+    pub fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "node out of range");
+        if u == v {
+            return Some(vec![u]);
+        }
+        let col = &self.succ[v as usize * self.n..(v as usize + 1) * self.n];
+        if col[u as usize] == NO_SUCC {
+            return None;
+        }
+        let mut walk = Vec::new();
+        let mut cur = u;
+        walk.push(cur);
+        while cur != v {
+            let nxt = col[cur as usize];
+            assert!(nxt != NO_SUCC && walk.len() < self.n, "corrupt successor matrix");
+            walk.push(nxt);
+            cur = nxt;
+        }
+        Some(walk)
+    }
+
+    /// The `k` nearest *other* nodes to `u` (finite distances only), sorted
+    /// by `(distance, node id)` ascending. Returns fewer than `k` entries
+    /// when fewer are reachable.
+    ///
+    /// O(n log k) via a bounded max-heap over the distance row.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn k_nearest(&self, u: NodeId, k: usize) -> Vec<(NodeId, W)> {
+        // At most n-1 other nodes can ever be returned; clamp before
+        // allocating so an absurd caller-supplied k cannot OOM the server.
+        let k = k.min(self.n.saturating_sub(1));
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<(W, NodeId)> = BinaryHeap::with_capacity(k + 1);
+        for (v, &d) in self.distance_row(u).iter().enumerate() {
+            if v == u as usize || d.is_inf() {
+                continue;
+            }
+            let cand = (d, v as NodeId);
+            if heap.len() < k {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("heap is non-empty at capacity") {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+        heap.into_sorted_vec().into_iter().map(|(d, v)| (v, d)).collect()
+    }
+}
+
+/// Reverse BFS over the shortest-path DAG toward target `v`: assigns
+/// `col[u]` = next hop from `u`, layer by layer, so successor chains
+/// strictly decrease in hop level (see module docs).
+fn derive_target<W: Weight>(g: &Graph<W>, dist: &[W], v: NodeId, col: &mut [NodeId]) {
+    let n = g.n();
+    let dv = dist; // full arena; δ(u, v) = dv[u*n + v]
+    let mut done = vec![false; n];
+    let mut queue: Vec<NodeId> = Vec::with_capacity(n);
+    done[v as usize] = true;
+    queue.push(v);
+    let mut head = 0;
+    while head < queue.len() {
+        let w = queue[head];
+        head += 1;
+        let dw = dv[w as usize * n + v as usize];
+        let (srcs, wts) = g.in_row(w);
+        for (&u, &wt) in srcs.iter().zip(wts) {
+            if done[u as usize] {
+                continue;
+            }
+            let du = dv[u as usize * n + v as usize];
+            if !du.is_inf() && du == wt.plus(dw) {
+                done[u as usize] = true;
+                col[u as usize] = w;
+                queue.push(u);
+            }
+        }
+    }
+    // Every node with a finite distance must have been reached through the
+    // DAG; otherwise the matrix does not belong to this graph.
+    for u in 0..n {
+        if u == v as usize {
+            continue;
+        }
+        let reachable = !dv[u * n + v as usize].is_inf();
+        assert_eq!(
+            reachable,
+            col[u] != NO_SUCC,
+            "distance matrix inconsistent with graph at ({u}, {v})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, WeightDist};
+    use congest_graph::seq::apsp_dijkstra;
+    use congest_graph::Edge;
+
+    fn diamond() -> Graph<u64> {
+        Graph::from_edges(
+            4,
+            true,
+            vec![Edge::new(0, 1, 1), Edge::new(1, 3, 1), Edge::new(0, 2, 5), Edge::new(2, 3, 1)],
+        )
+    }
+
+    #[test]
+    fn paths_on_diamond() {
+        let g = diamond();
+        let o = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        assert_eq!(o.distance(0, 3), 2);
+        assert_eq!(o.path(0, 3), Some(vec![0, 1, 3]));
+        assert_eq!(o.path(0, 0), Some(vec![0]));
+        assert_eq!(o.path(3, 0), None); // directed: no way back
+        assert_eq!(o.successor(0, 3), Some(1));
+        assert_eq!(o.successor(3, 3), None);
+    }
+
+    #[test]
+    fn zero_weight_cycle_terminates() {
+        // 0 <-> 1 with zero weights, plus 1 -> 2: greedy successor choice
+        // could loop 0 -> 1 -> 0 forever; the BFS derivation must not.
+        let g = Graph::from_edges(
+            3,
+            true,
+            vec![Edge::new(0, 1, 0u64), Edge::new(1, 0, 0), Edge::new(1, 2, 1), Edge::new(0, 2, 1)],
+        );
+        let o = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        for u in 0..3 {
+            for v in 0..3 {
+                let Some(p) = o.path(u, v) else {
+                    // Only node 2 has no outgoing edges.
+                    assert!(u == 2 && v != 2, "({u}, {v}) should be reachable");
+                    continue;
+                };
+                assert_eq!(p[0], u);
+                assert_eq!(*p.last().unwrap(), v);
+                assert!(p.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_bounded() {
+        let g = gnm_connected(20, 40, true, WeightDist::Uniform(1, 9), 3);
+        let o = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        for u in 0..20u32 {
+            let near = o.k_nearest(u, 5);
+            assert!(near.len() <= 5);
+            assert!(near.windows(2).all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
+            assert!(near.iter().all(|&(v, d)| v != u && d == o.distance(u, v)));
+            // must be the 5 smallest: every excluded node is >= the last kept
+            if let Some(&(_, worst)) = near.last() {
+                let kept: Vec<NodeId> = near.iter().map(|&(v, _)| v).collect();
+                for v in 0..20u32 {
+                    if v != u && !kept.contains(&v) && !o.distance(u, v).is_inf() {
+                        assert!(o.distance(u, v) >= worst);
+                    }
+                }
+            }
+        }
+        assert!(o.k_nearest(0, 0).is_empty());
+        assert_eq!(o.k_nearest(0, 100).len(), 19); // everyone reachable, minus self
+                                                   // A hostile k must not pre-allocate k heap slots.
+        assert_eq!(o.k_nearest(0, usize::MAX).len(), 19);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g: Graph<u64> = Graph::from_edges(1, true, vec![]);
+        let o = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        assert_eq!(o.n(), 1);
+        assert_eq!(o.path(0, 0), Some(vec![0]));
+        assert!(o.k_nearest(0, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn successor_bounds_checked() {
+        let g = diamond();
+        let o = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        let _ = o.successor(4, 0); // must not silently read target 1's column
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent with graph")]
+    fn foreign_matrix_rejected() {
+        let g = diamond();
+        // Matrix of a different graph: claims 3 -> 0 is reachable.
+        let mut dist = apsp_dijkstra(&g);
+        dist[3][0] = 7;
+        let _ = Oracle::from_dist(&g, dist);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn nonzero_diagonal_rejected() {
+        let g = diamond();
+        let mut dist = apsp_dijkstra(&g);
+        dist[1][1] = 1;
+        let _ = Oracle::from_dist(&g, dist);
+    }
+}

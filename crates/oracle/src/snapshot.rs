@@ -1,0 +1,500 @@
+//! Versioned binary snapshot format for [`Oracle`] — compute once, serve
+//! forever.
+//!
+//! No external dependencies (the build is offline): the format is a small
+//! hand-rolled little-endian layout with a magic tag, a format version, a
+//! weight-type tag and an FNV-1a trailer checksum:
+//!
+//! ```text
+//! offset  size      field
+//! 0       8         magic  b"CGSTORCL"
+//! 8       2         format version (u16 LE), currently 1
+//! 10      1         weight-type tag (PortableWeight::TAG)
+//! 11      1         flags (reserved, 0)
+//! 12      8         n (u64 LE)
+//! 20      n²·8      distance arena, row-major, 8 bytes per weight
+//! ..      n²·4      successor arena, target-major, u32 LE per entry
+//! end-8   8         FNV-1a 64 checksum of every preceding byte (u64 LE)
+//! ```
+//!
+//! Loading is strictly validated and never panics on malformed input:
+//! truncation, bad magic, unknown version, weight-type mismatch, checksum
+//! failure and out-of-range successor ids all surface as [`SnapshotError`].
+
+use crate::oracle::{Oracle, NO_SUCC};
+use congest_graph::{NodeId, Weight, F64};
+use std::path::Path;
+
+/// Magic bytes identifying an oracle snapshot.
+pub const MAGIC: &[u8; 8] = b"CGSTORCL";
+/// Current snapshot format version.
+pub const VERSION: u16 = 1;
+const HEADER_LEN: usize = 20;
+const CHECKSUM_LEN: usize = 8;
+
+/// A weight type with a canonical, portable 8-byte encoding, snapshottable
+/// into the binary format.
+pub trait PortableWeight: Weight {
+    /// One-byte tag identifying the weight type in the snapshot header, so
+    /// a `u64` snapshot cannot be silently decoded as `F64`.
+    const TAG: u8;
+
+    /// Canonical little-endian 8-byte encoding.
+    fn encode(self) -> [u8; 8];
+
+    /// Inverse of [`encode`](PortableWeight::encode); `None` when the bytes
+    /// are not a valid weight (e.g. NaN for floats).
+    fn decode(bytes: [u8; 8]) -> Option<Self>;
+}
+
+impl PortableWeight for u64 {
+    const TAG: u8 = 1;
+
+    fn encode(self) -> [u8; 8] {
+        self.to_le_bytes()
+    }
+
+    fn decode(bytes: [u8; 8]) -> Option<Self> {
+        Some(u64::from_le_bytes(bytes))
+    }
+}
+
+impl PortableWeight for u32 {
+    const TAG: u8 = 2;
+
+    fn encode(self) -> [u8; 8] {
+        u64::from(self).to_le_bytes()
+    }
+
+    fn decode(bytes: [u8; 8]) -> Option<Self> {
+        u32::try_from(u64::from_le_bytes(bytes)).ok()
+    }
+}
+
+impl PortableWeight for F64 {
+    const TAG: u8 = 3;
+
+    fn encode(self) -> [u8; 8] {
+        self.get().to_bits().to_le_bytes()
+    }
+
+    fn decode(bytes: [u8; 8]) -> Option<Self> {
+        let v = f64::from_bits(u64::from_le_bytes(bytes));
+        (!v.is_nan() && v >= 0.0).then(|| F64::new(v))
+    }
+}
+
+/// Why a snapshot failed to load (or save).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Fewer bytes than the header + arenas + checksum require.
+    Truncated {
+        /// Bytes the snapshot should contain.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Extra bytes after the checksum trailer.
+    TrailingData {
+        /// Bytes the snapshot should contain.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The leading magic bytes are not [`MAGIC`].
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The snapshot was written with a different weight type.
+    WeightTypeMismatch {
+        /// Tag found in the header.
+        found: u8,
+        /// Tag of the weight type being loaded.
+        expected: u8,
+    },
+    /// The trailer checksum does not match the content.
+    ChecksumMismatch,
+    /// Structurally invalid content despite a valid checksum.
+    Corrupt(&'static str),
+    /// Filesystem failure while reading or writing.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated { expected, got } => {
+                write!(f, "snapshot truncated: expected {expected} bytes, got {got}")
+            }
+            SnapshotError::TrailingData { expected, got } => {
+                write!(f, "snapshot has trailing data: expected {expected} bytes, got {got}")
+            }
+            SnapshotError::BadMagic => write!(f, "not an oracle snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found} (this build reads {VERSION})")
+            }
+            SnapshotError::WeightTypeMismatch { found, expected } => {
+                write!(f, "snapshot weight tag {found} does not match expected {expected}")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Checks that every successor chain in target `v`'s column reaches `v`
+/// (no cycles, no dead ends). Chains are memoized, so the whole column is
+/// O(n): each node is walked at most once across all starting points.
+fn succ_chains_terminate(n: usize, v: usize, col: &[NodeId]) -> bool {
+    /// Per-node memo: unknown / on the current walk / proven to reach `v`.
+    #[derive(Copy, Clone, PartialEq)]
+    enum Mark {
+        Unknown,
+        InProgress,
+        Ok,
+    }
+    let mut mark = vec![Mark::Unknown; n];
+    mark[v] = Mark::Ok;
+    let mut walk = Vec::new();
+    for start in 0..n {
+        if mark[start] != Mark::Unknown || col[start] == NO_SUCC {
+            continue;
+        }
+        walk.clear();
+        let mut cur = start;
+        loop {
+            match mark[cur] {
+                Mark::Ok => break,
+                Mark::InProgress => return false, // cycle
+                Mark::Unknown => {}
+            }
+            let nxt = col[cur];
+            if nxt == NO_SUCC {
+                // Dead end before reaching `v` (cross-invariant already
+                // rules this out for consistent snapshots, but stay safe).
+                return false;
+            }
+            mark[cur] = Mark::InProgress;
+            walk.push(cur);
+            cur = nxt as usize;
+        }
+        for &u in &walk {
+            mark[u] = Mark::Ok;
+        }
+    }
+    true
+}
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl<W: PortableWeight> Oracle<W> {
+    /// Serializes the oracle into the versioned snapshot format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n();
+        let cells = n * n;
+        let mut buf = Vec::with_capacity(HEADER_LEN + cells * 12 + CHECKSUM_LEN);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(W::TAG);
+        buf.push(0); // flags, reserved
+        buf.extend_from_slice(&(n as u64).to_le_bytes());
+        for &d in self.dist_arena() {
+            buf.extend_from_slice(&d.encode());
+        }
+        for &s in self.succ_arena() {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes a snapshot previously produced by
+    /// [`to_bytes`](Oracle::to_bytes).
+    ///
+    /// # Errors
+    /// Returns a [`SnapshotError`] (never panics) on truncated, corrupted,
+    /// version-mismatched or wrong-weight-type input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let min_len = HEADER_LEN + CHECKSUM_LEN;
+        if bytes.len() < min_len {
+            return Err(SnapshotError::Truncated { expected: min_len, got: bytes.len() });
+        }
+        if &bytes[0..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        if bytes[10] != W::TAG {
+            return Err(SnapshotError::WeightTypeMismatch { found: bytes[10], expected: W::TAG });
+        }
+        let n_raw = u64::from_le_bytes(bytes[12..20].try_into().expect("8 header bytes"));
+        let n = usize::try_from(n_raw)
+            .ok()
+            .filter(|&n| n <= u32::MAX as usize / 4)
+            .ok_or(SnapshotError::Corrupt("node count out of range"))?;
+        let cells = n
+            .checked_mul(n)
+            .and_then(|c| c.checked_mul(12))
+            .ok_or(SnapshotError::Corrupt("arena size overflows"))?;
+        let expected = HEADER_LEN + cells + CHECKSUM_LEN;
+        if bytes.len() < expected {
+            return Err(SnapshotError::Truncated { expected, got: bytes.len() });
+        }
+        if bytes.len() > expected {
+            return Err(SnapshotError::TrailingData { expected, got: bytes.len() });
+        }
+        let body = &bytes[..expected - CHECKSUM_LEN];
+        let stored =
+            u64::from_le_bytes(bytes[expected - CHECKSUM_LEN..].try_into().expect("8 bytes"));
+        if fnv1a(body) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let dist_bytes = &bytes[HEADER_LEN..HEADER_LEN + n * n * 8];
+        let mut dist = Vec::with_capacity(n * n);
+        for chunk in dist_bytes.chunks_exact(8) {
+            let w = W::decode(chunk.try_into().expect("8-byte chunk"))
+                .ok_or(SnapshotError::Corrupt("invalid weight encoding"))?;
+            dist.push(w);
+        }
+        let succ_bytes = &bytes[HEADER_LEN + n * n * 8..expected - CHECKSUM_LEN];
+        let mut succ = Vec::with_capacity(n * n);
+        for chunk in succ_bytes.chunks_exact(4) {
+            let s = NodeId::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            if s != NO_SUCC && s as usize >= n {
+                return Err(SnapshotError::Corrupt("successor id out of range"));
+            }
+            succ.push(s);
+        }
+        // Cross-arena invariants (keep `path` panic-free and queries
+        // self-consistent on loaded snapshots): zero diagonal, a successor
+        // exists iff the pair is distinct and reachable, and every
+        // successor chain terminates at its target.
+        for u in 0..n {
+            if dist[u * n + u] != W::ZERO {
+                return Err(SnapshotError::Corrupt("nonzero diagonal distance"));
+            }
+        }
+        for v in 0..n {
+            for u in 0..n {
+                let has_succ = succ[v * n + u] != NO_SUCC;
+                let reachable = u != v && !dist[u * n + v].is_inf();
+                if has_succ != reachable {
+                    return Err(SnapshotError::Corrupt("successor/distance mismatch"));
+                }
+            }
+        }
+        for v in 0..n {
+            if !succ_chains_terminate(n, v, &succ[v * n..(v + 1) * n]) {
+                return Err(SnapshotError::Corrupt("successor chain does not reach its target"));
+            }
+        }
+        Ok(Oracle::from_parts(n, dist.into_boxed_slice(), succ.into_boxed_slice()))
+    }
+
+    /// Writes the snapshot to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures as [`SnapshotError::Io`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes()).map_err(SnapshotError::Io)
+    }
+
+    /// Reads a snapshot from `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures and every
+    /// [`from_bytes`](Oracle::from_bytes) validation error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_bytes(&std::fs::read(path).map_err(SnapshotError::Io)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, WeightDist};
+    use congest_graph::seq::apsp_dijkstra;
+
+    fn sample_oracle() -> Oracle<u64> {
+        let g = gnm_connected(12, 24, true, WeightDist::Uniform(0, 9), 9);
+        Oracle::from_dist(&g, apsp_dijkstra(&g))
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let o = sample_oracle();
+        let bytes = o.to_bytes();
+        let o2 = Oracle::<u64>::from_bytes(&bytes).unwrap();
+        assert_eq!(o, o2);
+        assert_eq!(bytes, o2.to_bytes());
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let g = gnm_connected(8, 16, false, WeightDist::Uniform(1, 5), 4);
+        let gf = g.map_weights(|w| F64::new(w as f64 * 0.5));
+        let o = Oracle::from_dist(&gf, apsp_dijkstra(&gf));
+        let o2 = Oracle::<F64>::from_bytes(&o.to_bytes()).unwrap();
+        assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn truncation_is_an_error_at_every_length() {
+        let bytes = sample_oracle().to_bytes();
+        // Sample a spread of prefixes, including header-interior cuts.
+        for cut in [0, 1, 7, 8, 11, 19, 20, 21, bytes.len() / 2, bytes.len() - 1] {
+            let err = Oracle::<u64>::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. } | SnapshotError::BadMagic),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut bytes = sample_oracle().to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            Oracle::<u64>::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 99 }
+        ));
+    }
+
+    #[test]
+    fn weight_tag_mismatch_rejected() {
+        let bytes = sample_oracle().to_bytes();
+        assert!(matches!(
+            Oracle::<F64>::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::WeightTypeMismatch { found: 1, expected: 3 }
+        ));
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let mut bytes = sample_oracle().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Oracle::<u64>::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        ));
+    }
+
+    #[test]
+    fn trailing_data_rejected() {
+        let mut bytes = sample_oracle().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Oracle::<u64>::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::TrailingData { .. }
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(
+            Oracle::<u64>::from_bytes(b"definitely not a snapshot at all").unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+        assert!(matches!(
+            Oracle::<u64>::from_bytes(b"short").unwrap_err(),
+            SnapshotError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn nonzero_diagonal_snapshot_rejected() {
+        // Checksum-valid n = 2 snapshot claiming δ(0,0) = INF: per-cell
+        // fields are fine, but the diagonal invariant must be enforced.
+        let n = 2usize;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(<u64 as PortableWeight>::TAG);
+        buf.push(0);
+        buf.extend_from_slice(&(n as u64).to_le_bytes());
+        for d in [u64::INF, 1, 1, 0] {
+            buf.extend_from_slice(&d.encode());
+        }
+        for s in [NO_SUCC, 0, 1, NO_SUCC] {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Oracle::<u64>::from_bytes(&buf).unwrap_err(),
+            SnapshotError::Corrupt("nonzero diagonal distance")
+        ));
+    }
+
+    #[test]
+    fn cyclic_successor_snapshot_rejected() {
+        // Hand-craft a checksum-valid n = 2 snapshot where node 0's
+        // successor toward target 1 is node 0 itself: structurally valid
+        // per-cell, but the path walk would never terminate.
+        let n = 2usize;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(<u64 as PortableWeight>::TAG);
+        buf.push(0);
+        buf.extend_from_slice(&(n as u64).to_le_bytes());
+        for d in [0u64, 1, 1, 0] {
+            buf.extend_from_slice(&d.encode());
+        }
+        // Target-major: toward 0: [NO_SUCC, 0]; toward 1: [0 (cycle!), NO_SUCC].
+        for s in [NO_SUCC, 0, 0, NO_SUCC] {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Oracle::<u64>::from_bytes(&buf).unwrap_err(),
+            SnapshotError::Corrupt("successor chain does not reach its target")
+        ));
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let o = sample_oracle();
+        let path = std::env::temp_dir().join("congest_oracle_snapshot_test.bin");
+        o.save(&path).unwrap();
+        let o2 = Oracle::<u64>::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Oracle::<u64>::load("/nonexistent/oracle.snap").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -44,7 +44,12 @@
 //!   within each range, so results are bit-identical to sequential
 //!   stepping (enforced by the determinism test suite).
 //! * **Accounting** — in-flight messages are the length of the current
-//!   envelope array (O(1)), not a per-round sum over all inboxes.
+//!   envelope array (O(1)), not a per-round sum over all inboxes. Protocol
+//!   activity is tracked the same way: instead of an O(n) scan of
+//!   [`NodeLogic::active`] per round, the engine caches each node's flag
+//!   and folds per-worker deltas into a counter as nodes step, so the
+//!   quiescence check is O(1) and the maintenance cost is O(nodes whose
+//!   activity changed).
 
 use crate::error::SimError;
 use crate::metrics::PhaseReport;
@@ -332,6 +337,13 @@ pub trait NodeLogic: Send {
     /// if it receives nothing (e.g. it holds queued relay messages).
     /// Reactive protocols can use the default `false`; quiescence is then
     /// "no messages in flight".
+    ///
+    /// **Contract:** the returned value must be a pure function of the
+    /// node's own state and may only change as a result of this node's
+    /// [`on_round`](NodeLogic::on_round). The engine samples it once per
+    /// step and tracks flips incrementally (the O(1) quiescence check), so
+    /// a value driven by interior mutability, time, or anything outside
+    /// `on_round` would leave the engine's activity counter stale.
     fn active(&self) -> bool {
         false
     }
@@ -506,6 +518,13 @@ impl<'t> Engine<'t> {
         let mut maps: Vec<NbrMap> = (0..workers).map(|_| NbrMap::new(n)).collect();
         let mut errors: Vec<Option<(usize, SimError)>> = vec![None; workers];
 
+        // Active-set tracking: one O(n) scan up front, then incremental.
+        // `active_flags[i]` caches node i's last-known `active()`;
+        // `step_node` records flips as ±1 in its worker's delta cell.
+        let mut active_flags: Vec<bool> = nodes.iter().map(N::active).collect();
+        let mut active_count: usize = active_flags.iter().filter(|&&f| f).count();
+        let mut active_delta: Vec<i64> = vec![0; workers];
+
         let budget = match until {
             RunUntil::Exact(r) => r,
             RunUntil::Quiesce { max } => max,
@@ -513,7 +532,7 @@ impl<'t> Engine<'t> {
 
         loop {
             let in_flight = plane.in_flight();
-            let anyone_active = nodes.iter().any(NodeLogic::active);
+            let anyone_active = active_count > 0;
             match until {
                 RunUntil::Exact(r) => {
                     if rounds >= r {
@@ -551,12 +570,15 @@ impl<'t> Engine<'t> {
                         out_buf: SyncPtr(out_buf.as_mut_ptr()),
                         maps: SyncPtr(maps.as_mut_ptr()),
                         errors: SyncPtr(errors.as_mut_ptr()),
+                        active_flags: SyncPtr(active_flags.as_mut_ptr()),
+                        active_delta: SyncPtr(active_delta.as_mut_ptr()),
                     };
                     pool.run(&|slot| {
                         let lo = (slot * node_chunk).min(n);
                         let hi = ((slot + 1) * node_chunk).min(n);
                         // SAFETY: slots own disjoint node ranges, hence
-                        // disjoint outbox slot ranges, maps and error cells;
+                        // disjoint outbox slot ranges, active flags, maps,
+                        // error and activity-delta cells;
                         // the barrier in `pool.run` sequences all writes
                         // before the main thread reads them.
                         unsafe { step_range(&ctx, slot, lo, hi) };
@@ -566,6 +588,7 @@ impl<'t> Engine<'t> {
                     let b = bandwidth as usize;
                     let map = &mut maps[0];
                     let err = &mut errors[0];
+                    let delta = &mut active_delta[0];
                     for (i, node) in nodes.iter_mut().enumerate() {
                         let (a, z) = (self.topo.off[i] as usize, self.topo.off[i + 1] as usize);
                         let inbox = &in_buf[in_off[i] as usize..in_off[i + 1] as usize];
@@ -581,6 +604,8 @@ impl<'t> Engine<'t> {
                             &mut out_buf[a * b..z * b],
                             map,
                             err,
+                            &mut active_flags[i],
+                            delta,
                         );
                     }
                 }
@@ -594,6 +619,12 @@ impl<'t> Engine<'t> {
             {
                 return Err(err);
             }
+
+            // Fold the per-worker activity deltas into the counter.
+            let delta: i64 = active_delta.iter().sum();
+            active_count = usize::try_from(active_count as i64 + delta)
+                .expect("active counter must stay non-negative");
+            active_delta.iter_mut().for_each(|d| *d = 0);
 
             // Deliver into the next buffer and swap: receive order is
             // sender-id sorted by construction of the slot walk.
@@ -627,6 +658,8 @@ struct StepCtx<'a, N: NodeLogic> {
     out_buf: SyncPtr<Option<N::Msg>>,
     maps: SyncPtr<NbrMap>,
     errors: SyncPtr<Option<(usize, SimError)>>,
+    active_flags: SyncPtr<bool>,
+    active_delta: SyncPtr<i64>,
 }
 
 /// Steps nodes `lo..hi` for worker `slot`.
@@ -642,6 +675,7 @@ unsafe fn step_range<N: NodeLogic>(ctx: &StepCtx<'_, N>, slot: usize, lo: usize,
     }
     let map = &mut *ctx.maps.0.add(slot);
     let err = &mut *ctx.errors.0.add(slot);
+    let delta = &mut *ctx.active_delta.0.add(slot);
     let b = ctx.bandwidth as usize;
     let s0 = ctx.topo.off[lo] as usize;
     let s1 = ctx.topo.off[hi] as usize;
@@ -651,6 +685,7 @@ unsafe fn step_range<N: NodeLogic>(ctx: &StepCtx<'_, N>, slot: usize, lo: usize,
         let node = &mut *ctx.nodes.0.add(i);
         let (a, z) = (ctx.topo.off[i] as usize - s0, ctx.topo.off[i + 1] as usize - s0);
         let inbox = &ctx.in_buf[ctx.in_off[i] as usize..ctx.in_off[i + 1] as usize];
+        let flag = &mut *ctx.active_flags.0.add(i);
         step_node(
             ctx.topo,
             ctx.round,
@@ -663,6 +698,8 @@ unsafe fn step_range<N: NodeLogic>(ctx: &StepCtx<'_, N>, slot: usize, lo: usize,
             &mut buf[a * b..z * b],
             map,
             err,
+            flag,
+            delta,
         );
     }
 }
@@ -682,6 +719,8 @@ fn step_node<N: NodeLogic>(
     buf: &mut [Option<N::Msg>],
     map: &mut NbrMap,
     err: &mut Option<(usize, SimError)>,
+    active_flag: &mut bool,
+    active_delta: &mut i64,
 ) {
     let id = i as NodeId;
     let neighbors = topo.neighbors(id);
@@ -695,6 +734,14 @@ fn step_node<N: NodeLogic>(
         if err.is_none() {
             *err = Some((i, e));
         }
+    }
+    // Activity flip tracking: a node's `active()` only changes inside its
+    // own `on_round`, so comparing against the cached flag here keeps the
+    // engine-level counter exact without any per-round global scan.
+    let now = node.active();
+    if now != *active_flag {
+        *active_flag = now;
+        *active_delta += if now { 1 } else { -1 };
     }
 }
 

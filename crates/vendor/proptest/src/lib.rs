@@ -200,7 +200,7 @@ pub mod collection {
         size: Range<usize>,
     }
 
-    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
     pub trait IntoSizeRange {
         /// Convert to a half-open range of lengths.
         fn into_size_range(self) -> Range<usize>;

@@ -1,0 +1,102 @@
+//! The full compute → snapshot → serve vertical slice:
+//!
+//! 1. run the paper's deterministic Õ(n^{4/3})-round CONGEST APSP,
+//! 2. compact the result into a `congest_oracle::Oracle`, save it as a
+//!    versioned binary snapshot and load it back,
+//! 3. serve concurrent distance / route / k-nearest queries through the
+//!    sharded `QueryEngine` and report throughput + cache behaviour.
+//!
+//! ```text
+//! cargo run --release --example serve_queries
+//! ```
+//!
+//! Sized to finish in seconds (it runs in CI); `cargo bench -p
+//! congest_bench --bench oracle` is the serious throughput measurement.
+
+use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::NodeId;
+use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 64;
+const WORKERS: usize = 4;
+const QUERIES_PER_WORKER: u64 = 100_000;
+
+fn main() {
+    // ---- 1. compute -------------------------------------------------
+    let g = gnm_connected(N, 3 * N, true, WeightDist::Uniform(1, 50), 2026);
+    println!("graph: n = {}, m = {}, directed", g.n(), g.m());
+    let t = Instant::now();
+    let out = apsp_agarwal_ramachandran(
+        &g,
+        &ApspConfig::default(),
+        BlockerMethod::Derandomized,
+        Step6Method::Pipelined,
+    )
+    .expect("legal CONGEST protocol");
+    println!(
+        "apsp: {} rounds simulated in {:.2?} (h = {}, |Q| = {})",
+        out.recorder.total_rounds(),
+        t.elapsed(),
+        out.meta.h,
+        out.meta.q.len()
+    );
+
+    // ---- 2. snapshot ------------------------------------------------
+    let oracle = Oracle::from_outcome(&g, out);
+    let path = std::env::temp_dir().join("serve_queries_demo.oracle");
+    oracle.save(&path).expect("snapshot write");
+    let loaded = Oracle::<u64>::load(&path).expect("snapshot read");
+    assert_eq!(oracle, loaded, "snapshot must round-trip bit-identically");
+    let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("snapshot: {size} bytes written to {} and restored", path.display());
+    std::fs::remove_file(&path).ok();
+
+    // ---- 3. serve ---------------------------------------------------
+    let engine =
+        QueryEngine::new(Arc::new(loaded), EngineConfig { shards: 8, cache_per_shard: 512 });
+    let route =
+        engine.path(0, (N - 1) as NodeId).expect("in range").expect("gnm_connected is connected");
+    let d = engine.dist(0, (N - 1) as NodeId).expect("in range").expect("connected");
+    println!("sample: δ(0, {}) = {d} via {} hops {:?}", N - 1, route.len() - 1, route);
+    let near = engine.k_nearest(0, 5).expect("in range");
+    println!("5 nearest to node 0: {near:?}");
+
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut state = 0x1234_5678u64 + w as u64;
+                for i in 0..QUERIES_PER_WORKER {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state % N as u64) as NodeId;
+                    let v = ((state >> 32) % N as u64) as NodeId;
+                    if i % 4 == 0 {
+                        let _ = engine.path(u, v).expect("in range");
+                    } else {
+                        let _ = engine.dist(u, v).expect("in range");
+                    }
+                }
+            });
+        }
+    });
+    let secs = t.elapsed().as_secs_f64();
+    let total = WORKERS as u64 * QUERIES_PER_WORKER;
+    let stats = engine.cache_stats();
+    println!(
+        "served {total} queries from {WORKERS} threads in {secs:.3}s ({:.2} M queries/sec)",
+        total as f64 / secs / 1e6
+    );
+    println!(
+        "path cache: {} hits / {} misses, {} paths resident across {} shards",
+        stats.hits,
+        stats.misses,
+        engine.cached_paths(),
+        engine.shard_count()
+    );
+}

@@ -3,8 +3,9 @@
 //! Umbrella crate for the reproduction of *Faster Deterministic All Pairs
 //! Shortest Paths in Congest Model* (Agarwal & Ramachandran, SPAA 2020):
 //! re-exports the graph substrate, the CONGEST simulator, the
-//! derandomization toolkit and the APSP algorithms, and hosts the
-//! workspace-level examples and integration tests.
+//! derandomization toolkit, the APSP algorithms and the distance-oracle
+//! serving layer, and hosts the workspace-level examples and integration
+//! tests.
 //!
 //! See `README.md` for the tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the measured reproduction of the paper's
@@ -15,4 +16,5 @@
 pub use congest_apsp as apsp;
 pub use congest_derand as derand;
 pub use congest_graph as graph;
+pub use congest_oracle as oracle;
 pub use congest_sim as sim;

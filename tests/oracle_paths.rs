@@ -1,0 +1,123 @@
+//! Property tests for oracle path reconstruction: every `Oracle::path(u,v)`
+//! must be a valid edge walk in the graph whose weight sum equals the
+//! `apsp_dijkstra` distance, on random `gnm_connected` graphs, directed and
+//! undirected — and `path` must return `None` exactly for unreachable pairs.
+
+use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_oracle::Oracle;
+use proptest::prelude::*;
+
+/// Minimum weight of an edge `u -> v`, across parallel edges. `None` when
+/// no such edge exists.
+fn edge_weight<W: Weight>(g: &Graph<W>, u: NodeId, v: NodeId) -> Option<W> {
+    g.out_edges(u).filter(|&(t, _)| t == v).map(|(_, w)| w).min()
+}
+
+/// Asserts the full path contract of `oracle` against the Dijkstra matrix.
+fn check_paths<W: Weight>(g: &Graph<W>, oracle: &Oracle<W>, dist: &[Vec<W>]) {
+    let n = g.n();
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            let expected = dist[u as usize][v as usize];
+            assert_eq!(oracle.distance(u, v), expected, "distance ({u}, {v})");
+            match oracle.path(u, v) {
+                None => assert!(expected.is_inf(), "({u}, {v}) reachable but no path"),
+                Some(p) => {
+                    assert!(!expected.is_inf(), "({u}, {v}) unreachable but got a path");
+                    assert_eq!(p[0], u, "path must start at the source");
+                    assert_eq!(*p.last().unwrap(), v, "path must end at the target");
+                    assert!(p.len() <= n, "simple shortest path has at most n vertices");
+                    let mut total = W::ZERO;
+                    for hop in p.windows(2) {
+                        let w = edge_weight(g, hop[0], hop[1])
+                            .unwrap_or_else(|| panic!("({}, {}) is not an edge", hop[0], hop[1]));
+                        total = total.plus(w);
+                    }
+                    assert_eq!(total, expected, "path weight ({u}, {v})");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Paths from a Dijkstra-built oracle are valid minimum-weight walks,
+    /// on directed and undirected random graphs with zero weights allowed.
+    #[test]
+    fn paths_are_valid_shortest_walks(
+        n in 2usize..28,
+        extra in 0usize..50,
+        seed in 0u64..10_000,
+        directed: bool,
+        zero_weights: bool,
+    ) {
+        let dist_kind = if zero_weights {
+            WeightDist::ZeroInflated { p_zero: 0.3, hi: 9 }
+        } else {
+            WeightDist::Uniform(1, 50)
+        };
+        let g = gnm_connected(n, extra, directed, dist_kind, seed);
+        let dist = apsp_dijkstra(&g);
+        let oracle = Oracle::from_dist(&g, dist.clone());
+        check_paths(&g, &oracle, &dist);
+    }
+
+    /// k-nearest agrees with a full sort of the Dijkstra distance row.
+    #[test]
+    fn k_nearest_matches_sorted_row(
+        n in 2usize..24,
+        extra in 0usize..40,
+        seed in 0u64..10_000,
+        k in 0usize..12,
+    ) {
+        let g = gnm_connected(n, extra, true, WeightDist::Uniform(0, 20), seed);
+        let dist = apsp_dijkstra(&g);
+        let oracle = Oracle::from_dist(&g, dist.clone());
+        for u in 0..n as NodeId {
+            let mut expect: Vec<(u64, NodeId)> = (0..n as NodeId)
+                .filter(|&v| v != u && !dist[u as usize][v as usize].is_inf())
+                .map(|v| (dist[u as usize][v as usize], v))
+                .collect();
+            expect.sort_unstable();
+            expect.truncate(k);
+            let got: Vec<(u64, NodeId)> =
+                oracle.k_nearest(u, k).into_iter().map(|(v, d)| (d, v)).collect();
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}
+
+/// The vertical slice the serving layer exists for: an oracle built from a
+/// *distributed* APSP outcome reconstructs exact shortest paths.
+#[test]
+fn paths_from_distributed_outcome_are_exact() {
+    for (seed, directed) in [(3u64, true), (8, false)] {
+        let g = gnm_connected(18, 40, directed, WeightDist::Uniform(0, 9), seed);
+        let out = apsp_agarwal_ramachandran(
+            &g,
+            &ApspConfig::default(),
+            BlockerMethod::Derandomized,
+            Step6Method::Pipelined,
+        )
+        .unwrap();
+        let oracle = Oracle::from_outcome(&g, out);
+        let dist = apsp_dijkstra(&g);
+        check_paths(&g, &oracle, &dist);
+    }
+}
+
+/// Real-valued weights go through the same contract.
+#[test]
+fn f64_weights_reconstruct_exactly() {
+    let g = gnm_connected(16, 32, true, WeightDist::Uniform(1, 8), 5);
+    // Halving keeps sums exactly representable, so equality is exact.
+    let gf = g.map_weights(|w| congest_graph::F64::new(w as f64 * 0.5));
+    let dist = apsp_dijkstra(&gf);
+    let oracle = Oracle::from_dist(&gf, dist.clone());
+    check_paths(&gf, &oracle, &dist);
+}

@@ -1,0 +1,110 @@
+//! Snapshot-format integration tests: byte-exact round trips through memory
+//! and disk, and graceful `Err` (never a panic) on malformed input —
+//! truncations at every single prefix length, version and weight-type
+//! mismatches, bit flips, and trailing garbage.
+
+use congest_graph::generators::{gnm_connected, Family, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::F64;
+use congest_oracle::{Oracle, SnapshotError, MAGIC, VERSION};
+
+fn sample(n: usize, seed: u64) -> Oracle<u64> {
+    let g = gnm_connected(n, 2 * n, true, WeightDist::Uniform(0, 30), seed);
+    Oracle::from_dist(&g, apsp_dijkstra(&g))
+}
+
+#[test]
+fn round_trip_is_bit_identical_across_families() {
+    for fam in [Family::Path, Family::Star, Family::Layered] {
+        let g = fam.build(17, true, WeightDist::Uniform(1, 9), 4);
+        let oracle = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        let bytes = oracle.to_bytes();
+        let restored = Oracle::<u64>::from_bytes(&bytes).unwrap();
+        assert_eq!(oracle, restored, "family {}", fam.name());
+        assert_eq!(bytes, restored.to_bytes(), "re-serialization must be byte-identical");
+    }
+}
+
+#[test]
+fn disk_round_trip_and_queries_survive() {
+    let oracle = sample(20, 11);
+    let path = std::env::temp_dir().join("oracle_snapshot_it.bin");
+    oracle.save(&path).unwrap();
+    let restored = Oracle::<u64>::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(oracle, restored);
+    for u in 0..20u32 {
+        for v in 0..20u32 {
+            assert_eq!(oracle.path(u, v), restored.path(u, v));
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_a_graceful_err() {
+    let bytes = sample(8, 2).to_bytes();
+    for cut in 0..bytes.len() {
+        match Oracle::<u64>::from_bytes(&bytes[..cut]) {
+            Err(SnapshotError::Truncated { expected, got }) => {
+                assert_eq!(got, cut);
+                assert!(expected > cut);
+            }
+            Err(other) => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            Ok(_) => panic!("cut at {cut}: truncated snapshot must not load"),
+        }
+    }
+}
+
+#[test]
+fn version_mismatch_is_a_graceful_err() {
+    let mut bytes = sample(6, 3).to_bytes();
+    let future = (VERSION + 1).to_le_bytes();
+    bytes[8] = future[0];
+    bytes[9] = future[1];
+    match Oracle::<u64>::from_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found }) => assert_eq!(found, VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn weight_type_confusion_is_rejected() {
+    let bytes = sample(6, 4).to_bytes();
+    assert!(matches!(
+        Oracle::<F64>::from_bytes(&bytes),
+        Err(SnapshotError::WeightTypeMismatch { .. })
+    ));
+}
+
+#[test]
+fn every_single_bit_flip_in_a_small_snapshot_is_detected() {
+    let good = sample(4, 5).to_bytes();
+    for byte in 0..good.len() {
+        let mut bad = good.clone();
+        bad[byte] ^= 1;
+        assert!(Oracle::<u64>::from_bytes(&bad).is_err(), "flipping byte {byte} went undetected");
+    }
+}
+
+#[test]
+fn magic_and_trailing_garbage_rejected() {
+    let mut bytes = sample(5, 6).to_bytes();
+    bytes[0] = b'X';
+    assert!(matches!(Oracle::<u64>::from_bytes(&bytes), Err(SnapshotError::BadMagic)));
+
+    let mut bytes = sample(5, 6).to_bytes();
+    bytes.extend_from_slice(b"junk");
+    assert!(matches!(Oracle::<u64>::from_bytes(&bytes), Err(SnapshotError::TrailingData { .. })));
+
+    assert_eq!(MAGIC.len(), 8);
+}
+
+#[test]
+fn errors_render_useful_messages() {
+    let err = Oracle::<u64>::from_bytes(&[]).unwrap_err();
+    assert!(err.to_string().contains("truncated"));
+    let mut bytes = sample(4, 7).to_bytes();
+    bytes[8] = 0xFF;
+    let err = Oracle::<u64>::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("version"));
+}
