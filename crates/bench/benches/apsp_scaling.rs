@@ -2,9 +2,7 @@
 //! algorithms at a fixed simulable size (round counts are measured by the
 //! `experiments` binary; this tracks simulator throughput regressions).
 
-use congest_apsp::{
-    apsp_agarwal_ramachandran, apsp_ar18, apsp_naive, ApspConfig, BlockerMethod, Step6Method,
-};
+use congest_apsp::{Algorithm, Solver};
 use congest_bench::workloads::sparse_random;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -13,23 +11,14 @@ fn bench_apsp(c: &mut Criterion) {
     group.sample_size(10);
     for n in [24usize, 48] {
         let g = sparse_random(n, 42);
-        let cfg = ApspConfig::default();
         group.bench_with_input(BenchmarkId::new("paper-derand", n), &n, |b, _| {
-            b.iter(|| {
-                apsp_agarwal_ramachandran(
-                    &g,
-                    &cfg,
-                    BlockerMethod::Derandomized,
-                    Step6Method::Pipelined,
-                )
-                .unwrap()
-            })
+            b.iter(|| Solver::builder(&g).run().unwrap())
         });
         group.bench_with_input(BenchmarkId::new("ar18", n), &n, |b, _| {
-            b.iter(|| apsp_ar18(&g, &cfg).unwrap())
+            b.iter(|| Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap())
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| apsp_naive(&g, &cfg).unwrap())
+            b.iter(|| Solver::builder(&g).algorithm(Algorithm::Naive).run().unwrap())
         });
     }
     group.finish();

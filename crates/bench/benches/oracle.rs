@@ -11,10 +11,12 @@
 //! the benchmark spends its time on the serving layer, not on re-running
 //! the CONGEST simulation.
 
+use congest_apsp::{ApspMeta, ApspOutcome};
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 use congest_graph::NodeId;
-use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+use congest_oracle::{EngineConfig, IntoOracle, Oracle, QueryEngine};
+use congest_sim::Recorder;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,11 +27,23 @@ const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
 /// Fraction of mixed-workload queries that ask for a full path (the rest
 /// are point distance lookups): 1 in 8.
 const PATH_EVERY: u64 = 8;
+/// Distinct ranked routes in the Zipf-skewed path workload. Much larger
+/// than the total LRU capacity (shards × cache_per_shard), so the hit rate
+/// measures how well the cache exploits the skew, not just its size.
+const ZIPF_UNIVERSE: usize = 1 << 20;
+/// Zipf exponent s in P(rank r) ∝ 1/r^s.
+const ZIPF_S: f64 = 1.0;
 
-fn build_engine(cache_per_shard: usize) -> QueryEngine<u64> {
+/// The benchmark graph, its Dijkstra solution (computed once — the single
+/// most expensive setup step) and the engine serving it.
+fn build_engine(
+    cache_per_shard: usize,
+) -> (congest_graph::Graph<u64>, congest_graph::DistMatrix<u64>, QueryEngine<u64>) {
     let g = gnm_connected(N, 4 * N, true, WeightDist::Uniform(1, 100), 2026);
-    let oracle = Oracle::from_dist(&g, apsp_dijkstra(&g));
-    QueryEngine::new(Arc::new(oracle), EngineConfig { shards: 64, cache_per_shard })
+    let dist = apsp_dijkstra(&g);
+    let oracle = Oracle::from_dist(&g, dist.clone());
+    let engine = QueryEngine::new(Arc::new(oracle), EngineConfig { shards: 64, cache_per_shard });
+    (g, dist, engine)
 }
 
 /// xorshift64* — cheap per-thread query-id stream.
@@ -98,14 +112,76 @@ fn hot_path_qps(engine: &QueryEngine<u64>, threads: usize, hot: &[(NodeId, NodeI
     (threads as u64 * QUERIES_PER_THREAD) as f64 / secs
 }
 
+/// Cumulative Zipf(s) weights over `ZIPF_UNIVERSE` ranks, for inverse-CDF
+/// sampling.
+fn zipf_cdf() -> Vec<f64> {
+    let mut cum = Vec::with_capacity(ZIPF_UNIVERSE);
+    let mut total = 0.0;
+    for r in 1..=ZIPF_UNIVERSE {
+        total += 1.0 / (r as f64).powf(ZIPF_S);
+        cum.push(total);
+    }
+    cum
+}
+
+/// Deterministic rank → route mapping (the popular ranks land on
+/// arbitrary but fixed pairs). Splitmix64 finalizer with the golden-ratio
+/// pre-increment, so rank 0 does not fix-point to node 0; degenerate
+/// `u == v` self-pairs (which `path` answers without reconstruction) are
+/// nudged off the diagonal.
+fn zipf_route(rank: usize) -> (NodeId, NodeId) {
+    let mut h = (rank as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let a = (h % N as u64) as u32;
+    let mut b = ((h >> 32) % N as u64) as u32;
+    if a == b {
+        b = (b + 1) % N as u32;
+    }
+    (a, b)
+}
+
+/// Zipf-skewed path workload: every thread requests full routes whose
+/// popularity follows a Zipf(s) law over `ZIPF_UNIVERSE` ranked pairs —
+/// the realistic skewed-traffic regime between `hot_path_qps` (tiny hot
+/// set) and `mixed_qps` (uniform pairs, the LRU's worst case).
+fn zipf_path_qps(engine: &QueryEngine<u64>, threads: usize, cum: &[f64]) -> f64 {
+    let total = *cum.last().expect("nonempty cdf");
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut state = 0x5A1F_C0DE + t as u64;
+                let mut checksum = 0u64;
+                for _ in 0..QUERIES_PER_THREAD {
+                    let u = next_rng(&mut state) as f64 / u64::MAX as f64 * total;
+                    let rank = cum.partition_point(|&c| c < u);
+                    let (a, b) = zipf_route(rank.min(ZIPF_UNIVERSE - 1));
+                    if let Some(p) = engine.path(a, b).expect("in range") {
+                        checksum ^= p.len() as u64;
+                    }
+                }
+                black_box(checksum);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * QUERIES_PER_THREAD) as f64 / secs
+}
+
 struct ThroughputPoint {
     threads: usize,
     qps: f64,
     hot_qps: f64,
+    zipf_qps: f64,
 }
 
 fn bench_oracle(c: &mut Criterion) {
-    let engine = build_engine(4096);
+    let (g, dist, engine) = build_engine(4096);
     let oracle = Arc::clone(engine.oracle());
 
     // -------- single-operation latencies --------
@@ -161,25 +237,59 @@ fn bench_oracle(c: &mut Criterion) {
     let hots: Vec<f64> = THREAD_COUNTS.iter().map(|&t| hot_path_qps(&engine, t, &hot)).collect();
     let hot_hit_rate = delta_rate(before_hot, engine.cache_stats());
 
+    let cum = zipf_cdf();
+    let before_zipf = engine.cache_stats();
+    let zipfs: Vec<f64> = THREAD_COUNTS.iter().map(|&t| zipf_path_qps(&engine, t, &cum)).collect();
+    let zipf_hit_rate = delta_rate(before_zipf, engine.cache_stats());
+
     let points: Vec<ThroughputPoint> = THREAD_COUNTS
         .iter()
-        .zip(mixed.iter().zip(&hots))
-        .map(|(&threads, (&qps, &hot_qps))| ThroughputPoint { threads, qps, hot_qps })
+        .zip(mixed.iter().zip(hots.iter().zip(&zipfs)))
+        .map(|(&threads, (&qps, (&hot_qps, &zipf_qps)))| ThroughputPoint {
+            threads,
+            qps,
+            hot_qps,
+            zipf_qps,
+        })
         .collect();
     for p in &points {
         println!(
-            "oracle-qps/{}-threads: {:.2} M queries/sec (mixed {}:1 dist:path, uniform) | {:.2} M paths/sec (hot routes)",
+            "oracle-qps/{}-threads: {:.2} M queries/sec (mixed {}:1 dist:path, uniform) | {:.2} M paths/sec (hot routes) | {:.2} M paths/sec (zipf)",
             p.threads,
             p.qps / 1e6,
             PATH_EVERY - 1,
             p.hot_qps / 1e6,
+            p.zipf_qps / 1e6,
         );
     }
     println!(
-        "path cache: {:.1}% hit rate on uniform pairs, {:.1}% on hot routes, {} resident",
+        "path cache: {:.1}% hit rate on uniform pairs, {:.1}% on hot routes, {:.1}% on zipf(s={ZIPF_S}) routes, {} resident",
         uniform_hit_rate * 100.0,
         hot_hit_rate * 100.0,
+        zipf_hit_rate * 100.0,
         engine.cached_paths()
+    );
+
+    // -------- build-from-outcome: the zero-copy compute → serve handoff --------
+    // An ApspOutcome whose arena is already exact (the distributed pipeline
+    // is bit-identical to Dijkstra, as the exactness suites prove): timing
+    // `into_oracle` here measures the real boundary cost — successor
+    // derivation only, since the n² distance arena is moved, not copied.
+    let outcome = ApspOutcome { dist, recorder: Recorder::new(), meta: ApspMeta::default() };
+    let arena_bytes = std::mem::size_of_val(outcome.dist.as_slice());
+    // For contrast: what the pre-DistMatrix boundary paid on top — a full
+    // n² arena copy (plus, historically, n per-row allocations). Measured
+    // directly, before the arena moves out of the outcome.
+    let t0 = Instant::now();
+    let copied = black_box(outcome.dist.as_slice().to_vec());
+    let avoided_copy_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(copied);
+    let t0 = Instant::now();
+    let rebuilt = outcome.into_oracle(&g);
+    let build_from_outcome_ms = t0.elapsed().as_secs_f64() * 1e3;
+    black_box(rebuilt.distance(0, 1));
+    println!(
+        "build-from-outcome: {build_from_outcome_ms:.1} ms (successor derivation; {arena_bytes} arena bytes moved, {avoided_copy_ms:.1} ms n² copy avoided)"
     );
 
     // -------- snapshot size, for the record --------
@@ -203,17 +313,21 @@ fn bench_oracle(c: &mut Criterion) {
             median("k-nearest-10"),
         ));
         json.push_str(&format!(
-            "  \"workload\": {{\n    \"queries_per_thread\": {QUERIES_PER_THREAD},\n    \"uniform_dist_to_path_ratio\": \"{}:1\",\n    \"uniform_cache_hit_rate\": {uniform_hit_rate:.3},\n    \"hot_route_pairs\": {},\n    \"hot_route_cache_hit_rate\": {hot_hit_rate:.3}\n  }},\n",
+            "  \"workload\": {{\n    \"queries_per_thread\": {QUERIES_PER_THREAD},\n    \"uniform_dist_to_path_ratio\": \"{}:1\",\n    \"uniform_cache_hit_rate\": {uniform_hit_rate:.3},\n    \"hot_route_pairs\": {},\n    \"hot_route_cache_hit_rate\": {hot_hit_rate:.3},\n    \"zipf_universe_pairs\": {ZIPF_UNIVERSE},\n    \"zipf_exponent\": {ZIPF_S:.2},\n    \"zipf_cache_hit_rate\": {zipf_hit_rate:.3}\n  }},\n",
             PATH_EVERY - 1,
             hot.len(),
+        ));
+        json.push_str(&format!(
+            "  \"build_from_outcome\": {{\n    \"n\": {N},\n    \"total_ms\": {build_from_outcome_ms:.1},\n    \"dist_arena_bytes_moved\": {arena_bytes},\n    \"avoided_n2_copy_ms\": {avoided_copy_ms:.1},\n    \"note\": \"arena moves from ApspOutcome into Oracle; time is successor derivation only\"\n  }},\n",
         ));
         json.push_str("  \"throughput\": [\n");
         for (i, p) in points.iter().enumerate() {
             json.push_str(&format!(
-                "    {{ \"threads\": {}, \"uniform_mixed_queries_per_sec\": {:.0}, \"hot_route_paths_per_sec\": {:.0} }}{}\n",
+                "    {{ \"threads\": {}, \"uniform_mixed_queries_per_sec\": {:.0}, \"hot_route_paths_per_sec\": {:.0}, \"zipf_paths_per_sec\": {:.0} }}{}\n",
                 p.threads,
                 p.qps,
                 p.hot_qps,
+                p.zipf_qps,
                 if i + 1 < points.len() { "," } else { "" },
             ));
         }

@@ -5,7 +5,7 @@ use congest_apsp::pipeline::{propagate_to_blockers, propagate_trivial_broadcast}
 use congest_apsp::ApspConfig;
 use congest_bench::workloads::sparse_random;
 use congest_graph::seq::apsp_dijkstra;
-use congest_graph::NodeId;
+use congest_graph::{DistMatrix, NodeId};
 use congest_sim::{Recorder, SimConfig, Topology};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -16,8 +16,9 @@ fn bench_step6(c: &mut Criterion) {
     let cfg = ApspConfig::default();
     let q: Vec<NodeId> = (0..n as NodeId).step_by(5).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals: Vec<Vec<u64>> =
-        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+    let dvals = DistMatrix::from_rows(
+        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+    );
     let mut group = c.benchmark_group("step6");
     group.sample_size(10);
     group.bench_function("pipelined-alg8-9", |b| {

@@ -9,16 +9,16 @@ use congest_apsp::csssp::build_csssp;
 use congest_apsp::pipeline::{
     propagate_to_blockers, propagate_to_blockers_with, propagate_trivial_broadcast, PushDiscipline,
 };
-use congest_apsp::{
-    apsp_agarwal_ramachandran, apsp_ar18, apsp_naive, ApspConfig, BlockerMethod, Charging,
-    Step6Method,
-};
+use congest_apsp::{Algorithm, ApspConfig, BlockerMethod, Charging, Solver};
 use congest_graph::generators::{Family, WeightDist};
 use congest_graph::seq::{apsp_dijkstra, dijkstra, Direction};
-use congest_graph::NodeId;
+use congest_graph::{DistMatrix, NodeId};
+use congest_oracle::{EngineConfig, IntoOracle, QueryEngine};
 use congest_sim::{Recorder, SimConfig, Topology};
 use std::fmt::Write as _;
 use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Output of one experiment: a rendered text table plus CSV lines.
 pub struct ExperimentOutput {
@@ -70,21 +70,17 @@ pub fn t1(big: bool, charging: Charging) -> ExperimentOutput {
         let g = sparse_random(n, 1000 + n as u64);
         let cfg = ApspConfig { charging, ..Default::default() };
         let oracle = apsp_dijkstra(&g);
-        let paper = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let paper = Solver::builder(&g).config(cfg).run().unwrap();
         assert_eq!(paper.dist, oracle);
-        let rand =
-            apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Randomized, Step6Method::Pipelined)
-                .unwrap();
+        let rand = Solver::builder(&g)
+            .config(cfg)
+            .blocker_method(BlockerMethod::Randomized)
+            .run()
+            .unwrap();
         assert_eq!(rand.dist, oracle);
-        let ar18 = apsp_ar18(&g, &cfg).unwrap();
+        let ar18 = Solver::builder(&g).config(cfg).algorithm(Algorithm::Ar18).run().unwrap();
         assert_eq!(ar18.dist, oracle);
-        let naive = apsp_naive(&g, &cfg).unwrap();
+        let naive = Solver::builder(&g).config(cfg).algorithm(Algorithm::Naive).run().unwrap();
         assert_eq!(naive.dist, oracle);
         let row = (
             n,
@@ -165,19 +161,12 @@ pub fn t1_deep(big: bool) -> ExperimentOutput {
     let mut rows: Vec<(usize, u64, u64, u64)> = Vec::new();
     for n in t1_sizes(big) {
         let g = hop_deep(n, 2000 + n as u64);
-        let cfg = ApspConfig::default();
         let oracle = apsp_dijkstra(&g);
-        let paper = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let paper = Solver::builder(&g).run().unwrap();
         assert_eq!(paper.dist, oracle);
-        let ar18 = apsp_ar18(&g, &cfg).unwrap();
+        let ar18 = Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap();
         assert_eq!(ar18.dist, oracle);
-        let naive = apsp_naive(&g, &cfg).unwrap();
+        let naive = Solver::builder(&g).algorithm(Algorithm::Naive).run().unwrap();
         assert_eq!(naive.dist, oracle);
         let row = (
             n,
@@ -439,14 +428,15 @@ pub fn t3() -> ExperimentOutput {
         let cfg = ApspConfig::default();
         let q: Vec<NodeId> = (0..n as NodeId).step_by(5).collect();
         let exact = apsp_dijkstra(&g);
-        let dvals: Vec<Vec<u64>> =
-            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+        let dvals = DistMatrix::from_rows(
+            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+        );
         let mut rec = Recorder::new();
         let (out, stats) =
             propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
                 .unwrap();
         for (qi, &c) in q.iter().enumerate() {
-            assert_eq!(out[qi], dijkstra(&g, c, Direction::In), "delivery to {c}");
+            assert_eq!(&out[qi], &dijkstra(&g, c, Direction::In)[..], "delivery to {c}");
         }
         let mut trec = Recorder::new();
         let _ = propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut trec)
@@ -494,8 +484,9 @@ pub fn f3() -> ExperimentOutput {
     let cfg = ApspConfig::default();
     let q: Vec<NodeId> = (0..n as NodeId).step_by(4).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals: Vec<Vec<u64>> =
-        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+    let dvals = DistMatrix::from_rows(
+        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+    );
     let mut rec = Recorder::new();
     let (_, stats) =
         propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
@@ -602,14 +593,7 @@ pub fn t5() -> ExperimentOutput {
         for directed in [true, false] {
             for (wname, dist) in weight_regimes {
                 let g = fam.build(16, directed, dist, 123);
-                let cfg = ApspConfig::default();
-                let out = apsp_agarwal_ramachandran(
-                    &g,
-                    &cfg,
-                    BlockerMethod::Derandomized,
-                    Step6Method::Pipelined,
-                )
-                .unwrap();
+                let out = Solver::builder(&g).run().unwrap();
                 let ok = out.dist == apsp_dijkstra(&g);
                 all_ok &= ok;
                 let _ = writeln!(
@@ -655,8 +639,9 @@ pub fn f4() -> ExperimentOutput {
     let cfg = ApspConfig::default();
     let q: Vec<NodeId> = (0..n as NodeId).step_by(4).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals: Vec<Vec<u64>> =
-        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+    let dvals = DistMatrix::from_rows(
+        (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+    );
     let _ = writeln!(table, "F4a: Step-9 queue discipline ablation (n={n}, |Q|={})", q.len());
     for (name, d) in [
         ("round-robin (paper)", PushDiscipline::RoundRobin),
@@ -676,7 +661,7 @@ pub fn f4() -> ExperimentOutput {
         )
         .unwrap();
         for (qi, &c) in q.iter().enumerate() {
-            assert_eq!(out[qi], dijkstra(&g, c, Direction::In));
+            assert_eq!(&out[qi], &dijkstra(&g, c, Direction::In)[..]);
         }
         let _ = writeln!(
             table,
@@ -764,7 +749,7 @@ pub fn f4() -> ExperimentOutput {
                 sources: sources.clone(),
                 h: 3,
                 dir: Direction::Out,
-                dist,
+                dist: DistMatrix::from_rows(dist),
                 hops,
                 parent,
                 children,
@@ -788,6 +773,77 @@ pub fn f4() -> ExperimentOutput {
     ExperimentOutput { id: "f4", table, csv }
 }
 
+/// E1 — the compute → serve vertical slice: `Solver` → `into_oracle()` →
+/// `QueryEngine`, end to end. Records simulated rounds, wall-clock compute
+/// time, oracle build time (the distance arena is *moved* into the oracle,
+/// so this is purely successor derivation), snapshot size, and served
+/// queries/sec for a mixed dist/path burst.
+#[must_use]
+pub fn e1_oracle(big: bool) -> ExperimentOutput {
+    const QUERIES: u64 = 200_000;
+    let mut table = String::new();
+    let mut csv = String::from(
+        "n,rounds,q,compute_ms,oracle_build_ms,snapshot_bytes,queries,serve_qps,cache_hit_rate\n",
+    );
+    let _ = writeln!(
+        table,
+        "E1: compute -> serve vertical slice (Solver -> into_oracle -> QueryEngine, {QUERIES} mixed queries)"
+    );
+    let _ = writeln!(
+        table,
+        "{:>5} {:>9} {:>4} {:>11} {:>9} {:>10} {:>12} {:>9}",
+        "n", "rounds", "|Q|", "compute-ms", "build-ms", "snapshot", "serve-qps", "hit-rate"
+    );
+    let sizes: &[usize] = if big { &[32, 48, 64, 96] } else { &[32, 48, 64] };
+    for &n in sizes {
+        let g = sparse_random(n, 4000 + n as u64);
+        let t0 = Instant::now();
+        let out = Solver::builder(&g).run().unwrap();
+        let compute_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let rounds = out.recorder.total_rounds();
+        let q = out.meta.q.len();
+        assert_eq!(out.dist, apsp_dijkstra(&g), "e2e slice must stay exact");
+
+        let t0 = Instant::now();
+        let oracle = out.into_oracle(&g);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let snapshot_bytes = oracle.to_bytes().len();
+
+        let engine =
+            QueryEngine::new(Arc::new(oracle), EngineConfig { shards: 8, cache_per_shard: 1024 });
+        let t0 = Instant::now();
+        let mut state = 0x5EED_u64 + n as u64;
+        for i in 0..QUERIES {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state % n as u64) as NodeId;
+            let v = ((state >> 32) % n as u64) as NodeId;
+            if i % 8 == 0 {
+                let _ = engine.path(u, v).expect("in range");
+            } else {
+                let _ = engine.dist(u, v).expect("in range");
+            }
+        }
+        let qps = QUERIES as f64 / t0.elapsed().as_secs_f64();
+        let stats = engine.cache_stats();
+        let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+        let _ = writeln!(
+            table,
+            "{n:>5} {rounds:>9} {q:>4} {compute_ms:>11.1} {build_ms:>9.2} {snapshot_bytes:>10} {qps:>12.0} {hit_rate:>9.3}"
+        );
+        let _ = writeln!(
+            csv,
+            "{n},{rounds},{q},{compute_ms:.1},{build_ms:.2},{snapshot_bytes},{QUERIES},{qps:.0},{hit_rate:.3}"
+        );
+    }
+    let _ = writeln!(
+        table,
+        "\n(build-ms is successor derivation only: the n^2 distance arena moves into the oracle without a copy)"
+    );
+    ExperimentOutput { id: "e1", table, csv }
+}
+
 /// Runs one experiment by id.
 #[must_use]
 pub fn run(id: &str, big: bool) -> Vec<ExperimentOutput> {
@@ -803,9 +859,10 @@ pub fn run(id: &str, big: bool) -> Vec<ExperimentOutput> {
         "t4" => vec![t4().persist()],
         "t5" => vec![t5().persist()],
         "f4" => vec![f4().persist()],
+        "e1" | "oracle" => vec![e1_oracle(big).persist()],
         "all" => {
             let mut v = Vec::new();
-            for id in ["t1", "t1deep", "f1", "t2", "f2", "t3", "f3", "t4", "t5", "f4"] {
+            for id in ["t1", "t1deep", "f1", "t2", "f2", "t3", "f3", "t4", "t5", "f4", "e1"] {
                 v.extend(run(id, big));
             }
             v

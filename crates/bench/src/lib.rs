@@ -7,9 +7,11 @@
 //!
 //! Run `cargo run -p congest-bench --release --bin experiments -- all`
 //! (or a single experiment id) to print the tables; CSV copies land in
-//! `results/`.
+//! `results/`. The `e1`/`oracle` experiment exercises the compute → serve
+//! vertical slice (`Solver` → `into_oracle()` → `QueryEngine`).
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod experiments;
 pub mod legacy;

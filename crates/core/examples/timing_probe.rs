@@ -7,28 +7,21 @@
 //! cargo run -p congest-apsp --release --example timing_probe
 //! ```
 
-use congest_apsp::*;
+use congest_apsp::{Algorithm, Solver};
 use congest_graph::generators::{gnm_connected, WeightDist};
 use std::time::Instant;
 
 fn main() {
     for n in [24usize, 48, 72, 96] {
         let g = gnm_connected(n, 3 * n, true, WeightDist::Uniform(0, 100), 7);
-        let cfg = ApspConfig::default();
         let t0 = Instant::now();
-        let out = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let out = Solver::builder(&g).run().unwrap();
         let t_paper = t0.elapsed();
         let t0 = Instant::now();
-        let ar = apsp_ar18(&g, &cfg).unwrap();
+        let ar = Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap();
         let t_ar = t0.elapsed();
         let t0 = Instant::now();
-        let nv = apsp_naive(&g, &cfg).unwrap();
+        let nv = Solver::builder(&g).algorithm(Algorithm::Naive).run().unwrap();
         let t_naive = t0.elapsed();
         let ok = out.dist == nv.dist && ar.dist == nv.dist;
         println!(

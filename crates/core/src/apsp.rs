@@ -16,7 +16,7 @@ use crate::csssp::build_csssp;
 use crate::extension::extend_all_sources;
 use crate::pipeline::{propagate_to_blockers, propagate_trivial_broadcast, Step6Stats};
 use congest_graph::seq::Direction;
-use congest_graph::{Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::primitives::all_to_all_broadcast;
 use congest_sim::{Recorder, SimError, Topology};
 
@@ -53,31 +53,32 @@ pub struct ApspMeta {
     pub step6: Option<Step6Stats>,
 }
 
-/// Result of a distributed APSP run: the full distance matrix
-/// (`dist[x][t]`, `INF` when unreachable), per-phase round accounting, and
-/// run metadata.
+/// Result of a distributed APSP run: the full distance matrix in one flat
+/// arena (`dist[x][t]`, `INF` when unreachable), per-phase round
+/// accounting, and run metadata.
 #[derive(Clone, Debug)]
 pub struct ApspOutcome<W> {
-    /// `dist[x][t] = δ(x, t)`.
-    pub dist: Vec<Vec<W>>,
+    /// `dist[x][t] = δ(x, t)`, square and row-major.
+    pub dist: DistMatrix<W>,
     /// Phase-by-phase rounds/messages/congestion.
     pub recorder: Recorder,
     /// Sizes and counters.
     pub meta: ApspMeta,
 }
 
-impl<W> ApspOutcome<W> {
+impl<W: Weight> ApspOutcome<W> {
     /// Number of nodes the run covered.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.dist.len()
+        self.dist.n()
     }
 
-    /// Consumes the outcome, handing the n² distance matrix to a consumer
+    /// Consumes the outcome, handing the n² distance arena to a consumer
     /// (e.g. the `congest_oracle` serving layer) without cloning it; the
-    /// recorder and metadata are dropped.
+    /// recorder and metadata are dropped. For the one-line compute→serve
+    /// handoff use `congest_oracle::IntoOracle::into_oracle` instead.
     #[must_use]
-    pub fn into_dist(self) -> Vec<Vec<W>> {
+    pub fn into_dist(self) -> DistMatrix<W> {
         self.dist
     }
 }
@@ -98,16 +99,13 @@ impl<W: Weight> std::hash::Hash for QPairItem<W> {
     }
 }
 
-/// Runs Algorithm 1. `method` selects the Step-2 blocker construction,
-/// `step6` the Step-6 implementation; the paper's headline configuration
-/// is `(Derandomized, Pipelined)`.
+/// Runs Algorithm 1 (the paper's Õ(n^{4/3}) APSP). `method` selects the
+/// Step-2 blocker construction, `step6` the Step-6 implementation; the
+/// paper's headline configuration is `(Derandomized, Pipelined)`.
 ///
-/// # Errors
-/// Propagates engine errors.
-///
-/// # Panics
-/// Panics if the communication graph is disconnected.
-pub fn apsp_agarwal_ramachandran<W: Weight>(
+/// This is the engine behind [`crate::Solver`] with
+/// [`crate::Algorithm::Ar20`]; external callers go through the builder.
+pub(crate) fn run_ar20<W: Weight>(
     g: &Graph<W>,
     cfg: &ApspConfig,
     method: BlockerMethod,
@@ -215,26 +213,23 @@ pub fn apsp_agarwal_ramachandran<W: Weight>(
             }
         }
     }
-    let dvals: Vec<Vec<W>> = (0..n)
-        .map(|x| {
-            (0..qn)
-                .map(|qi| {
-                    let mut best = to_q[qi][x];
-                    for qj in 0..qn {
-                        let first = to_q[qj][x];
-                        if first.is_inf() {
-                            continue;
-                        }
-                        let via = first.plus(closure[qj][qi]);
-                        if via < best {
-                            best = via;
-                        }
-                    }
-                    best
-                })
-                .collect()
-        })
-        .collect();
+    let mut dvals = DistMatrix::filled(n, qn, W::INF);
+    for x in 0..n {
+        for qi in 0..qn {
+            let mut best = to_q[qi][x];
+            for qj in 0..qn {
+                let first = to_q[qj][x];
+                if first.is_inf() {
+                    continue;
+                }
+                let via = first.plus(closure[qj][qi]);
+                if via < best {
+                    best = via;
+                }
+            }
+            dvals.set(x, qi, best);
+        }
+    }
     rec.record_local("step5: local closure over Q");
 
     // Step 6: reversed q-sink propagation.
@@ -258,12 +253,12 @@ pub fn apsp_agarwal_ramachandran<W: Weight>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::Solver;
     use congest_graph::generators::{gnm_connected, Family, WeightDist};
     use congest_graph::seq::apsp_dijkstra;
 
     fn check_exact(g: &Graph<u64>, method: BlockerMethod, step6: Step6Method) {
-        let cfg = ApspConfig::default();
-        let out = apsp_agarwal_ramachandran(g, &cfg, method, step6).unwrap();
+        let out = Solver::builder(g).blocker_method(method).step6_method(step6).run().unwrap();
         let oracle = apsp_dijkstra(g);
         assert_eq!(out.dist, oracle, "{method:?}/{step6:?}");
     }
@@ -305,14 +300,7 @@ mod tests {
     #[test]
     fn meta_reports_q_and_h() {
         let g = gnm_connected(20, 40, true, WeightDist::Uniform(1, 9), 1);
-        let cfg = ApspConfig::default();
-        let out = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let out = Solver::builder(&g).run().unwrap();
         assert_eq!(out.meta.h, 3); // ceil(20^(1/3))
         assert!(out.recorder.total_rounds() > 0);
         // Q must be a valid blocker-sized set (possibly empty on shallow graphs)
@@ -323,11 +311,6 @@ mod tests {
     #[should_panic(expected = "connected")]
     fn disconnected_rejected() {
         let g: Graph<u64> = Graph::from_edges(4, true, vec![congest_graph::Edge::new(0, 1, 1)]);
-        let _ = apsp_agarwal_ramachandran(
-            &g,
-            &ApspConfig::default(),
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        );
+        let _ = Solver::builder(&g).run();
     }
 }

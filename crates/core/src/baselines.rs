@@ -1,9 +1,10 @@
 //! Baseline APSP algorithms from Table 1 of the paper, for the empirical
-//! round-complexity comparison (experiment T1/F1).
+//! round-complexity comparison (experiment T1/F1). Both are selected
+//! through [`crate::Solver`] via [`crate::Algorithm`].
 //!
-//! * [`apsp_naive`] — one full Bellman–Ford per source: the folklore O(n²)
+//! * `Naive` — one full Bellman–Ford per source: the folklore O(n²)
 //!   worst-case algorithm (fast on low-hop-diameter graphs).
-//! * [`apsp_ar18`] — a same-framework reconstruction of Agarwal, Ramachandran,
+//! * `Ar18` — a same-framework reconstruction of Agarwal, Ramachandran,
 //!   King & Pontecorvi (PODC 2018): h = √n CSSSP, greedy blocker set
 //!   (O(nh + n|Q|)), one full in- and out-SSSP per blocker (O(n|Q|)), one
 //!   O(n|Q|)-round broadcast of the (x, c) distance table, local combine.
@@ -16,23 +17,21 @@ use crate::blocker::greedy_blocker;
 use crate::config::ApspConfig;
 use crate::csssp::build_csssp;
 use congest_graph::seq::Direction;
-use congest_graph::{Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::primitives::all_to_all_broadcast;
 use congest_sim::{Recorder, SimError, Topology};
 
-/// One full Bellman–Ford per source (n sequential SSSPs).
-///
-/// # Errors
-/// Propagates engine errors.
-///
-/// # Panics
-/// Panics if the communication graph is disconnected.
-pub fn apsp_naive<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
+/// One full Bellman–Ford per source (n sequential SSSPs). The engine
+/// behind [`crate::Solver`] with [`crate::Algorithm::Naive`].
+pub(crate) fn run_naive<W: Weight>(
+    g: &Graph<W>,
+    cfg: &ApspConfig,
+) -> Result<ApspOutcome<W>, SimError> {
     assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
     let n = g.n();
     let topo = Topology::from_graph(g);
     let mut rec = Recorder::new();
-    let mut dist = vec![vec![W::INF; n]; n];
+    let mut dist = DistMatrix::square(n, W::INF);
     for x in 0..n as NodeId {
         let (res, rep) = run_full_sssp(g, &topo, x, Direction::Out, cfg.sim, cfg.charging)?;
         rec.record(format!("naive: SSSP({x})"), rep);
@@ -59,14 +58,12 @@ impl<W: Weight> std::hash::Hash for TableItem<W> {
     }
 }
 
-/// The Õ(n^{3/2})-round deterministic baseline (\[2\]-style).
-///
-/// # Errors
-/// Propagates engine errors.
-///
-/// # Panics
-/// Panics if the communication graph is disconnected.
-pub fn apsp_ar18<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
+/// The Õ(n^{3/2})-round deterministic baseline (\[2\]-style). The engine
+/// behind [`crate::Solver`] with [`crate::Algorithm::Ar18`].
+pub(crate) fn run_ar18<W: Weight>(
+    g: &Graph<W>,
+    cfg: &ApspConfig,
+) -> Result<ApspOutcome<W>, SimError> {
     assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
     let n = g.n();
     let topo = Topology::from_graph(g);
@@ -125,7 +122,7 @@ pub fn apsp_ar18<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcom
     // Step 5 (local at every sink t): δ(x,t) = min(δ_h(x,t),
     // min_c δ(x,c) + δ(c,t)).
     rec.record_local("ar18/step5: local combine");
-    let mut dist = vec![vec![W::INF; n]; n];
+    let mut dist = DistMatrix::square(n, W::INF);
     for x in 0..n {
         for t in 0..n {
             let mut best = if x == t { W::ZERO } else { coll.dist[t][x] };
@@ -148,7 +145,7 @@ pub fn apsp_ar18<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcom
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::solver::{Algorithm, Solver};
     use congest_graph::generators::{gnm_connected, Family, WeightDist};
     use congest_graph::seq::apsp_dijkstra;
 
@@ -156,7 +153,7 @@ mod tests {
     fn naive_exact() {
         for seed in 0..3 {
             let g = gnm_connected(14, 28, true, WeightDist::Uniform(0, 9), seed);
-            let out = apsp_naive(&g, &ApspConfig::default()).unwrap();
+            let out = Solver::builder(&g).algorithm(Algorithm::Naive).run().unwrap();
             assert_eq!(out.dist, apsp_dijkstra(&g));
         }
     }
@@ -165,7 +162,7 @@ mod tests {
     fn ar18_exact() {
         for seed in 0..3 {
             let g = gnm_connected(16, 32, true, WeightDist::Uniform(0, 9), seed);
-            let out = apsp_ar18(&g, &ApspConfig::default()).unwrap();
+            let out = Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap();
             assert_eq!(out.dist, apsp_dijkstra(&g), "seed {seed}");
         }
     }
@@ -174,7 +171,7 @@ mod tests {
     fn ar18_exact_on_deep_families() {
         for fam in [Family::Path, Family::Broom, Family::Cycle] {
             let g = fam.build(18, true, WeightDist::Uniform(1, 5), 4);
-            let out = apsp_ar18(&g, &ApspConfig::default()).unwrap();
+            let out = Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap();
             assert_eq!(out.dist, apsp_dijkstra(&g), "{}", fam.name());
         }
     }
@@ -182,7 +179,7 @@ mod tests {
     #[test]
     fn ar18_h_is_sqrt_n() {
         let g = gnm_connected(25, 50, false, WeightDist::Unit, 0);
-        let out = apsp_ar18(&g, &ApspConfig::default()).unwrap();
+        let out = Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap();
         assert_eq!(out.meta.h, 5);
     }
 }

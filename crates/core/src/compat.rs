@@ -1,0 +1,100 @@
+//! Deprecated free-function shims for the pre-[`Solver`](crate::Solver)
+//! API.
+//!
+//! These delegate to the same engines the builder runs, so results are
+//! bit-identical; they exist only so downstream code can migrate
+//! mechanically. The workspace itself builds with `deny(deprecated)` —
+//! this module is the single place the shims may live (and its tests the
+//! single place they may be called).
+//!
+//! | old call | new call |
+//! |---|---|
+//! | `apsp_agarwal_ramachandran(&g, &cfg, m, s)` | `Solver::builder(&g).config(cfg).blocker_method(m).step6_method(s).run()` |
+//! | `apsp_ar18(&g, &cfg)` | `Solver::builder(&g).algorithm(Algorithm::Ar18).config(cfg).run()` |
+//! | `apsp_naive(&g, &cfg)` | `Solver::builder(&g).algorithm(Algorithm::Naive).config(cfg).run()` |
+
+#![allow(deprecated)]
+
+use crate::apsp::{ApspOutcome, BlockerMethod, Step6Method};
+use crate::config::ApspConfig;
+use congest_graph::{Graph, Weight};
+use congest_sim::SimError;
+
+/// Runs Algorithm 1 (the paper's Õ(n^{4/3}) APSP).
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if the communication graph is disconnected.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builder(&g).blocker_method(..).step6_method(..).run()` instead"
+)]
+pub fn apsp_agarwal_ramachandran<W: Weight>(
+    g: &Graph<W>,
+    cfg: &ApspConfig,
+    method: BlockerMethod,
+    step6: Step6Method,
+) -> Result<ApspOutcome<W>, SimError> {
+    crate::apsp::run_ar20(g, cfg, method, step6)
+}
+
+/// Runs the Õ(n^{3/2}) AR18-style baseline.
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if the communication graph is disconnected.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builder(&g).algorithm(Algorithm::Ar18).run()` instead"
+)]
+pub fn apsp_ar18<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
+    crate::baselines::run_ar18(g, cfg)
+}
+
+/// Runs one full Bellman–Ford per source (the naive O(n²) baseline).
+///
+/// # Errors
+/// Propagates engine errors.
+///
+/// # Panics
+/// Panics if the communication graph is disconnected.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builder(&g).algorithm(Algorithm::Naive).run()` instead"
+)]
+pub fn apsp_naive<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
+    crate::baselines::run_naive(g, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Algorithm, Solver};
+    use congest_graph::generators::{gnm_connected, WeightDist};
+
+    /// The shims must stay bit-identical to the builder path they wrap.
+    #[test]
+    fn shims_match_solver() {
+        let g = gnm_connected(13, 26, true, WeightDist::Uniform(0, 9), 5);
+        let cfg = ApspConfig::default();
+        let via_shim = apsp_agarwal_ramachandran(
+            &g,
+            &cfg,
+            BlockerMethod::Derandomized,
+            Step6Method::Pipelined,
+        )
+        .unwrap();
+        let via_solver = Solver::builder(&g).run().unwrap();
+        assert_eq!(via_shim.dist, via_solver.dist);
+        assert_eq!(via_shim.recorder.total_rounds(), via_solver.recorder.total_rounds());
+
+        let ar18 = apsp_ar18(&g, &cfg).unwrap();
+        assert_eq!(ar18.dist, Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap().dist);
+        let naive = apsp_naive(&g, &cfg).unwrap();
+        assert_eq!(naive.dist, Solver::builder(&g).algorithm(Algorithm::Naive).run().unwrap().dist);
+    }
+}

@@ -11,7 +11,7 @@
 use crate::bf::run_bf;
 use crate::config::Charging;
 use congest_graph::seq::Direction;
-use congest_graph::{Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::{PhaseReport, Recorder, SimConfig, SimError, Topology};
 
 /// A collection of rooted h-hop trees, one per source, stored as per-node
@@ -25,8 +25,9 @@ pub struct SsspCollection<W> {
     pub h: usize,
     /// Tree orientation (Out: paths from root; In: paths into root).
     pub dir: Direction,
-    /// `dist[v][si]`: δ_h(root, v) (Out) or δ_h(v, root) (In); INF if absent.
-    pub dist: Vec<Vec<W>>,
+    /// `dist[v][si]`: δ_h(root, v) (Out) or δ_h(v, root) (In); INF if
+    /// absent. Flat `n × |S|` matrix.
+    pub dist: DistMatrix<W>,
     /// Hop depth in the tree; `u32::MAX` if absent.
     pub hops: Vec<Vec<u32>>,
     /// Parent toward the root.
@@ -39,7 +40,7 @@ impl<W: Weight> SsspCollection<W> {
     /// Number of nodes.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.dist.len()
+        self.hops.len()
     }
 
     /// `true` iff `v` belongs to the tree of source index `si`.
@@ -176,12 +177,12 @@ pub fn build_csssp<W: Weight>(
     label: &str,
 ) -> Result<SsspCollection<W>, SimError> {
     let n = g.n();
-    let mut dist = vec![Vec::with_capacity(sources.len()); n];
+    let mut dist = DistMatrix::filled(n, sources.len(), W::INF);
     let mut hops = vec![Vec::with_capacity(sources.len()); n];
     let mut parent = vec![Vec::with_capacity(sources.len()); n];
     let mut children: Vec<Vec<Vec<NodeId>>> = vec![Vec::with_capacity(sources.len()); n];
     let mut total = PhaseReport { node_sent: vec![0; n], ..Default::default() };
-    for &s in sources {
+    for (si, &s) in sources.iter().enumerate() {
         let (res, rep) = run_bf(g, topo, s, dir, 2 * h as u64, None, true, sim, charging)?;
         total.rounds += rep.rounds;
         total.messages += rep.messages;
@@ -193,7 +194,7 @@ pub fn build_csssp<W: Weight>(
             // Truncate to h hops (keeps exactly the vertices whose
             // canonical minimum-hop optimal path has ≤ h hops).
             if e.reached() && e.hops <= h as u32 {
-                dist[v].push(e.dist);
+                dist.set(v, si, e.dist);
                 hops[v].push(e.hops);
                 parent[v].push(e.parent);
                 children[v].push(
@@ -207,7 +208,6 @@ pub fn build_csssp<W: Weight>(
                         .collect(),
                 );
             } else {
-                dist[v].push(W::INF);
                 hops[v].push(u32::MAX);
                 parent[v].push(None);
                 children[v].push(Vec::new());

@@ -10,15 +10,16 @@ use crate::bf::run_bf;
 use crate::config::ApspConfig;
 use crate::csssp::SsspCollection;
 use congest_graph::seq::Direction;
-use congest_graph::{Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::{Recorder, SimConfig, SimError, Topology};
 
 /// Runs the extension for every source and returns the full distance
 /// matrix `dist[x][t]`.
 ///
 /// * `coll` — the Step-1 h-hop CSSSP (out direction, S = V).
-/// * `q` / `at_blocker` — blocker ids and `at_blocker[qi][x] = δ(x, q_qi)`
-///   as delivered by Step 6 (each blocker knows its own column).
+/// * `q` / `at_blocker` — blocker ids and the `|Q| × n` matrix
+///   `at_blocker[qi][x] = δ(x, q_qi)` as delivered by Step 6 (each blocker
+///   knows its own column).
 ///
 /// # Errors
 /// Propagates engine errors.
@@ -28,13 +29,13 @@ pub fn extend_all_sources<W: Weight>(
     cfg: &ApspConfig,
     coll: &SsspCollection<W>,
     q: &[NodeId],
-    at_blocker: &[Vec<W>],
+    at_blocker: &DistMatrix<W>,
     rec: &mut Recorder,
-) -> Result<Vec<Vec<W>>, SimError> {
+) -> Result<DistMatrix<W>, SimError> {
     let n = g.n();
     let h = coll.h as u64;
     let sim: SimConfig = cfg.sim;
-    let mut dist = vec![vec![W::INF; n]; n];
+    let mut dist = DistMatrix::square(n, W::INF);
     for x in 0..n as NodeId {
         let xi = x as usize;
         // Initialization known locally at each node: blockers hold the
@@ -94,8 +95,9 @@ mod tests {
         let exact = apsp_dijkstra(&g);
         let q: Vec<NodeId> = (0..n as NodeId).collect();
         // at_blocker[qi][x] = δ(x, qi)
-        let at_blocker: Vec<Vec<u64>> =
-            (0..n).map(|c| (0..n).map(|x| exact[x][c]).collect()).collect();
+        let at_blocker = congest_graph::DistMatrix::from_rows(
+            (0..n).map(|c| (0..n).map(|x| exact[x][c]).collect()).collect(),
+        );
         let dist = extend_all_sources(&g, &topo, &cfg, &coll, &q, &at_blocker, &mut rec).unwrap();
         assert_eq!(dist, exact);
     }
@@ -121,7 +123,8 @@ mod tests {
             "csssp",
         )
         .unwrap();
-        let dist = extend_all_sources(&g, &topo, &cfg, &coll, &[], &[], &mut rec).unwrap();
+        let empty = congest_graph::DistMatrix::filled(0, n, u64::INF);
+        let dist = extend_all_sources(&g, &topo, &cfg, &coll, &[], &empty, &mut rec).unwrap();
         // with no blockers, result must be within [δ, δ_2h]: at least the
         // h-hop reachability of the CSSSP extended by h more hops.
         let exact = apsp_dijkstra(&g);

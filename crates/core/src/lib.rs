@@ -5,25 +5,55 @@
 //! with every substrate algorithm it depends on, plus the baselines it is
 //! compared against in Table 1.
 //!
-//! ## Quickstart
+//! ## Quickstart — the [`Solver`] facade
+//!
+//! All three algorithms are reached through one builder; every knob
+//! defaults to the paper's headline configuration, and the result carries
+//! the full distance matrix in a single flat
+//! [`DistMatrix`](congest_graph::DistMatrix) arena:
 //!
 //! ```
-//! use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+//! use congest_apsp::{Algorithm, BlockerMethod, Solver, Step6Method, Verbosity};
 //! use congest_graph::generators::{gnm_connected, WeightDist};
 //!
 //! let g = gnm_connected(16, 32, true, WeightDist::Uniform(0, 9), 42);
-//! let out = apsp_agarwal_ramachandran(
-//!     &g,
-//!     &ApspConfig::default(),
-//!     BlockerMethod::Derandomized,
-//!     Step6Method::Pipelined,
-//! )
-//! .unwrap();
+//!
+//! // The paper's deterministic Õ(n^{4/3}) configuration is the default.
+//! let out = Solver::builder(&g).run().unwrap();
 //! assert_eq!(out.dist, congest_graph::seq::apsp_dijkstra(&g));
 //! println!("{}", out.recorder.table());
+//!
+//! // Every knob is an explicit builder method.
+//! let compared = Solver::builder(&g)
+//!     .algorithm(Algorithm::Ar18)   // the Õ(n^{3/2}) predecessor
+//!     .verbosity(Verbosity::Summary) // collapse phase accounting
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(compared.dist, out.dist);
+//!
+//! // Knobs of the paper's pipeline: blocker construction and Step 6.
+//! let strawman = Solver::builder(&g)
+//!     .blocker_method(BlockerMethod::Greedy)
+//!     .step6_method(Step6Method::TrivialBroadcast)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(strawman.dist, out.dist);
 //! ```
+//!
+//! The serving layer picks the result up without copying:
+//! `out.into_oracle(&g)` (via `congest_oracle::IntoOracle`) moves the n²
+//! arena straight into a query-ready `Oracle`.
+//!
+//! ## Migrating from the free functions
+//!
+//! The pre-facade entry points (`apsp_agarwal_ramachandran`, `apsp_ar18`,
+//! `apsp_naive`) still exist as `#[deprecated]` shims in [`compat`] and
+//! behave bit-identically; see that module's table for the one-line
+//! replacements. New code — and everything inside this workspace, which
+//! builds with `deny(deprecated)` — uses the builder.
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 // Index-based loops are used deliberately where they mirror the paper's
 // per-node pseudocode or iterate parallel arrays; iterator rewrites would
 // obscure the correspondence.
@@ -34,12 +64,16 @@ pub mod baselines;
 pub mod bf;
 pub mod blocker;
 pub mod bottleneck;
+pub mod compat;
 pub mod config;
 pub mod csssp;
 pub mod extension;
 pub mod pipeline;
+pub mod solver;
 pub mod trees;
 
-pub use apsp::{apsp_agarwal_ramachandran, ApspMeta, ApspOutcome, BlockerMethod, Step6Method};
-pub use baselines::{apsp_ar18, apsp_naive};
+pub use apsp::{ApspMeta, ApspOutcome, BlockerMethod, Step6Method};
+#[allow(deprecated)]
+pub use compat::{apsp_agarwal_ramachandran, apsp_ar18, apsp_naive};
 pub use config::{ApspConfig, BlockerParams, Charging};
+pub use solver::{Algorithm, Solver, SolverBuilder, Verbosity};

@@ -23,7 +23,7 @@ use crate::bottleneck::{compute_bottlenecks, BottleneckResult};
 use crate::config::{ApspConfig, BlockerParams};
 use crate::csssp::build_csssp;
 use congest_graph::seq::Direction;
-use congest_graph::{Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::primitives::all_to_all_broadcast;
 use congest_sim::{
     Engine, Envelope, NodeEnv, NodeLogic, Outbox, Recorder, RunUntil, SimConfig, SimError, Topology,
@@ -140,9 +140,10 @@ impl<W: Weight> NodeLogic for RrNode<W> {
     }
 }
 
-/// The reversed q-sink propagation: delivers `dvals[x][qi] = δ(x, q[qi])`
-/// from every x to blocker `q[qi]`. Returns `out[qi][x]` as known at the
-/// blocker (INF where no path exists) plus the stats.
+/// The reversed q-sink propagation: delivers the `n × |Q|` matrix
+/// `dvals[x][qi] = δ(x, q[qi])` from every x to blocker `q[qi]`. Returns
+/// the `|Q| × n` matrix `out[qi][x]` as known at the blocker (INF where no
+/// path exists) plus the stats.
 ///
 /// # Errors
 /// Propagates engine errors.
@@ -153,9 +154,9 @@ pub fn propagate_to_blockers<W: Weight>(
     cfg: &ApspConfig,
     params: BlockerParams,
     q: &[NodeId],
-    dvals: &[Vec<W>],
+    dvals: &DistMatrix<W>,
     rec: &mut Recorder,
-) -> Result<(Vec<Vec<W>>, Step6Stats), SimError> {
+) -> Result<(DistMatrix<W>, Step6Stats), SimError> {
     propagate_to_blockers_with(g, topo, cfg, params, q, dvals, PushDiscipline::RoundRobin, rec)
 }
 
@@ -171,13 +172,13 @@ pub fn propagate_to_blockers_with<W: Weight>(
     cfg: &ApspConfig,
     params: BlockerParams,
     q: &[NodeId],
-    dvals: &[Vec<W>],
+    dvals: &DistMatrix<W>,
     discipline: PushDiscipline,
     rec: &mut Recorder,
-) -> Result<(Vec<Vec<W>>, Step6Stats), SimError> {
+) -> Result<(DistMatrix<W>, Step6Stats), SimError> {
     let n = g.n();
     let mut stats = Step6Stats::default();
-    let mut out = vec![vec![W::INF; n]; q.len()];
+    let mut out = DistMatrix::filled(q.len(), n, W::INF);
     // A blocker trivially knows its own row entry.
     for (qi, &c) in q.iter().enumerate() {
         out[qi][c as usize] = W::ZERO;
@@ -290,9 +291,9 @@ fn apply_relay_set<W: Weight>(
     topo: &Topology,
     cfg: &ApspConfig,
     q: &[NodeId],
-    dvals: &[Vec<W>],
+    dvals: &DistMatrix<W>,
     relays: &[NodeId],
-    out: &mut [Vec<W>],
+    out: &mut DistMatrix<W>,
     rec: &mut Recorder,
     label: &str,
 ) -> Result<(), SimError> {
@@ -401,9 +402,9 @@ pub fn propagate_trivial_broadcast<W: Weight>(
     topo: &Topology,
     sim: SimConfig,
     q: &[NodeId],
-    dvals: &[Vec<W>],
+    dvals: &DistMatrix<W>,
     rec: &mut Recorder,
-) -> Result<Vec<Vec<W>>, SimError> {
+) -> Result<DistMatrix<W>, SimError> {
     let n = topo.n();
     let initial: Vec<Vec<BroadcastItem<W>>> = (0..n)
         .map(|x| {
@@ -419,7 +420,7 @@ pub fn propagate_trivial_broadcast<W: Weight>(
         .collect();
     let (logs, rep) = all_to_all_broadcast(topo, sim, initial)?;
     rec.record("step6-trivial: full broadcast", rep);
-    let mut out = vec![vec![W::INF; n]; q.len()];
+    let mut out = DistMatrix::filled(q.len(), n, W::INF);
     for (qi, &c) in q.iter().enumerate() {
         out[qi][c as usize] = W::ZERO;
         for item in &logs[c as usize] {
@@ -443,8 +444,9 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let cfg = ApspConfig::default();
         let exact = apsp_dijkstra(&g);
-        let dvals: Vec<Vec<u64>> =
-            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+        let dvals = DistMatrix::from_rows(
+            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+        );
         let mut rec = Recorder::new();
         let (out, stats) =
             propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
@@ -490,11 +492,11 @@ mod tests {
             &cfg,
             BlockerParams::default(),
             &[],
-            &vec![vec![]; 8],
+            &DistMatrix::filled(8, 0, u64::INF),
             &mut rec,
         )
         .unwrap();
-        assert!(out.is_empty());
+        assert_eq!(out.rows(), 0);
         assert_eq!(stats.round_robin_rounds, 0);
     }
 
@@ -505,8 +507,9 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let q: Vec<NodeId> = vec![2, 7, 11];
         let exact = apsp_dijkstra(&g);
-        let dvals: Vec<Vec<u64>> =
-            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+        let dvals = DistMatrix::from_rows(
+            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+        );
         let mut rec = Recorder::new();
         let out =
             propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut rec).unwrap();
@@ -525,8 +528,9 @@ mod tests {
         let cfg = ApspConfig::default();
         let q: Vec<NodeId> = vec![1, 5, 9, 13];
         let exact = apsp_dijkstra(&g);
-        let dvals: Vec<Vec<u64>> =
-            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
+        let dvals = DistMatrix::from_rows(
+            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+        );
         let mut rec = Recorder::new();
         let (_, stats) =
             propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
@@ -556,9 +560,10 @@ mod discipline_tests {
         let cfg = ApspConfig::default();
         let q: Vec<NodeId> = vec![0, 5, 9, 14];
         let exact = apsp_dijkstra(&g);
-        let dvals: Vec<Vec<u64>> =
-            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect();
-        let mut reference: Option<Vec<Vec<u64>>> = None;
+        let dvals = DistMatrix::from_rows(
+            (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
+        );
+        let mut reference: Option<DistMatrix<u64>> = None;
         for d in [
             PushDiscipline::RoundRobin,
             PushDiscipline::FixedPriority,

@@ -1,0 +1,314 @@
+//! The unified [`Solver`] facade — one typed entry point for every APSP
+//! algorithm in the workspace.
+//!
+//! Historically the three algorithms were three disconnected free
+//! functions with ad-hoc signatures (`apsp_agarwal_ramachandran`,
+//! `apsp_ar18`, `apsp_naive`). The facade replaces them with a builder:
+//!
+//! ```
+//! use congest_apsp::{Algorithm, BlockerMethod, Solver, Step6Method};
+//! use congest_graph::generators::{gnm_connected, WeightDist};
+//!
+//! let g = gnm_connected(16, 32, true, WeightDist::Uniform(0, 9), 42);
+//! let out = Solver::builder(&g)
+//!     .algorithm(Algorithm::Ar20) // the paper's Õ(n^{4/3}) pipeline
+//!     .blocker_method(BlockerMethod::Derandomized)
+//!     .step6_method(Step6Method::Pipelined)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(out.dist, congest_graph::seq::apsp_dijkstra(&g));
+//! ```
+//!
+//! Every knob has the paper's headline configuration as its default, so
+//! `Solver::builder(&g).run()` is the deterministic Õ(n^{4/3}) result.
+//! The builder is the single place future scaling work (sharded compute,
+//! alternate backends, trace-driven workloads) plugs into without growing
+//! yet another free-function signature.
+
+use crate::apsp::{run_ar20, ApspOutcome, BlockerMethod, Step6Method};
+use crate::baselines::{run_ar18, run_naive};
+use crate::config::{ApspConfig, BlockerParams, Charging};
+use congest_graph::{Graph, Weight};
+use congest_sim::{PhaseReport, Recorder, SimConfig, SimError};
+
+/// Which APSP algorithm the [`Solver`] runs.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Agarwal–Ramachandran SPAA 2020 — the paper's deterministic
+    /// Õ(n^{4/3})-round Algorithm 1 (the default).
+    #[default]
+    Ar20,
+    /// The Õ(n^{3/2}) predecessor (Agarwal, Ramachandran, King &
+    /// Pontecorvi, PODC 2018 reconstruction). Ignores the blocker/Step-6
+    /// knobs: it always uses the greedy blocker set and a full broadcast.
+    Ar18,
+    /// One full Bellman–Ford per source — the folklore O(n²) baseline.
+    /// Ignores the blocker/Step-6 knobs.
+    Naive,
+}
+
+/// How much phase-level detail the returned [`Recorder`] keeps.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Verbosity {
+    /// Keep every phase (the full per-step table) — the default.
+    #[default]
+    PerPhase,
+    /// Collapse all phases into a single `total` entry: totals survive,
+    /// per-phase breakdown does not (cheap to keep around in bulk runs).
+    Summary,
+    /// Drop all accounting; `total_rounds()` reads 0.
+    Silent,
+}
+
+/// Builder for a [`Solver`]; obtained via [`Solver::builder`].
+#[derive(Clone, Debug)]
+pub struct SolverBuilder<'g, W: Weight> {
+    solver: Solver<'g, W>,
+}
+
+impl<'g, W: Weight> SolverBuilder<'g, W> {
+    /// Selects the algorithm (default [`Algorithm::Ar20`]).
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.solver.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the Step-2 blocker construction (default
+    /// [`BlockerMethod::Derandomized`]; [`Algorithm::Ar20`] only).
+    #[must_use]
+    pub fn blocker_method(mut self, method: BlockerMethod) -> Self {
+        self.solver.blocker = method;
+        self
+    }
+
+    /// Selects the Step-6 implementation (default
+    /// [`Step6Method::Pipelined`]; [`Algorithm::Ar20`] only).
+    #[must_use]
+    pub fn step6_method(mut self, method: Step6Method) -> Self {
+        self.solver.step6 = method;
+        self
+    }
+
+    /// Replaces the whole [`ApspConfig`] (hop parameter, charging,
+    /// blocker constants, simulator settings, seed) in one call.
+    #[must_use]
+    pub fn config(mut self, cfg: ApspConfig) -> Self {
+        self.solver.cfg = cfg;
+        self
+    }
+
+    /// Overrides the hop parameter h (default: the paper's ⌈n^{1/3}⌉).
+    #[must_use]
+    pub fn hop_param(mut self, h: usize) -> Self {
+        self.solver.cfg.h = Some(h);
+        self
+    }
+
+    /// Sets the round-charging mode (default [`Charging::Quiesce`]).
+    #[must_use]
+    pub fn charging(mut self, charging: Charging) -> Self {
+        self.solver.cfg.charging = charging;
+        self
+    }
+
+    /// Sets the simulator configuration (bandwidth, parallelism).
+    #[must_use]
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.solver.cfg.sim = sim;
+        self
+    }
+
+    /// Sets the seed for the randomized blocker variant (ignored by the
+    /// deterministic configurations).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.solver.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the blocker-set constants ε, δ.
+    #[must_use]
+    pub fn blocker_params(mut self, params: BlockerParams) -> Self {
+        self.solver.cfg.blocker = params;
+        self
+    }
+
+    /// Sets the recorder verbosity (default [`Verbosity::PerPhase`]).
+    #[must_use]
+    pub fn verbosity(mut self, verbosity: Verbosity) -> Self {
+        self.solver.verbosity = verbosity;
+        self
+    }
+
+    /// Finalizes the configuration into a reusable [`Solver`].
+    #[must_use]
+    pub fn build(self) -> Solver<'g, W> {
+        self.solver
+    }
+
+    /// Convenience: [`build`](Self::build) + [`Solver::run`] in one call.
+    ///
+    /// # Errors
+    /// Propagates engine errors.
+    pub fn run(self) -> Result<ApspOutcome<W>, SimError> {
+        self.build().run()
+    }
+}
+
+/// A fully configured APSP run over a borrowed graph. Reusable: `run` can
+/// be called repeatedly (the deterministic configurations are bit-stable
+/// across calls).
+#[derive(Clone, Debug)]
+pub struct Solver<'g, W: Weight> {
+    g: &'g Graph<W>,
+    cfg: ApspConfig,
+    algorithm: Algorithm,
+    blocker: BlockerMethod,
+    step6: Step6Method,
+    verbosity: Verbosity,
+}
+
+impl<'g, W: Weight> Solver<'g, W> {
+    /// Starts a builder over `g` with the paper's headline defaults:
+    /// `Ar20` / `Derandomized` / `Pipelined`, h = ⌈n^{1/3}⌉, quiescence
+    /// charging, per-phase recording.
+    #[must_use]
+    pub fn builder(g: &'g Graph<W>) -> SolverBuilder<'g, W> {
+        SolverBuilder {
+            solver: Solver {
+                g,
+                cfg: ApspConfig::default(),
+                algorithm: Algorithm::default(),
+                blocker: BlockerMethod::Derandomized,
+                step6: Step6Method::Pipelined,
+                verbosity: Verbosity::default(),
+            },
+        }
+    }
+
+    /// The configured algorithm.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured [`ApspConfig`].
+    #[must_use]
+    pub fn config(&self) -> &ApspConfig {
+        &self.cfg
+    }
+
+    /// Runs the configured algorithm to completion.
+    ///
+    /// # Errors
+    /// Propagates engine errors.
+    ///
+    /// # Panics
+    /// Panics if the communication graph is disconnected.
+    pub fn run(&self) -> Result<ApspOutcome<W>, SimError> {
+        let mut out = match self.algorithm {
+            Algorithm::Ar20 => run_ar20(self.g, &self.cfg, self.blocker, self.step6)?,
+            Algorithm::Ar18 => run_ar18(self.g, &self.cfg)?,
+            Algorithm::Naive => run_naive(self.g, &self.cfg)?,
+        };
+        match self.verbosity {
+            Verbosity::PerPhase => {}
+            Verbosity::Summary => out.recorder = summarize(&out.recorder),
+            Verbosity::Silent => out.recorder = Recorder::new(),
+        }
+        Ok(out)
+    }
+}
+
+/// Collapses a recorder into a single `total` phase preserving the
+/// aggregate rounds/messages/congestion numbers.
+fn summarize(rec: &Recorder) -> Recorder {
+    let mut total = PhaseReport {
+        rounds: rec.total_rounds(),
+        messages: rec.total_messages(),
+        node_sent: rec.node_sent_totals(),
+        ..Default::default()
+    };
+    total.peak_in_flight = rec.phases().iter().map(|p| p.peak_in_flight).max().unwrap_or(0);
+    let mut out = Recorder::new();
+    out.record("total", total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{gnm_connected, WeightDist};
+    use congest_graph::seq::apsp_dijkstra;
+
+    fn graph() -> Graph<u64> {
+        gnm_connected(14, 28, true, WeightDist::Uniform(0, 9), 11)
+    }
+
+    #[test]
+    fn defaults_are_the_paper_configuration() {
+        let g = graph();
+        let out = Solver::builder(&g).run().unwrap();
+        assert_eq!(out.dist, apsp_dijkstra(&g));
+        assert_eq!(out.meta.h, 3); // ceil(14^{1/3})
+        assert!(out.recorder.phases().len() > 1, "per-phase detail by default");
+    }
+
+    #[test]
+    fn every_algorithm_is_exact() {
+        let g = graph();
+        let oracle = apsp_dijkstra(&g);
+        for algorithm in [Algorithm::Ar20, Algorithm::Ar18, Algorithm::Naive] {
+            let out = Solver::builder(&g).algorithm(algorithm).run().unwrap();
+            assert_eq!(out.dist, oracle, "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn summary_verbosity_preserves_totals() {
+        let g = graph();
+        let full = Solver::builder(&g).run().unwrap();
+        let summary = Solver::builder(&g).verbosity(Verbosity::Summary).run().unwrap();
+        assert_eq!(summary.recorder.phases().len(), 1);
+        assert_eq!(summary.recorder.total_rounds(), full.recorder.total_rounds());
+        assert_eq!(summary.recorder.total_messages(), full.recorder.total_messages());
+        // One collapsed phase means congestion aggregates across the whole
+        // run, so it can only grow relative to the per-phase maximum.
+        assert_eq!(
+            summary.recorder.max_node_congestion(),
+            full.recorder.node_sent_totals().into_iter().max().unwrap_or(0)
+        );
+        assert!(summary.recorder.max_node_congestion() >= full.recorder.max_node_congestion());
+        let silent = Solver::builder(&g).verbosity(Verbosity::Silent).run().unwrap();
+        assert!(silent.recorder.phases().is_empty());
+        assert_eq!(silent.dist, full.dist);
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_config() {
+        let g = graph();
+        let solver = Solver::builder(&g)
+            .hop_param(2)
+            .charging(Charging::WorstCase)
+            .seed(7)
+            .blocker_params(BlockerParams { eps: 0.05, delta: 0.05 })
+            .build();
+        assert_eq!(solver.config().h, Some(2));
+        assert_eq!(solver.config().charging, Charging::WorstCase);
+        assert_eq!(solver.config().seed, 7);
+        let out = solver.run().unwrap();
+        assert_eq!(out.meta.h, 2);
+        assert_eq!(out.dist, apsp_dijkstra(&g));
+    }
+
+    #[test]
+    fn solver_is_reusable_and_deterministic() {
+        let g = graph();
+        let solver = Solver::builder(&g).build();
+        let a = solver.run().unwrap();
+        let b = solver.run().unwrap();
+        assert_eq!(a.dist, b.dist);
+        assert_eq!(a.recorder.total_rounds(), b.recorder.total_rounds());
+    }
+}

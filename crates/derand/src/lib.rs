@@ -7,6 +7,7 @@
 //! that the paper's blocker-set construction distributes (§3).
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 mod pairwise;
 pub mod primes;

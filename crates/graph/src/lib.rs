@@ -11,13 +11,16 @@
 //! machinery so oracles cannot share bugs with the system under test.
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod generators;
 mod graph;
+pub mod matrix;
 pub mod seq;
 mod weight;
 
 pub use graph::{Edge, Graph};
+pub use matrix::{DistMatrix, NO_SUCC};
 pub use weight::{Weight, F64};
 
 /// Compact node identifier (vertices are numbered `0..n`).

@@ -1,0 +1,353 @@
+//! Flat row-major distance matrices — the single arena shared from the
+//! compute pipeline to the serving layer.
+//!
+//! Historically every layer of the workspace represented an n×n (or k×n)
+//! distance table as `Vec<Vec<W>>`: n separate heap allocations, poor
+//! locality, and an O(n²) flatten-copy at the compute→serve boundary when
+//! `congest_oracle` rebuilt its own arena. [`DistMatrix`] replaces all of
+//! that with one contiguous `Vec<W>` plus the shape, so the oracle can take
+//! ownership of the arena by move.
+//!
+//! The matrix is rectangular in general (`rows × cols`): the APSP outcome
+//! is square (`n × n`), but intermediate tables — `δ(x, q_i)` per blocker,
+//! CSSSP per-source columns — are `n × |Q|` or `|Q| × n` and use the same
+//! type.
+//!
+//! `m[r][c]` indexing keeps working: `Index<usize>` returns the row slice,
+//! so migrated call sites read exactly as before.
+//!
+//! ## The optional successor plane
+//!
+//! A square matrix may carry a *successor plane*: one `NodeId` per cell,
+//! stored **target-major** (`succ[v*n + u]` = next hop from `u` toward
+//! target `v`, [`NO_SUCC`] when `u == v` or `v` is unreachable). This is
+//! exactly the layout `congest_oracle::Oracle` serves path queries from, so
+//! a producer that already knows successors can hand both arenas over
+//! without any re-derivation.
+
+use crate::weight::Weight;
+use crate::NodeId;
+use std::ops::{Index, IndexMut};
+
+/// Sentinel successor value: "no next hop" (unreachable target, or the
+/// diagonal). Never collides with a real node id — graph construction caps
+/// node counts well below `NodeId::MAX`.
+pub const NO_SUCC: NodeId = NodeId::MAX;
+
+/// A flat, row-major `rows × cols` matrix of weights in a single arena,
+/// with an optional target-major successor plane (square matrices only).
+///
+/// Equality compares the shape and the distances only: the auxiliary
+/// successor plane is ignored, so a producer that fills the plane still
+/// compares equal to a reference matrix that does not carry one.
+#[derive(Clone, Debug)]
+pub struct DistMatrix<W> {
+    rows: usize,
+    cols: usize,
+    data: Box<[W]>,
+    succ: Option<Box<[NodeId]>>,
+}
+
+impl<W: PartialEq> PartialEq for DistMatrix<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
+}
+
+impl<W: Eq> Eq for DistMatrix<W> {}
+
+impl<W: Weight> DistMatrix<W> {
+    /// A `rows × cols` matrix with every cell set to `fill`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, fill: W) -> Self {
+        DistMatrix { rows, cols, data: vec![fill; rows * cols].into_boxed_slice(), succ: None }
+    }
+
+    /// A square `n × n` matrix with every cell set to `fill`.
+    #[must_use]
+    pub fn square(n: usize, fill: W) -> Self {
+        Self::filled(n, n, fill)
+    }
+
+    /// Wraps an existing row-major arena.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<W>) -> Self {
+        assert_eq!(data.len(), rows * cols, "arena length must equal rows * cols");
+        DistMatrix { rows, cols, data: data.into_boxed_slice(), succ: None }
+    }
+
+    /// Migration helper: flattens a nested `Vec<Vec<W>>` (every inner vec
+    /// must have the same length). An empty outer vec yields a `0 × 0`
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<W>>) -> Self {
+        let nrows = rows.len();
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {r} has length {} != {cols}", row.len());
+            data.extend_from_slice(row);
+        }
+        DistMatrix { rows: nrows, cols, data: data.into_boxed_slice(), succ: None }
+    }
+
+    /// Attaches a target-major successor plane (see module docs).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `succ.len() != rows * cols`.
+    #[must_use]
+    pub fn with_successors(mut self, succ: Vec<NodeId>) -> Self {
+        assert_eq!(self.rows, self.cols, "successor planes require a square matrix");
+        assert_eq!(succ.len(), self.rows * self.cols, "successor plane has wrong length");
+        self.succ = Some(succ.into_boxed_slice());
+        self
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Side length of a square matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        assert_eq!(self.rows, self.cols, "n() requires a square matrix");
+        self.rows
+    }
+
+    /// `true` iff the matrix has no cells.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The cell at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if `r` or `c` is out of range (the column check is a real
+    /// assert: in a flat arena an oversized `c` would otherwise silently
+    /// alias into the next row).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> W {
+        assert!(c < self.cols, "column {c} out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the cell at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if `r` or `c` is out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, w: W) {
+        assert!(c < self.cols, "column {c} out of range");
+        self.data[r * self.cols + c] = w;
+    }
+
+    /// Row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows` (an explicit assert: slice-range arithmetic
+    /// alone would accept any `r` on a zero-column matrix).
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[W] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    #[must_use]
+    pub fn row_mut(&mut self, r: usize) -> &mut [W] {
+        assert!(r < self.rows, "row {r} out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The whole arena, row-major.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[W] {
+        &self.data
+    }
+
+    /// The successor plane, if one is attached.
+    #[inline]
+    #[must_use]
+    pub fn successors(&self) -> Option<&[NodeId]> {
+        self.succ.as_deref()
+    }
+
+    /// The next hop from `u` toward target `v` per the successor plane;
+    /// `None` when no plane is attached or the plane holds [`NO_SUCC`].
+    ///
+    /// # Panics
+    /// Panics if a plane is attached and `u` or `v` is out of range (an
+    /// unchecked flat-index read would silently answer for a different
+    /// pair).
+    #[inline]
+    #[must_use]
+    pub fn successor(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        let succ = self.succ.as_deref()?;
+        assert!(
+            (u as usize) < self.cols && (v as usize) < self.rows,
+            "node ({u}, {v}) out of range"
+        );
+        let s = succ[v as usize * self.cols + u as usize];
+        (s != NO_SUCC).then_some(s)
+    }
+
+    /// Consumes the matrix, returning the distance arena and the optional
+    /// successor plane — the zero-copy handoff the serving layer builds on.
+    #[must_use]
+    pub fn into_parts(self) -> (Box<[W]>, Option<Box<[NodeId]>>) {
+        (self.data, self.succ)
+    }
+}
+
+impl<W: Weight> Index<usize> for DistMatrix<W> {
+    type Output = [W];
+
+    #[inline]
+    fn index(&self, r: usize) -> &[W] {
+        self.row(r)
+    }
+}
+
+impl<W: Weight> IndexMut<usize> for DistMatrix<W> {
+    #[inline]
+    fn index_mut(&mut self, r: usize) -> &mut [W] {
+        self.row_mut(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_set_get() {
+        let mut m = DistMatrix::filled(2, 3, u64::INF);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 7);
+        assert_eq!(m.get(1, 2), 7);
+        assert_eq!(m.get(0, 0), u64::INF);
+        assert_eq!(m.row(1), &[u64::INF, u64::INF, 7]);
+    }
+
+    #[test]
+    fn index_sugar_reads_and_writes() {
+        let mut m = DistMatrix::square(2, 0u64);
+        m[0][1] = 5;
+        m[1][0] = 9;
+        assert_eq!(m[0][1], 5);
+        assert_eq!(m[1][0], 9);
+        assert_eq!(m.as_slice(), &[0, 5, 9, 0]);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows = vec![vec![1u64, 2, 3], vec![4, 5, 6]];
+        let m = DistMatrix::from_rows(rows.clone());
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(m.row(r), row.as_slice());
+            for (c, &w) in row.iter().enumerate() {
+                assert_eq!(m.get(r, c), w);
+            }
+        }
+        assert_eq!(m.as_slice(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn from_rows_empty() {
+        let m = DistMatrix::<u64>::from_rows(Vec::new());
+        assert_eq!((m.rows(), m.cols()), (0, 0));
+        assert!(m.is_empty());
+        let zero_cols = DistMatrix::<u64>::from_rows(vec![Vec::new(); 4]);
+        assert_eq!((zero_cols.rows(), zero_cols.cols()), (4, 0));
+        assert!(zero_cols.row(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn ragged_rows_rejected() {
+        let _ = DistMatrix::from_rows(vec![vec![1u64, 2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn n_requires_square() {
+        let _ = DistMatrix::filled(2, 3, 0u64).n();
+    }
+
+    #[test]
+    fn successor_plane() {
+        // 2-node line 0 -> 1: toward target 0 nothing moves (1 can't reach
+        // 0), toward target 1 node 0 steps to 1.
+        let m = DistMatrix::from_rows(vec![vec![0u64, 1], vec![u64::INF, 0]])
+            .with_successors(vec![NO_SUCC, NO_SUCC, 1, NO_SUCC]);
+        assert_eq!(m.successor(0, 1), Some(1));
+        assert_eq!(m.successor(1, 0), None);
+        assert_eq!(m.successor(0, 0), None);
+        let (data, succ) = m.into_parts();
+        assert_eq!(&*data, &[0, 1, u64::INF, 0]);
+        assert_eq!(&*succ.unwrap(), &[NO_SUCC, NO_SUCC, 1, NO_SUCC]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column 3 out of range")]
+    fn get_rejects_column_overflow() {
+        // A flat arena would otherwise alias (r, cols) to (r+1, 0).
+        let m = DistMatrix::filled(3, 3, 0u64);
+        let _ = m.get(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn successor_rejects_out_of_range_node() {
+        let m = DistMatrix::from_rows(vec![vec![0u64, 1], vec![u64::INF, 0]])
+            .with_successors(vec![NO_SUCC, NO_SUCC, 1, NO_SUCC]);
+        let _ = m.successor(2, 0); // flat index would land on pair (0, 1)
+    }
+
+    #[test]
+    fn equality_ignores_successor_plane() {
+        let plain = DistMatrix::from_rows(vec![vec![0u64, 1], vec![u64::INF, 0]]);
+        let with_plane = plain.clone().with_successors(vec![NO_SUCC, NO_SUCC, 1, NO_SUCC]);
+        assert_eq!(plain, with_plane, "the auxiliary plane must not break distance equality");
+        let different = DistMatrix::from_rows(vec![vec![0u64, 2], vec![u64::INF, 0]]);
+        assert_ne!(plain, different);
+    }
+
+    #[test]
+    fn into_parts_moves_arena() {
+        let m = DistMatrix::from_flat(1, 2, vec![3u64, 4]);
+        let ptr = m.as_slice().as_ptr();
+        let (data, succ) = m.into_parts();
+        assert_eq!(data.as_ptr(), ptr, "into_parts must move, not copy");
+        assert!(succ.is_none());
+    }
+}

@@ -6,6 +6,7 @@
 //! paper's `δ_h(u, v)` exactly via dynamic programming over hop counts).
 
 use crate::graph::Graph;
+use crate::matrix::DistMatrix;
 use crate::weight::Weight;
 use crate::NodeId;
 use std::cmp::Reverse;
@@ -54,13 +55,16 @@ pub fn dijkstra<W: Weight>(g: &Graph<W>, source: NodeId, dir: Direction) -> Vec<
     dist
 }
 
-/// Distance matrix type: `dist[x][t]` is the distance from `x` to `t`.
-pub type DistMatrix<W> = Vec<Vec<W>>;
-
-/// Exact APSP matrix via one Dijkstra per source.
+/// Exact APSP matrix (`dist[x][t] = δ(x, t)`) via one Dijkstra per source,
+/// written straight into a flat [`DistMatrix`] arena.
 #[must_use]
 pub fn apsp_dijkstra<W: Weight>(g: &Graph<W>) -> DistMatrix<W> {
-    (0..g.n() as NodeId).map(|s| dijkstra(g, s, Direction::Out)).collect()
+    let n = g.n();
+    let mut data = Vec::with_capacity(n * n);
+    for s in 0..n as NodeId {
+        data.extend_from_slice(&dijkstra(g, s, Direction::Out));
+    }
+    DistMatrix::from_flat(n, n, data)
 }
 
 /// Exact APSP via Floyd–Warshall; an independent oracle used to
@@ -68,26 +72,26 @@ pub fn apsp_dijkstra<W: Weight>(g: &Graph<W>) -> DistMatrix<W> {
 #[must_use]
 pub fn floyd_warshall<W: Weight>(g: &Graph<W>) -> DistMatrix<W> {
     let n = g.n();
-    let mut d = vec![vec![W::INF; n]; n];
-    for (v, row) in d.iter_mut().enumerate() {
-        row[v] = W::ZERO;
+    let mut d = DistMatrix::square(n, W::INF);
+    for v in 0..n {
+        d.set(v, v, W::ZERO);
     }
     for v in 0..n as NodeId {
         for (t, w) in g.out_edges(v) {
-            if w < d[v as usize][t as usize] {
-                d[v as usize][t as usize] = w;
+            if w < d.get(v as usize, t as usize) {
+                d.set(v as usize, t as usize, w);
             }
         }
     }
     for k in 0..n {
         for i in 0..n {
-            if d[i][k].is_inf() {
+            if d.get(i, k).is_inf() {
                 continue;
             }
             for j in 0..n {
-                let via = d[i][k].plus(d[k][j]);
-                if via < d[i][j] {
-                    d[i][j] = via;
+                let via = d.get(i, k).plus(d.get(k, j));
+                if via < d.get(i, j) {
+                    d.set(i, j, via);
                 }
             }
         }

@@ -196,7 +196,11 @@ mod tests {
     use congest_graph::generators::{gnm_connected, WeightDist};
     use congest_graph::seq::apsp_dijkstra;
 
-    fn engine(n: usize, seed: u64, cfg: EngineConfig) -> (QueryEngine<u64>, Vec<Vec<u64>>) {
+    fn engine(
+        n: usize,
+        seed: u64,
+        cfg: EngineConfig,
+    ) -> (QueryEngine<u64>, congest_graph::DistMatrix<u64>) {
         let g = gnm_connected(n, 2 * n, true, WeightDist::Uniform(0, 9), seed);
         let dist = apsp_dijkstra(&g);
         let oracle = Arc::new(Oracle::from_dist(&g, dist.clone()));

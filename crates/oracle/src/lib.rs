@@ -23,23 +23,18 @@
 //! ## Quickstart: compute → snapshot → serve
 //!
 //! ```
-//! use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+//! use congest_apsp::Solver;
 //! use congest_graph::generators::{gnm_connected, WeightDist};
-//! use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+//! use congest_oracle::{EngineConfig, IntoOracle, Oracle, QueryEngine};
 //! use std::sync::Arc;
 //!
-//! // 1. Compute: run the paper's deterministic APSP pipeline.
+//! // 1. Compute: the paper's deterministic APSP pipeline is the Solver
+//! //    default, and `into_oracle` moves its flat distance arena straight
+//! //    into the serving layer — no n² copy at the boundary.
 //! let g = gnm_connected(16, 32, true, WeightDist::Uniform(1, 9), 42);
-//! let out = apsp_agarwal_ramachandran(
-//!     &g,
-//!     &ApspConfig::default(),
-//!     BlockerMethod::Derandomized,
-//!     Step6Method::Pipelined,
-//! )
-//! .unwrap();
+//! let oracle = Solver::builder(&g).run().unwrap().into_oracle(&g);
 //!
-//! // 2. Snapshot: build the oracle and round-trip it through bytes.
-//! let oracle = Oracle::from_outcome(&g, out);
+//! // 2. Snapshot: round-trip the oracle through bytes.
 //! let bytes = oracle.to_bytes();
 //! let restored = Oracle::<u64>::from_bytes(&bytes).unwrap();
 //! assert_eq!(oracle, restored);
@@ -57,6 +52,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 mod engine;
 mod lru;
@@ -64,5 +60,5 @@ pub mod oracle;
 mod snapshot;
 
 pub use engine::{CacheStats, EngineConfig, QueryEngine, QueryError};
-pub use oracle::{Oracle, NO_SUCC};
+pub use oracle::{IntoOracle, Oracle, NO_SUCC};
 pub use snapshot::{PortableWeight, SnapshotError, MAGIC, VERSION};

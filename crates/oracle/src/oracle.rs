@@ -22,16 +22,11 @@
 //! walk finishes in at most `n - 1` steps.
 
 use congest_apsp::ApspOutcome;
-use congest_graph::seq::DistMatrix;
-use congest_graph::{Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::parallel::par_indexed_map;
 use std::collections::BinaryHeap;
 
-/// Sentinel successor value: "no next hop" (unreachable target, or `u == v`).
-///
-/// Never collides with a real node id: [`Graph::from_edges`] caps node
-/// counts well below `NodeId::MAX`.
-pub const NO_SUCC: NodeId = NodeId::MAX;
+pub use congest_graph::NO_SUCC;
 
 /// A compact distance + successor oracle over a fixed graph snapshot.
 ///
@@ -50,8 +45,9 @@ pub struct Oracle<W> {
 }
 
 impl<W: Weight> Oracle<W> {
-    /// Builds an oracle from a distributed APSP run, consuming the outcome
-    /// (the n² distance matrix is moved, not cloned).
+    /// Builds an oracle from a distributed APSP run, consuming the outcome.
+    /// The n² distance arena is *moved* out of the outcome — no per-row
+    /// allocation and no n² copy happens on this path.
     ///
     /// # Panics
     /// Panics if `out` was not computed on `g` (dimension or diagonal
@@ -62,34 +58,98 @@ impl<W: Weight> Oracle<W> {
     }
 
     /// Builds an oracle from an exact distance matrix for `g`
-    /// (`dist[u][v] = δ(u, v)`, `W::INF` when unreachable).
+    /// (`dist[u][v] = δ(u, v)`, `W::INF` when unreachable), consuming the
+    /// matrix: its flat arena becomes the oracle's distance storage by
+    /// move.
     ///
-    /// Successor derivation is parallelized over targets (one reverse BFS
-    /// per target, O(n·m) total work).
+    /// If the matrix carries a successor plane it is validated and adopted
+    /// (also by move); otherwise successors are derived from the distances
+    /// plus `g`'s adjacency, parallelized over targets (one reverse BFS per
+    /// target, O(n·m) total work).
     ///
     /// # Panics
-    /// Panics if the matrix is not `n×n`, a diagonal entry is not zero, or
-    /// the matrix is inconsistent with `g` (some finite `dist[u][v]` not
+    /// Panics if the matrix is not `n×n`, a diagonal entry is not zero, the
+    /// matrix is inconsistent with `g` (some finite `dist[u][v]` not
     /// realizable as an edge walk in `g` — e.g. a matrix for a different
-    /// graph).
+    /// graph), or an attached successor plane is inconsistent with the
+    /// distances or with `g` (a non-edge or non-telescoping step).
     #[must_use]
     pub fn from_dist(g: &Graph<W>, dist: DistMatrix<W>) -> Self {
         let n = g.n();
-        assert_eq!(dist.len(), n, "distance matrix must have one row per node");
-        let mut arena = Vec::with_capacity(n * n);
-        for (u, row) in dist.iter().enumerate() {
-            assert_eq!(row.len(), n, "distance row {u} has wrong length");
-            assert_eq!(row[u], W::ZERO, "diagonal entry δ({u},{u}) must be zero");
-            arena.extend_from_slice(row);
+        assert_eq!(dist.rows(), n, "distance matrix must have one row per node");
+        assert_eq!(dist.cols(), n, "distance matrix must be square");
+        for u in 0..n {
+            assert_eq!(dist.get(u, u), W::ZERO, "diagonal entry δ({u},{u}) must be zero");
         }
-        let arena = arena.into_boxed_slice();
+        let (arena, succ_plane) = dist.into_parts();
 
-        let mut succ = vec![NO_SUCC; n * n].into_boxed_slice();
-        {
-            let arena = &arena;
-            let mut cols: Vec<&mut [NodeId]> = succ.chunks_mut(n).collect();
-            par_indexed_map(&mut cols, |v, col| derive_target(g, arena, v as NodeId, col));
-        }
+        let succ = match succ_plane {
+            Some(succ) => {
+                // A producer-supplied plane replaces the derivation, but
+                // must satisfy the snapshot loader's invariants (successor
+                // iff distinct + reachable, every chain terminates) ...
+                if let Err(what) = crate::snapshot::check_plane(n, &arena, &succ) {
+                    panic!("supplied successor plane invalid: {what}");
+                }
+                // ... plus the graph-consistency contract the derived path
+                // gets from `derive_target`: every successor step must be
+                // an edge of `g` whose weight telescopes, so `path` walks
+                // are real min-weight walks in `g` (and a matrix/plane for
+                // a different graph is rejected). One O(m log m) adjacency
+                // precompute keeps the n² pair sweep at a binary-search
+                // lookup per cell instead of an O(deg) edge scan.
+                let min_out: Vec<Vec<(NodeId, W)>> = (0..n as NodeId)
+                    .map(|u| {
+                        let mut adj: Vec<(NodeId, W)> = g.out_edges(u).collect();
+                        adj.sort_unstable();
+                        // sorted by (target, weight): the first entry per
+                        // target holds the min parallel weight
+                        adj.dedup_by_key(|e| e.0);
+                        adj
+                    })
+                    .collect();
+                // Targets are independent; sweep them in parallel like the
+                // derive path does.
+                let mut cols: Vec<&[NodeId]> = succ.chunks(n).collect();
+                let results = {
+                    let (arena, min_out) = (&arena, &min_out);
+                    par_indexed_map(&mut cols, move |v, col| -> Result<(), String> {
+                        for (u, &s) in col.iter().enumerate() {
+                            if s == NO_SUCC {
+                                continue;
+                            }
+                            let adj = &min_out[u];
+                            let Ok(i) = adj.binary_search_by_key(&s, |&(t, _)| t) else {
+                                return Err(format!(
+                                    "successor step ({u} -> {s}) is not an edge of the graph"
+                                ));
+                            };
+                            if arena[u * n + v] != adj[i].1.plus(arena[s as usize * n + v]) {
+                                return Err(format!(
+                                    "successor step ({u} -> {s}) toward {v} does not telescope"
+                                ));
+                            }
+                        }
+                        Ok(())
+                    })
+                };
+                for r in results {
+                    if let Err(what) = r {
+                        panic!("supplied successor plane invalid: {what}");
+                    }
+                }
+                succ
+            }
+            None => {
+                let mut succ = vec![NO_SUCC; n * n].into_boxed_slice();
+                {
+                    let arena = &arena;
+                    let mut cols: Vec<&mut [NodeId]> = succ.chunks_mut(n).collect();
+                    par_indexed_map(&mut cols, |v, col| derive_target(g, arena, v as NodeId, col));
+                }
+                succ
+            }
+        };
         Oracle { n, dist: arena, succ }
     }
 
@@ -206,6 +266,27 @@ impl<W: Weight> Oracle<W> {
             }
         }
         heap.into_sorted_vec().into_iter().map(|(d, v)| (v, d)).collect()
+    }
+}
+
+/// One-line compute → serve handoff: `solver.run()?.into_oracle(&g)`.
+///
+/// Implemented for [`ApspOutcome`] so the compute layer does not need to
+/// depend on this crate. The outcome's flat distance arena is moved into
+/// the oracle — no per-row allocation and no n² copy.
+pub trait IntoOracle<W: Weight> {
+    /// Consumes the APSP solution and builds a query-ready [`Oracle`]
+    /// over the graph it was computed on.
+    ///
+    /// # Panics
+    /// Panics if the solution was not computed on `g` (see
+    /// [`Oracle::from_dist`]).
+    fn into_oracle(self, g: &Graph<W>) -> Oracle<W>;
+}
+
+impl<W: Weight> IntoOracle<W> for ApspOutcome<W> {
+    fn into_oracle(self, g: &Graph<W>) -> Oracle<W> {
+        Oracle::from_outcome(g, self)
     }
 }
 
@@ -335,6 +416,82 @@ mod tests {
         assert_eq!(o.n(), 1);
         assert_eq!(o.path(0, 0), Some(vec![0]));
         assert!(o.k_nearest(0, 3).is_empty());
+    }
+
+    #[test]
+    fn from_dist_moves_the_arena() {
+        let g = diamond();
+        let dist = apsp_dijkstra(&g);
+        let ptr = dist.as_slice().as_ptr();
+        let o = Oracle::from_dist(&g, dist);
+        assert_eq!(o.dist_arena().as_ptr(), ptr, "arena must be moved, not copied");
+    }
+
+    #[test]
+    fn supplied_successor_plane_is_adopted() {
+        let g = diamond();
+        // Derive once, then rebuild from a matrix carrying that plane: the
+        // plane must be adopted by move and serve identical paths.
+        let derived = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        let plane = derived.succ_arena().to_vec();
+        let dist = apsp_dijkstra(&g).with_successors(plane);
+        let succ_ptr = dist.successors().unwrap().as_ptr();
+        let o = Oracle::from_dist(&g, dist);
+        assert_eq!(o, derived);
+        assert_eq!(o.succ_arena().as_ptr(), succ_ptr, "plane must be moved, not re-derived");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not reach its target")]
+    fn cyclic_supplied_plane_rejected() {
+        let g: Graph<u64> =
+            Graph::from_edges(2, true, vec![Edge::new(0, 1, 1), Edge::new(1, 0, 1)]);
+        // Toward target 1, node 0 names itself: the walk would never end.
+        let dist = apsp_dijkstra(&g).with_successors(vec![NO_SUCC, 0, 0, NO_SUCC]);
+        let _ = Oracle::from_dist(&g, dist);
+    }
+
+    #[test]
+    #[should_panic(expected = "successor/distance mismatch")]
+    fn mismatched_supplied_plane_rejected() {
+        let g = diamond();
+        // Reachable pair (0, 3) with no successor entry.
+        let n = g.n();
+        let dist = apsp_dijkstra(&g).with_successors(vec![NO_SUCC; n * n]);
+        let _ = Oracle::from_dist(&g, dist);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an edge of the graph")]
+    fn non_edge_supplied_plane_rejected() {
+        // Path 0 -> 1 -> 2; the plane claims 0 jumps straight to 2, which
+        // telescopes distance-wise only if 0 -> 2 were an edge. It is not:
+        // a plane for a different graph must not be adopted.
+        let g: Graph<u64> =
+            Graph::from_edges(3, true, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
+        let derived = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        let mut plane = derived.succ_arena().to_vec();
+        plane[2 * 3] = 2; // toward target 2, from node 0: skip node 1
+        let dist = apsp_dijkstra(&g).with_successors(plane);
+        let _ = Oracle::from_dist(&g, dist);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not telescope")]
+    fn non_shortest_supplied_plane_rejected() {
+        // 0 -> 2 exists but costs 5; the shortest route is 0 -> 1 -> 2
+        // (cost 2). A plane steering 0 directly to 2 names a real edge,
+        // yet its weight cannot telescope against δ(0, 2) = 2.
+        let g: Graph<u64> = Graph::from_edges(
+            3,
+            true,
+            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(0, 2, 5)],
+        );
+        let derived = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        let mut plane = derived.succ_arena().to_vec();
+        plane[2 * 3] = 2; // toward target 2, from node 0: take the long edge
+        let dist = apsp_dijkstra(&g).with_successors(plane);
+        let _ = Oracle::from_dist(&g, dist);
     }
 
     #[test]

@@ -198,6 +198,32 @@ fn succ_chains_terminate(n: usize, v: usize, col: &[NodeId]) -> bool {
     true
 }
 
+/// Cross-arena invariants shared by the snapshot loader and
+/// [`Oracle::from_dist`]'s supplied-plane path: a successor exists iff the
+/// pair is distinct and reachable, and every successor chain terminates at
+/// its target. Returns the first violated invariant's description.
+pub(crate) fn check_plane<W: Weight>(
+    n: usize,
+    dist: &[W],
+    succ: &[NodeId],
+) -> Result<(), &'static str> {
+    for v in 0..n {
+        for u in 0..n {
+            let has_succ = succ[v * n + u] != NO_SUCC;
+            let reachable = u != v && !dist[u * n + v].is_inf();
+            if has_succ != reachable {
+                return Err("successor/distance mismatch");
+            }
+        }
+    }
+    for v in 0..n {
+        if !succ_chains_terminate(n, v, &succ[v * n..(v + 1) * n]) {
+            return Err("successor chain does not reach its target");
+        }
+    }
+    Ok(())
+}
+
 /// FNV-1a 64-bit over `bytes`.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -300,20 +326,7 @@ impl<W: PortableWeight> Oracle<W> {
                 return Err(SnapshotError::Corrupt("nonzero diagonal distance"));
             }
         }
-        for v in 0..n {
-            for u in 0..n {
-                let has_succ = succ[v * n + u] != NO_SUCC;
-                let reachable = u != v && !dist[u * n + v].is_inf();
-                if has_succ != reachable {
-                    return Err(SnapshotError::Corrupt("successor/distance mismatch"));
-                }
-            }
-        }
-        for v in 0..n {
-            if !succ_chains_terminate(n, v, &succ[v * n..(v + 1) * n]) {
-                return Err(SnapshotError::Corrupt("successor chain does not reach its target"));
-            }
-        }
+        check_plane(n, &dist, &succ).map_err(SnapshotError::Corrupt)?;
         Ok(Oracle::from_parts(n, dist.into_boxed_slice(), succ.into_boxed_slice()))
     }
 

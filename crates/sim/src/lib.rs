@@ -13,6 +13,7 @@
 //! blocks of Appendix A.1/A.5.
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 // Index-based loops are used deliberately where they mirror the paper's
 // per-node pseudocode or iterate parallel arrays; iterator rewrites would
 // obscure the correspondence.

@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+use congest_apsp::Solver;
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 
@@ -15,10 +15,8 @@ fn main() {
     let g = gnm_connected(n, 3 * n, true, WeightDist::Uniform(0, 100), 2026);
     println!("graph: n = {}, m = {}, directed = {}\n", g.n(), g.m(), g.is_directed());
 
-    let cfg = ApspConfig::default();
-    let out =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .expect("simulation is a legal CONGEST protocol");
+    // The paper's deterministic configuration is the Solver default.
+    let out = Solver::builder(&g).run().expect("simulation is a legal CONGEST protocol");
 
     // Verify exactness against the sequential oracle.
     let oracle = apsp_dijkstra(&g);

@@ -9,9 +9,7 @@
 //! The full sweep with CSV output lives in the bench crate:
 //! `cargo run -p congest-bench --release --bin experiments -- t1`.
 
-use congest_apsp::{
-    apsp_agarwal_ramachandran, apsp_ar18, apsp_naive, ApspConfig, BlockerMethod, Step6Method,
-};
+use congest_apsp::{Algorithm, Solver};
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 
@@ -37,16 +35,9 @@ fn main() {
     );
     for &n in &ns {
         let g = gnm_connected(n, 3 * n, true, WeightDist::Uniform(0, 100), 99);
-        let cfg = ApspConfig::default();
-        let paper = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
-        let ar18 = apsp_ar18(&g, &cfg).unwrap();
-        let naive = apsp_naive(&g, &cfg).unwrap();
+        let paper = Solver::builder(&g).run().unwrap();
+        let ar18 = Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap();
+        let naive = Solver::builder(&g).algorithm(Algorithm::Naive).run().unwrap();
         let oracle = apsp_dijkstra(&g);
         assert!(paper.dist == oracle && ar18.dist == oracle && naive.dist == oracle);
         let row = (

@@ -13,10 +13,10 @@
 //! Sized to finish in seconds (it runs in CI); `cargo bench -p
 //! congest_bench --bench oracle` is the serious throughput measurement.
 
-use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+use congest_apsp::Solver;
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::NodeId;
-use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+use congest_oracle::{EngineConfig, IntoOracle, Oracle, QueryEngine};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,13 +29,7 @@ fn main() {
     let g = gnm_connected(N, 3 * N, true, WeightDist::Uniform(1, 50), 2026);
     println!("graph: n = {}, m = {}, directed", g.n(), g.m());
     let t = Instant::now();
-    let out = apsp_agarwal_ramachandran(
-        &g,
-        &ApspConfig::default(),
-        BlockerMethod::Derandomized,
-        Step6Method::Pipelined,
-    )
-    .expect("legal CONGEST protocol");
+    let out = Solver::builder(&g).run().expect("legal CONGEST protocol");
     println!(
         "apsp: {} rounds simulated in {:.2?} (h = {}, |Q| = {})",
         out.recorder.total_rounds(),
@@ -45,7 +39,9 @@ fn main() {
     );
 
     // ---- 2. snapshot ------------------------------------------------
-    let oracle = Oracle::from_outcome(&g, out);
+    // `into_oracle` moves the n² distance arena out of the outcome — the
+    // compute → serve boundary performs no per-row allocation and no copy.
+    let oracle = out.into_oracle(&g);
     let path = std::env::temp_dir().join("serve_queries_demo.oracle");
     oracle.save(&path).expect("snapshot write");
     let loaded = Oracle::<u64>::load(&path).expect("snapshot read");

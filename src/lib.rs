@@ -7,11 +7,18 @@
 //! serving layer, and hosts the workspace-level examples and integration
 //! tests.
 //!
+//! The one-line vertical slice — compute with the paper's deterministic
+//! pipeline, then serve — is `congest_apsp::Solver::builder(&g).run()?`
+//! followed by `.into_oracle(&g)` (from `congest_oracle::IntoOracle`); the
+//! flat `congest_graph::DistMatrix` arena flows from the solver into the
+//! oracle without a copy.
+//!
 //! See `README.md` for the tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the measured reproduction of the paper's
 //! round-complexity claims.
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub use congest_apsp as apsp;
 pub use congest_derand as derand;

@@ -2,27 +2,20 @@
 //! the sequential Dijkstra matrix on every workload family, directed and
 //! undirected, with integer, zero-inflated and real weights (Theorem 1.1).
 
-use congest_apsp::{
-    apsp_agarwal_ramachandran, apsp_ar18, apsp_naive, ApspConfig, BlockerMethod, Step6Method,
-};
+use congest_apsp::{Algorithm, ApspConfig, BlockerMethod, Solver};
 use congest_graph::generators::{Family, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 use congest_graph::{Graph, F64};
 
 fn check_all_algorithms(g: &Graph<u64>, label: &str) {
-    let cfg = ApspConfig::default();
     let oracle = apsp_dijkstra(g);
-    let paper =
-        apsp_agarwal_ramachandran(g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
+    let paper = Solver::builder(g).run().unwrap();
     assert_eq!(paper.dist, oracle, "{label}: paper algorithm");
-    let rand =
-        apsp_agarwal_ramachandran(g, &cfg, BlockerMethod::Randomized, Step6Method::Pipelined)
-            .unwrap();
+    let rand = Solver::builder(g).blocker_method(BlockerMethod::Randomized).run().unwrap();
     assert_eq!(rand.dist, oracle, "{label}: randomized blocker variant");
-    let ar18 = apsp_ar18(g, &cfg).unwrap();
+    let ar18 = Solver::builder(g).algorithm(Algorithm::Ar18).run().unwrap();
     assert_eq!(ar18.dist, oracle, "{label}: AR18 baseline");
-    let naive = apsp_naive(g, &cfg).unwrap();
+    let naive = Solver::builder(g).algorithm(Algorithm::Naive).run().unwrap();
     assert_eq!(naive.dist, oracle, "{label}: naive baseline");
 }
 
@@ -61,11 +54,8 @@ fn exact_with_real_weights() {
     // f64 weights exercise the "arbitrary non-negative weights" claim.
     let gu = Family::SparseRandom.build(13, true, WeightDist::Uniform(0, 1000), 35);
     let g = gu.map_weights(|w| F64::new(w as f64 / 8.0));
-    let cfg = ApspConfig::default();
     let oracle = apsp_dijkstra(&g);
-    let paper =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
+    let paper = Solver::builder(&g).run().unwrap();
     assert_eq!(paper.dist, oracle);
 }
 
@@ -75,14 +65,7 @@ fn exact_with_h_override_sweep() {
     let g = Family::Broom.build(16, true, WeightDist::Uniform(1, 9), 36);
     let oracle = apsp_dijkstra(&g);
     for h in [1usize, 2, 4, 6] {
-        let cfg = ApspConfig { h: Some(h), ..Default::default() };
-        let out = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let out = Solver::builder(&g).hop_param(h).run().unwrap();
         assert_eq!(out.dist, oracle, "h = {h}");
     }
 }
@@ -91,11 +74,19 @@ fn exact_with_h_override_sweep() {
 fn exact_under_worst_case_charging() {
     use congest_apsp::Charging;
     let g = Family::SparseRandom.build(12, true, WeightDist::Uniform(0, 9), 37);
-    let cfg = ApspConfig { charging: Charging::WorstCase, ..Default::default() };
-    let out =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
+    let out = Solver::builder(&g).charging(Charging::WorstCase).run().unwrap();
     assert_eq!(out.dist, apsp_dijkstra(&g));
+}
+
+#[test]
+fn config_round_trips_through_builder() {
+    // `.config(cfg)` must behave exactly like the per-knob setters.
+    let g = Family::SparseRandom.build(12, true, WeightDist::Uniform(0, 9), 38);
+    let cfg = ApspConfig { h: Some(2), ..Default::default() };
+    let via_config = Solver::builder(&g).config(cfg).run().unwrap();
+    let via_knob = Solver::builder(&g).hop_param(2).run().unwrap();
+    assert_eq!(via_config.dist, via_knob.dist);
+    assert_eq!(via_config.meta.h, 2);
 }
 
 #[test]
@@ -108,13 +99,7 @@ fn unreachable_pairs_are_inf() {
         true,
         vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(2, 3, 1)],
     );
-    let out = apsp_agarwal_ramachandran(
-        &g,
-        &ApspConfig::default(),
-        BlockerMethod::Derandomized,
-        Step6Method::Pipelined,
-    )
-    .unwrap();
+    let out = Solver::builder(&g).run().unwrap();
     assert_eq!(out.dist[0][3], 3);
     assert_eq!(out.dist[3][0], u64::INF);
 }

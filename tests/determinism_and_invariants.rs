@@ -2,20 +2,16 @@
 //! blocker validity through the public API, congestion bounds, and
 //! randomized-variant stability across seeds.
 
-use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Charging, Step6Method};
+use congest_apsp::{BlockerMethod, Charging, Solver, Step6Method};
 use congest_graph::generators::{Family, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 
 #[test]
 fn deterministic_runs_are_bit_identical() {
     let g = Family::SparseRandom.build(16, true, WeightDist::Uniform(0, 9), 77);
-    let cfg = ApspConfig::default();
-    let a =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
-    let b =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
+    let solver = Solver::builder(&g).build();
+    let a = solver.run().unwrap();
+    let b = solver.run().unwrap();
     assert_eq!(a.dist, b.dist);
     assert_eq!(a.meta.q, b.meta.q);
     assert_eq!(a.recorder.total_rounds(), b.recorder.total_rounds());
@@ -32,10 +28,8 @@ fn randomized_variant_same_answer_any_seed() {
     let oracle = apsp_dijkstra(&g);
     let mut rounds = Vec::new();
     for seed in [1u64, 99, 12345] {
-        let cfg = ApspConfig { seed, ..Default::default() };
         let out =
-            apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Randomized, Step6Method::Pipelined)
-                .unwrap();
+            Solver::builder(&g).blocker_method(BlockerMethod::Randomized).seed(seed).run().unwrap();
         assert_eq!(out.dist, oracle, "seed {seed}");
         rounds.push(out.recorder.total_rounds());
     }
@@ -54,10 +48,7 @@ fn blocker_set_reported_in_meta_is_valid() {
     use congest_sim::{Recorder, SimConfig, Topology};
 
     let g = Family::Broom.build(18, true, WeightDist::Uniform(1, 5), 9);
-    let cfg = ApspConfig::default();
-    let out =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
+    let out = Solver::builder(&g).run().unwrap();
     let topo = Topology::from_graph(&g);
     let mut rec = Recorder::new();
     let sources: Vec<NodeId> = (0..g.n() as NodeId).collect();
@@ -79,10 +70,7 @@ fn blocker_set_reported_in_meta_is_valid() {
 #[test]
 fn step6_congestion_bound_holds() {
     let g = Family::SparseRandom.build(20, true, WeightDist::Uniform(0, 9), 21);
-    let cfg = ApspConfig::default();
-    let out =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
+    let out = Solver::builder(&g).run().unwrap();
     if let Some(s6) = &out.meta.step6 {
         let q = out.meta.q.len();
         if q > 0 {
@@ -99,20 +87,8 @@ fn step6_congestion_bound_holds() {
 #[test]
 fn quiesce_never_slower_than_worst_case() {
     let g = Family::SparseRandom.build(12, true, WeightDist::Uniform(1, 9), 3);
-    let quiesce = apsp_agarwal_ramachandran(
-        &g,
-        &ApspConfig::default(),
-        BlockerMethod::Derandomized,
-        Step6Method::Pipelined,
-    )
-    .unwrap();
-    let worst = apsp_agarwal_ramachandran(
-        &g,
-        &ApspConfig { charging: Charging::WorstCase, ..Default::default() },
-        BlockerMethod::Derandomized,
-        Step6Method::Pipelined,
-    )
-    .unwrap();
+    let quiesce = Solver::builder(&g).run().unwrap();
+    let worst = Solver::builder(&g).charging(Charging::WorstCase).run().unwrap();
     assert_eq!(quiesce.dist, worst.dist);
     assert!(quiesce.recorder.total_rounds() <= worst.recorder.total_rounds());
 }
@@ -120,16 +96,7 @@ fn quiesce_never_slower_than_worst_case() {
 #[test]
 fn trivial_step6_matches_pipelined() {
     let g = Family::Grid.build(16, false, WeightDist::Uniform(1, 9), 8);
-    let cfg = ApspConfig::default();
-    let a =
-        apsp_agarwal_ramachandran(&g, &cfg, BlockerMethod::Derandomized, Step6Method::Pipelined)
-            .unwrap();
-    let b = apsp_agarwal_ramachandran(
-        &g,
-        &cfg,
-        BlockerMethod::Derandomized,
-        Step6Method::TrivialBroadcast,
-    )
-    .unwrap();
+    let a = Solver::builder(&g).run().unwrap();
+    let b = Solver::builder(&g).step6_method(Step6Method::TrivialBroadcast).run().unwrap();
     assert_eq!(a.dist, b.dist);
 }

@@ -3,11 +3,11 @@
 //! `apsp_dijkstra` distance, on random `gnm_connected` graphs, directed and
 //! undirected — and `path` must return `None` exactly for unreachable pairs.
 
-use congest_apsp::{apsp_agarwal_ramachandran, ApspConfig, BlockerMethod, Step6Method};
+use congest_apsp::Solver;
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
-use congest_graph::{Graph, NodeId, Weight};
-use congest_oracle::Oracle;
+use congest_graph::{DistMatrix, Graph, NodeId, Weight};
+use congest_oracle::{IntoOracle, Oracle};
 use proptest::prelude::*;
 
 /// Minimum weight of an edge `u -> v`, across parallel edges. `None` when
@@ -17,7 +17,7 @@ fn edge_weight<W: Weight>(g: &Graph<W>, u: NodeId, v: NodeId) -> Option<W> {
 }
 
 /// Asserts the full path contract of `oracle` against the Dijkstra matrix.
-fn check_paths<W: Weight>(g: &Graph<W>, oracle: &Oracle<W>, dist: &[Vec<W>]) {
+fn check_paths<W: Weight>(g: &Graph<W>, oracle: &Oracle<W>, dist: &DistMatrix<W>) {
     let n = g.n();
     for u in 0..n as NodeId {
         for v in 0..n as NodeId {
@@ -98,14 +98,7 @@ proptest! {
 fn paths_from_distributed_outcome_are_exact() {
     for (seed, directed) in [(3u64, true), (8, false)] {
         let g = gnm_connected(18, 40, directed, WeightDist::Uniform(0, 9), seed);
-        let out = apsp_agarwal_ramachandran(
-            &g,
-            &ApspConfig::default(),
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
-        let oracle = Oracle::from_outcome(&g, out);
+        let oracle = Solver::builder(&g).run().unwrap().into_oracle(&g);
         let dist = apsp_dijkstra(&g);
         check_paths(&g, &oracle, &dist);
     }

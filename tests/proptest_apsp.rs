@@ -2,7 +2,7 @@
 //! distributed APSP must always equal the oracle, blocker sets must always
 //! cover, and the simulator must never report a CONGEST violation.
 
-use congest_apsp::{apsp_agarwal_ramachandran, apsp_ar18, ApspConfig, BlockerMethod, Step6Method};
+use congest_apsp::{Algorithm, BlockerMethod, Solver};
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 use proptest::prelude::*;
@@ -19,13 +19,7 @@ proptest! {
         max_w in 1u64..50,
     ) {
         let g = gnm_connected(n, extra, directed, WeightDist::Uniform(0, max_w), seed);
-        let out = apsp_agarwal_ramachandran(
-            &g,
-            &ApspConfig::default(),
-            BlockerMethod::Derandomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let out = Solver::builder(&g).run().unwrap();
         prop_assert_eq!(out.dist, apsp_dijkstra(&g));
     }
 
@@ -36,7 +30,7 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let g = gnm_connected(n, extra, true, WeightDist::Uniform(0, 30), seed);
-        let out = apsp_ar18(&g, &ApspConfig::default()).unwrap();
+        let out = Solver::builder(&g).algorithm(Algorithm::Ar18).run().unwrap();
         prop_assert_eq!(out.dist, apsp_dijkstra(&g));
     }
 
@@ -47,14 +41,11 @@ proptest! {
         algo_seed in 0u64..10_000,
     ) {
         let g = gnm_connected(n, 2 * n, true, WeightDist::Uniform(0, 20), seed);
-        let cfg = ApspConfig { seed: algo_seed, ..Default::default() };
-        let out = apsp_agarwal_ramachandran(
-            &g,
-            &cfg,
-            BlockerMethod::Randomized,
-            Step6Method::Pipelined,
-        )
-        .unwrap();
+        let out = Solver::builder(&g)
+            .blocker_method(BlockerMethod::Randomized)
+            .seed(algo_seed)
+            .run()
+            .unwrap();
         prop_assert_eq!(out.dist, apsp_dijkstra(&g));
     }
 }
