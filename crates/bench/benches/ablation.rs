@@ -2,7 +2,7 @@
 //! Step-9 round-robin push.
 
 use congest_apsp::config::BlockerParams;
-use congest_apsp::pipeline::{propagate_to_blockers_with, PushDiscipline};
+use congest_apsp::pipeline::{propagate_to_blockers_with, PushDiscipline, RoutedTable};
 use congest_apsp::ApspConfig;
 use congest_bench::workloads::sparse_random;
 use congest_graph::seq::apsp_dijkstra;
@@ -18,9 +18,9 @@ fn bench_ablation(c: &mut Criterion) {
     let cfg = ApspConfig::default();
     let q: Vec<NodeId> = (0..n as NodeId).step_by(4).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals = DistMatrix::from_rows(
+    let dvals = RoutedTable::untracked(DistMatrix::from_rows(
         (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-    );
+    ));
     let mut group = c.benchmark_group("step9-discipline");
     group.sample_size(10);
     for (name, d) in [

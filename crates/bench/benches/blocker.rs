@@ -21,6 +21,7 @@ fn bench_blocker(c: &mut Criterion) {
         &sources,
         3,
         Direction::Out,
+        false,
         SimConfig::default(),
         Charging::Quiesce,
         &mut rec,

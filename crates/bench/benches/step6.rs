@@ -1,7 +1,7 @@
 //! Criterion bench backing experiment T3: Step-6 propagation variants.
 
 use congest_apsp::config::BlockerParams;
-use congest_apsp::pipeline::{propagate_to_blockers, propagate_trivial_broadcast};
+use congest_apsp::pipeline::{propagate_to_blockers, propagate_trivial_broadcast, RoutedTable};
 use congest_apsp::ApspConfig;
 use congest_bench::workloads::sparse_random;
 use congest_graph::seq::apsp_dijkstra;
@@ -16,9 +16,9 @@ fn bench_step6(c: &mut Criterion) {
     let cfg = ApspConfig::default();
     let q: Vec<NodeId> = (0..n as NodeId).step_by(5).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals = DistMatrix::from_rows(
+    let dvals = RoutedTable::untracked(DistMatrix::from_rows(
         (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-    );
+    ));
     let mut group = c.benchmark_group("step6");
     group.sample_size(10);
     group.bench_function("pipelined-alg8-9", |b| {

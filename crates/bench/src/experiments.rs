@@ -8,6 +8,7 @@ use congest_apsp::config::BlockerParams;
 use congest_apsp::csssp::build_csssp;
 use congest_apsp::pipeline::{
     propagate_to_blockers, propagate_to_blockers_with, propagate_trivial_broadcast, PushDiscipline,
+    RoutedTable,
 };
 use congest_apsp::{Algorithm, ApspConfig, BlockerMethod, Charging, Solver};
 use congest_graph::generators::{Family, WeightDist};
@@ -257,6 +258,7 @@ pub fn t2(n: usize) -> ExperimentOutput {
             &sources,
             h,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
@@ -347,6 +349,7 @@ pub fn f2() -> ExperimentOutput {
             &sources,
             3,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
@@ -428,15 +431,15 @@ pub fn t3() -> ExperimentOutput {
         let cfg = ApspConfig::default();
         let q: Vec<NodeId> = (0..n as NodeId).step_by(5).collect();
         let exact = apsp_dijkstra(&g);
-        let dvals = DistMatrix::from_rows(
+        let dvals = RoutedTable::untracked(DistMatrix::from_rows(
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-        );
+        ));
         let mut rec = Recorder::new();
         let (out, stats) =
             propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
                 .unwrap();
         for (qi, &c) in q.iter().enumerate() {
-            assert_eq!(&out[qi], &dijkstra(&g, c, Direction::In)[..], "delivery to {c}");
+            assert_eq!(&out.dist[qi], &dijkstra(&g, c, Direction::In)[..], "delivery to {c}");
         }
         let mut trec = Recorder::new();
         let _ = propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut trec)
@@ -484,9 +487,9 @@ pub fn f3() -> ExperimentOutput {
     let cfg = ApspConfig::default();
     let q: Vec<NodeId> = (0..n as NodeId).step_by(4).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals = DistMatrix::from_rows(
+    let dvals = RoutedTable::untracked(DistMatrix::from_rows(
         (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-    );
+    ));
     let mut rec = Recorder::new();
     let (_, stats) =
         propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
@@ -639,9 +642,9 @@ pub fn f4() -> ExperimentOutput {
     let cfg = ApspConfig::default();
     let q: Vec<NodeId> = (0..n as NodeId).step_by(4).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals = DistMatrix::from_rows(
+    let dvals = RoutedTable::untracked(DistMatrix::from_rows(
         (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-    );
+    ));
     let _ = writeln!(table, "F4a: Step-9 queue discipline ablation (n={n}, |Q|={})", q.len());
     for (name, d) in [
         ("round-robin (paper)", PushDiscipline::RoundRobin),
@@ -661,7 +664,7 @@ pub fn f4() -> ExperimentOutput {
         )
         .unwrap();
         for (qi, &c) in q.iter().enumerate() {
-            assert_eq!(&out[qi], &dijkstra(&g, c, Direction::In)[..]);
+            assert_eq!(&out.dist[qi], &dijkstra(&g, c, Direction::In)[..]);
         }
         let _ = writeln!(
             table,
@@ -690,6 +693,7 @@ pub fn f4() -> ExperimentOutput {
             &sources,
             3,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
@@ -706,6 +710,7 @@ pub fn f4() -> ExperimentOutput {
             &sources,
             3,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
@@ -720,6 +725,7 @@ pub fn f4() -> ExperimentOutput {
             let mut dist = vec![Vec::new(); g.n()];
             let mut hops = vec![Vec::new(); g.n()];
             let mut parent = vec![Vec::new(); g.n()];
+            let mut first = vec![Vec::new(); g.n()];
             let mut children = vec![Vec::new(); g.n()];
             for &s in &sources {
                 let (res, _) = run_bf(
@@ -729,6 +735,7 @@ pub fn f4() -> ExperimentOutput {
                     Direction::Out,
                     3,
                     None,
+                    false,
                     false,
                     SimConfig::default(),
                     Charging::Quiesce,
@@ -742,6 +749,7 @@ pub fn f4() -> ExperimentOutput {
                         u32::MAX
                     });
                     parent[v].push(res.entries[v].parent);
+                    first[v].push(congest_graph::NO_SUCC);
                     children[v].push(res.children[v].clone());
                 }
             }
@@ -753,6 +761,8 @@ pub fn f4() -> ExperimentOutput {
                 hops,
                 parent,
                 children,
+                first,
+                tracked: false,
             };
             if plain_coll.check_consistency(&g).is_err() {
                 bad = true;
@@ -839,7 +849,7 @@ pub fn e1_oracle(big: bool) -> ExperimentOutput {
     }
     let _ = writeln!(
         table,
-        "\n(build-ms is successor derivation only: the n^2 distance arena moves into the oracle without a copy)"
+        "\n(build-ms is plane validation only: the n^2 distance arena and the Step-7 successor plane move into the oracle with zero copies and zero reverse-BFS derivations)"
     );
     ExperimentOutput { id: "e1", table, csv }
 }

@@ -14,9 +14,11 @@ use crate::blocker::{alg2_blocker, greedy_blocker, Alg2Stats, Selection};
 use crate::config::ApspConfig;
 use crate::csssp::build_csssp;
 use crate::extension::extend_all_sources;
-use crate::pipeline::{propagate_to_blockers, propagate_trivial_broadcast, Step6Stats};
+use crate::pipeline::{
+    propagate_to_blockers, propagate_trivial_broadcast, RoutedTable, Step6Stats,
+};
 use congest_graph::seq::Direction;
-use congest_graph::{DistMatrix, Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
 use congest_sim::primitives::all_to_all_broadcast;
 use congest_sim::{Recorder, SimError, Topology};
 
@@ -56,6 +58,12 @@ pub struct ApspMeta {
 /// Result of a distributed APSP run: the full distance matrix in one flat
 /// arena (`dist[x][t]`, `INF` when unreachable), per-phase round
 /// accounting, and run metadata.
+///
+/// With successor tracking on (the [`crate::Solver`] default), `dist` also
+/// carries the target-major successor plane filled *during* the
+/// distributed phases — `dist.successor(u, v)` is the first hop from `u`
+/// toward `v` — which `congest_oracle::Oracle::from_dist` adopts by move,
+/// skipping its reverse-BFS derivation entirely.
 #[derive(Clone, Debug)]
 pub struct ApspOutcome<W> {
     /// `dist[x][t] = δ(x, t)`, square and row-major.
@@ -118,8 +126,10 @@ pub(crate) fn run_ar20<W: Weight>(
     let mut meta = ApspMeta { h: cfg.hop_param(n), ..Default::default() };
     let h = meta.h;
     let sim = cfg.sim;
+    let track = cfg.track_successors;
 
-    // Step 1: h-CSSSP for V.
+    // Step 1: h-CSSSP for V (tracking first hops when Step-7 successor
+    // tracking is on — the extension seeds reuse them).
     let sources: Vec<NodeId> = (0..n as NodeId).collect();
     let coll = build_csssp(
         g,
@@ -127,6 +137,7 @@ pub(crate) fn run_ar20<W: Weight>(
         &sources,
         h,
         Direction::Out,
+        track,
         sim,
         cfg.charging,
         &mut rec,
@@ -155,13 +166,21 @@ pub(crate) fn run_ar20<W: Weight>(
     };
     meta.q = q.clone();
 
-    // Step 3: h-in-SSSP per blocker; to_q[qi][x] = δ_h(x, q_qi) at x.
+    // Step 3: h-in-SSSP per blocker; to_q[qi][x] = δ_h(x, q_qi) at x. An
+    // in-direction parent pointer *is* the next hop from x toward the
+    // blocker, so successor tracking needs no extra message traffic here —
+    // each node keeps its local parent as routing state (only materialized
+    // when tracking is on).
     let mut to_q: Vec<Vec<W>> = Vec::with_capacity(q.len());
+    let mut to_q_next: Vec<Vec<NodeId>> = Vec::with_capacity(if track { q.len() } else { 0 });
     for &c in &q {
         let (res, rep) =
-            run_bf(g, &topo, c, Direction::In, h as u64, None, false, sim, cfg.charging)?;
+            run_bf(g, &topo, c, Direction::In, h as u64, None, false, false, sim, cfg.charging)?;
         rec.record(format!("step3: h-in-SSSP({c})"), rep);
         to_q.push(res.entries.iter().map(|e| e.dist).collect());
+        if track {
+            to_q_next.push(res.entries.iter().map(|e| e.parent.unwrap_or(NO_SUCC)).collect());
+        }
     }
 
     // Step 4: every c broadcasts (c, c', δ_h(c, c')) — |Q|² values.
@@ -182,21 +201,30 @@ pub(crate) fn run_ar20<W: Weight>(
                 }
             })
             .collect();
-        let (_, rep) = all_to_all_broadcast(&topo, sim, initial)?;
+        let (_, rep) = all_to_all_broadcast(&topo, sim, initial, 3)?;
         rec.record("step4: QxQ matrix broadcast", rep);
     }
 
     // Step 5 (local): min-plus closure of the Q×Q matrix, then
     // dvals[x][qi] = δ(x, q_qi). Every node performs the same closure on
-    // the broadcast matrix; the orchestrator mirrors it once.
+    // the broadcast matrix; the orchestrator mirrors it once. With
+    // tracking on, the closure also carries first-hop provenance:
+    // `closure_fh[i][j]` is the first *graph* hop out of node q_i on the
+    // realizing path toward q_j — local knowledge at q_i (its Step-3
+    // parents) combined with the broadcast matrix, so every node can still
+    // compute its own rows without extra communication.
     let qn = q.len();
     let mut closure = vec![vec![W::INF; qn]; qn];
+    let mut closure_fh = if track { vec![vec![NO_SUCC; qn]; qn] } else { Vec::new() };
     for qi in 0..qn {
         closure[qi][qi] = W::ZERO;
         for qj in 0..qn {
             let d = to_q[qj][q[qi] as usize];
             if d < closure[qi][qj] {
                 closure[qi][qj] = d;
+                if track {
+                    closure_fh[qi][qj] = to_q_next[qj][q[qi] as usize];
+                }
             }
         }
     }
@@ -209,25 +237,41 @@ pub(crate) fn run_ar20<W: Weight>(
                 let via = closure[i][k].plus(closure[k][j]);
                 if via < closure[i][j] {
                     closure[i][j] = via;
+                    if track {
+                        closure_fh[i][j] = closure_fh[i][k];
+                    }
                 }
             }
         }
     }
-    let mut dvals = DistMatrix::filled(n, qn, W::INF);
+    let mut dvals = if track {
+        RoutedTable::tracked(DistMatrix::filled(n, qn, W::INF))
+    } else {
+        RoutedTable::untracked(DistMatrix::filled(n, qn, W::INF))
+    };
     for x in 0..n {
         for qi in 0..qn {
             let mut best = to_q[qi][x];
+            let mut first = if track { to_q_next[qi][x] } else { NO_SUCC };
             for qj in 0..qn {
-                let first = to_q[qj][x];
-                if first.is_inf() {
+                let seg = to_q[qj][x];
+                if seg.is_inf() {
                     continue;
                 }
-                let via = first.plus(closure[qj][qi]);
+                let via = seg.plus(closure[qj][qi]);
                 if via < best {
                     best = via;
+                    // The combined path starts with the δ_h(x, q_j)
+                    // segment, unless x *is* q_j — then it starts inside
+                    // the closure.
+                    if track {
+                        first =
+                            if q[qj] as usize == x { closure_fh[qj][qi] } else { to_q_next[qj][x] };
+                    }
                 }
             }
-            dvals.set(x, qi, best);
+            dvals.dist.set(x, qi, best);
+            dvals.set_first(x, qi, first);
         }
     }
     rec.record_local("step5: local closure over Q");
@@ -245,7 +289,8 @@ pub(crate) fn run_ar20<W: Weight>(
         }
     };
 
-    // Step 7: h-hop extension per source.
+    // Step 7: h-hop extension per source (assembles the successor plane
+    // when tracking is on).
     let dist = extend_all_sources(g, &topo, cfg, &coll, &q, &at_blocker, &mut rec)?;
     Ok(ApspOutcome { dist, recorder: rec, meta })
 }

@@ -17,12 +17,17 @@ use crate::blocker::greedy_blocker;
 use crate::config::ApspConfig;
 use crate::csssp::build_csssp;
 use congest_graph::seq::Direction;
-use congest_graph::{DistMatrix, Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
 use congest_sim::primitives::all_to_all_broadcast;
 use congest_sim::{Recorder, SimError, Topology};
 
 /// One full Bellman–Ford per source (n sequential SSSPs). The engine
 /// behind [`crate::Solver`] with [`crate::Algorithm::Naive`].
+///
+/// With successor tracking on, each SSSP threads first hops through its
+/// relax messages, so the outcome carries the same target-major successor
+/// plane the AR pipelines produce — an independent witness for the
+/// differential plane tests.
 pub(crate) fn run_naive<W: Weight>(
     g: &Graph<W>,
     cfg: &ApspConfig,
@@ -31,12 +36,19 @@ pub(crate) fn run_naive<W: Weight>(
     let n = g.n();
     let topo = Topology::from_graph(g);
     let mut rec = Recorder::new();
+    let track = cfg.track_successors;
     let mut dist = DistMatrix::square(n, W::INF);
+    if track {
+        dist = dist.with_empty_successors();
+    }
     for x in 0..n as NodeId {
-        let (res, rep) = run_full_sssp(g, &topo, x, Direction::Out, cfg.sim, cfg.charging)?;
+        let (res, rep) = run_full_sssp(g, &topo, x, Direction::Out, track, cfg.sim, cfg.charging)?;
         rec.record(format!("naive: SSSP({x})"), rep);
         for t in 0..n {
             dist[x as usize][t] = res.entries[t].dist;
+            if track {
+                dist.set_successor(x, t as NodeId, res.entries[t].first.unwrap_or(NO_SUCC));
+            }
         }
     }
     Ok(ApspOutcome { dist, recorder: rec, meta: ApspMeta::default() })
@@ -72,6 +84,7 @@ pub(crate) fn run_ar18<W: Weight>(
     let h = (n as f64).sqrt().ceil() as usize;
     let mut meta = ApspMeta { h, ..Default::default() };
     let sim = cfg.sim;
+    let track = cfg.track_successors;
 
     // Step 1: h-CSSSP for V.
     let sources: Vec<NodeId> = (0..n as NodeId).collect();
@@ -81,6 +94,7 @@ pub(crate) fn run_ar18<W: Weight>(
         &sources,
         h,
         Direction::Out,
+        track,
         sim,
         cfg.charging,
         &mut rec,
@@ -94,15 +108,26 @@ pub(crate) fn run_ar18<W: Weight>(
     meta.q = q.clone();
 
     // Step 3: full in-SSSP and out-SSSP per blocker (O(n) rounds each).
+    // For successor tracking, an in-SSSP parent at x doubles as x's next
+    // hop toward the blocker, and the out-SSSP runs tracked so a blocker
+    // source x = c knows its own first hop toward every sink.
     let mut to_q: Vec<Vec<W>> = Vec::with_capacity(q.len()); // δ(x, c) at x
+    let mut to_q_next: Vec<Vec<NodeId>> = Vec::new(); // tracked only
     let mut from_q: Vec<Vec<W>> = Vec::with_capacity(q.len()); // δ(c, t) at t
+    let mut from_q_first: Vec<Vec<NodeId>> = Vec::new(); // tracked only
     for &c in &q {
-        let (res, rep) = run_full_sssp(g, &topo, c, Direction::In, sim, cfg.charging)?;
+        let (res, rep) = run_full_sssp(g, &topo, c, Direction::In, false, sim, cfg.charging)?;
         rec.record(format!("ar18/step3: in-SSSP({c})"), rep);
         to_q.push(res.entries.iter().map(|e| e.dist).collect());
-        let (res, rep) = run_full_sssp(g, &topo, c, Direction::Out, sim, cfg.charging)?;
+        if track {
+            to_q_next.push(res.entries.iter().map(|e| e.parent.unwrap_or(NO_SUCC)).collect());
+        }
+        let (res, rep) = run_full_sssp(g, &topo, c, Direction::Out, track, sim, cfg.charging)?;
         rec.record(format!("ar18/step3: out-SSSP({c})"), rep);
         from_q.push(res.entries.iter().map(|e| e.dist).collect());
+        if track {
+            from_q_first.push(res.entries.iter().map(|e| e.first.unwrap_or(NO_SUCC)).collect());
+        }
     }
 
     // Step 4: broadcast the n×|Q| table (O(n·|Q|) rounds, Lemma A.2).
@@ -115,17 +140,22 @@ pub(crate) fn run_ar18<W: Weight>(
                     .collect()
             })
             .collect();
-        let (_, rep) = all_to_all_broadcast(&topo, sim, initial)?;
+        let (_, rep) = all_to_all_broadcast(&topo, sim, initial, 3)?;
         rec.record("ar18/step4: (x, c) table broadcast", rep);
     }
 
     // Step 5 (local at every sink t): δ(x,t) = min(δ_h(x,t),
-    // min_c δ(x,c) + δ(c,t)).
+    // min_c δ(x,c) + δ(c,t)), tracking the first hop of the winning
+    // decomposition when successor tracking is on.
     rec.record_local("ar18/step5: local combine");
     let mut dist = DistMatrix::square(n, W::INF);
+    if track {
+        dist = dist.with_empty_successors();
+    }
     for x in 0..n {
         for t in 0..n {
             let mut best = if x == t { W::ZERO } else { coll.dist[t][x] };
+            let mut first = if x == t || !track { NO_SUCC } else { coll.first[t][x] };
             for qi in 0..q.len() {
                 let a = to_q[qi][x];
                 let b = from_q[qi][t];
@@ -135,9 +165,25 @@ pub(crate) fn run_ar18<W: Weight>(
                 let via = a.plus(b);
                 if via < best {
                     best = via;
+                    // Path x →(in-tree) c →(out-tree) t starts on the
+                    // in-tree segment unless x is the blocker itself.
+                    if track {
+                        first = if q[qi] as usize == x {
+                            from_q_first[qi][t]
+                        } else {
+                            to_q_next[qi][x]
+                        };
+                    }
                 }
             }
             dist[x][t] = best;
+            if track {
+                dist.set_successor(
+                    x as NodeId,
+                    t as NodeId,
+                    if best.is_inf() { NO_SUCC } else { first },
+                );
+            }
         }
     }
     Ok(ApspOutcome { dist, recorder: rec, meta })

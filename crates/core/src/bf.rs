@@ -28,7 +28,7 @@
 
 use crate::config::Charging;
 use congest_graph::seq::Direction;
-use congest_graph::{Graph, NodeId, Weight};
+use congest_graph::{Graph, NodeId, Weight, NO_SUCC};
 use congest_sim::{
     Engine, Envelope, NodeEnv, NodeLogic, Outbox, PhaseReport, SimConfig, SimError, Topology,
 };
@@ -42,17 +42,45 @@ pub struct BfEntry<W> {
     pub hops: u32,
     /// Parent toward the root (`None` at the root / unreached / seeded).
     pub parent: Option<NodeId>,
+    /// First hop of the canonical path *as traversed from its origin*
+    /// (Step-7 successor tracking; only filled when the run tracks). For an
+    /// out-direction run this is the successor of the origin toward this
+    /// node. `None` at the origin, at seeded nodes whose path starts there,
+    /// when unreached, or when tracking is off.
+    pub first: Option<NodeId>,
 }
 
 impl<W: Weight> BfEntry<W> {
     fn unreached() -> Self {
-        BfEntry { dist: W::INF, hops: u32::MAX, parent: None }
+        BfEntry { dist: W::INF, hops: u32::MAX, parent: None, first: None }
     }
 
     /// `true` iff the node was reached.
     #[must_use]
     pub fn reached(&self) -> bool {
         !self.dist.is_inf()
+    }
+}
+
+/// Seed values for an extension run (§5): per node an initial distance
+/// plus, when successor tracking is on, the first hop of the path the seed
+/// value summarizes (so downstream relaxations keep routing information
+/// anchored at the true path origin).
+#[derive(Copy, Clone, Debug)]
+pub struct BfSeeds<'a, W> {
+    /// Per-node initial distance; `W::INF` means "no seed".
+    pub dist: &'a [W],
+    /// Per-node first hop accompanying each seed value ([`NO_SUCC`] when
+    /// the path starts at the seeded node). `None` disables seed-level
+    /// tracking even if the run itself tracks.
+    pub first: Option<&'a [NodeId]>,
+}
+
+impl<'a, W> BfSeeds<'a, W> {
+    /// Distance-only seeds (tracking-off runs and legacy callers).
+    #[must_use]
+    pub fn dists(dist: &'a [W]) -> Self {
+        BfSeeds { dist, first: None }
     }
 }
 
@@ -73,8 +101,11 @@ pub struct BfTreeResult<W> {
 #[derive(Clone, Debug)]
 enum BfMsg<W> {
     /// Relaxation announcement: candidate (dist, hops) *including* the
-    /// connecting edge weight.
-    Relax { dist: W, hops: u32 },
+    /// connecting edge weight. When the run tracks successors, `first`
+    /// carries the first hop of the candidate path from its origin —
+    /// [`NO_SUCC`] meaning "the path starts at the sender, so *you* are the
+    /// first hop" — one extra id word on the wire.
+    Relax { dist: W, hops: u32, first: NodeId },
     /// Post-run child adoption notification.
     Adopt,
     /// Final-entry confirmation broadcast to neighbors.
@@ -102,6 +133,8 @@ struct BfNode<W> {
     /// Whether the horizon-repair phase runs (off for seeded extension
     /// runs, whose output is distances only).
     repair: bool,
+    /// Whether relax messages carry (and entries record) first hops.
+    track: bool,
     finished: bool,
 }
 
@@ -124,8 +157,11 @@ impl<W: Weight> NodeLogic for BfNode<W> {
         let relax_end = self.relax_rounds; // receipts land through round R
         for e in inbox {
             match e.msg {
-                BfMsg::Relax { dist, hops } => {
-                    let cand = BfEntry { dist, hops, parent: Some(e.from) };
+                BfMsg::Relax { dist, hops, first } => {
+                    // NO_SUCC from the sender means the path starts there,
+                    // making this node the first hop of its own path.
+                    let first = self.track.then_some(if first == NO_SUCC { env.id } else { first });
+                    let cand = BfEntry { dist, hops, parent: Some(e.from), first };
                     if better(&cand, &self.entry) {
                         self.entry = cand;
                         self.dirty = true;
@@ -147,11 +183,16 @@ impl<W: Weight> NodeLogic for BfNode<W> {
         }
         if r < relax_end {
             if self.dirty && self.entry.reached() {
+                let first = self.entry.first.unwrap_or(NO_SUCC);
                 for i in 0..self.fwd_edges.len() {
                     let (ni, w) = self.fwd_edges[i];
                     out.send_nbr(
                         ni,
-                        BfMsg::Relax { dist: self.entry.dist.plus(w), hops: self.entry.hops + 1 },
+                        BfMsg::Relax {
+                            dist: self.entry.dist.plus(w),
+                            hops: self.entry.hops + 1,
+                            first,
+                        },
                     );
                 }
                 self.dirty = false;
@@ -187,9 +228,26 @@ impl<W: Weight> NodeLogic for BfNode<W> {
         // (they cannot locally know that no repair traffic is coming).
         !self.finished
     }
+
+    fn msg_words(&self, msg: &Self::Msg) -> u32 {
+        match msg {
+            // dist + hops, plus one id word when the run tracks successors.
+            BfMsg::Relax { .. } => {
+                if self.track {
+                    3
+                } else {
+                    2
+                }
+            }
+            BfMsg::Confirm { .. } => 2,
+            BfMsg::Adopt | BfMsg::Detach => 1,
+        }
+    }
 }
 
 fn better<W: Weight>(a: &BfEntry<W>, b: &BfEntry<W>) -> bool {
+    // `first` never participates: it is derived from the same winning
+    // message, so tracking cannot perturb the distance computation.
     (a.dist, a.hops, a.parent.map(u64::from)) < (b.dist, b.hops, b.parent.map(u64::from))
 }
 
@@ -203,14 +261,25 @@ fn dedup_min_edges<W: Weight>(iter: impl Iterator<Item = (NodeId, W)>) -> Vec<(N
 /// Runs synchronous Bellman–Ford from `source` for exactly `rounds`
 /// relaxation rounds (so distances are `δ_rounds`), followed by the O(1)
 /// adopt/confirm and — when `repair` is set — the ≤`rounds` detach repair
-/// sub-phase. `init` optionally seeds distances (h-hop extension, §5).
+/// sub-phase. `init` optionally seeds distances (h-hop extension, §5),
+/// each optionally annotated with the first hop of the path its value
+/// summarizes.
 ///
 /// Pass `repair: true` only when the *tree structure* will be consumed
 /// (CSSSP construction): distances are horizon-correct either way, but
 /// parent pointers can go stale at the relaxation horizon (module docs).
 ///
+/// Pass `track: true` to thread first hops through the relaxation (one
+/// extra id word per relax message): every reached entry then reports in
+/// [`BfEntry::first`] the first hop of its canonical path from the origin.
+/// Tracking never changes distances, rounds, or message counts.
+///
 /// # Errors
 /// Propagates engine errors.
+///
+/// # Panics
+/// Panics if `track` is set and `init` seeds carry no first hops — a
+/// tracked run over routing-less seeds would misattribute path origins.
 #[allow(clippy::too_many_arguments)]
 pub fn run_bf<W: Weight>(
     g: &Graph<W>,
@@ -218,25 +287,39 @@ pub fn run_bf<W: Weight>(
     source: NodeId,
     dir: Direction,
     rounds: u64,
-    init: Option<&[W]>,
+    init: Option<BfSeeds<'_, W>>,
     repair: bool,
+    track: bool,
     sim: SimConfig,
     charging: Charging,
 ) -> Result<(BfTreeResult<W>, PhaseReport), SimError> {
     let n = g.n();
     let engine = Engine::new(topo, sim);
     let repair = repair && init.is_none();
+    if let Some(init) = init {
+        // A tracked run relaying first-hop-less seeds would mark every
+        // seeded node as a path origin — silently invalid routing. Callers
+        // must supply the seeds' first hops when tracking.
+        assert!(
+            !track || init.first.is_some(),
+            "tracked seeded runs need BfSeeds::first (NO_SUCC per origin-seeded node)"
+        );
+    }
     let detach_deadline = if repair { 2 * rounds + 2 } else { rounds };
     let mut nodes: Vec<BfNode<W>> = (0..n as NodeId)
         .map(|v| {
             let mut entry = BfEntry::unreached();
             if v == source {
-                entry = BfEntry { dist: W::ZERO, hops: 0, parent: None };
+                entry = BfEntry { dist: W::ZERO, hops: 0, parent: None, first: None };
             }
             if let Some(init) = init {
-                let d = init[v as usize];
+                let d = init.dist[v as usize];
                 if !d.is_inf() && d < entry.dist {
-                    entry = BfEntry { dist: d, hops: 0, parent: None };
+                    let first = track
+                        .then(|| init.first.map(|f| f[v as usize]))
+                        .flatten()
+                        .filter(|&f| f != NO_SUCC);
+                    entry = BfEntry { dist: d, hops: 0, parent: None, first };
                 }
             }
             let (fwd, rev) = match dir {
@@ -261,6 +344,7 @@ pub fn run_bf<W: Weight>(
                 detached: false,
                 detach_sent: false,
                 repair,
+                track,
                 finished: false,
             }
         })
@@ -288,8 +372,13 @@ pub fn run_bf<W: Weight>(
 }
 
 /// Full (unbounded-hop) SSSP: n-1 relaxation rounds. δ_{n-1} = δ, so
-/// distances are final and the repair phase is skipped (only the dist
-/// vector of a full SSSP is ever consumed).
+/// distances are final and the repair phase is skipped. Consumers read the
+/// dist and first-hop vectors, and — for in-direction runs — the parent
+/// pointers as next hops toward the source. Repair-free parents are safe
+/// here: every entry's (dist, parent) pair describes a real walk of weight
+/// exactly `dist`, so at the full horizon (`dist` = δ) the parent edge
+/// telescopes — δ(v) = w(v, parent) + δ(parent) — even if the parent later
+/// improved other fields. `track` as in [`run_bf`].
 ///
 /// # Errors
 /// Propagates engine errors.
@@ -298,10 +387,11 @@ pub fn run_full_sssp<W: Weight>(
     topo: &Topology,
     source: NodeId,
     dir: Direction,
+    track: bool,
     sim: SimConfig,
     charging: Charging,
 ) -> Result<(BfTreeResult<W>, PhaseReport), SimError> {
-    run_bf(g, topo, source, dir, g.n() as u64 - 1, None, false, sim, charging)
+    run_bf(g, topo, source, dir, g.n() as u64 - 1, None, false, track, sim, charging)
 }
 
 #[cfg(test)]
@@ -328,6 +418,7 @@ mod tests {
                     h,
                     None,
                     true,
+                    false,
                     SimConfig::default(),
                     Charging::Quiesce,
                 )
@@ -363,6 +454,7 @@ mod tests {
             3,
             None,
             true,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
         )
@@ -388,6 +480,7 @@ mod tests {
                 &topo,
                 2,
                 Direction::Out,
+                false,
                 SimConfig::default(),
                 Charging::Quiesce,
             )
@@ -412,6 +505,7 @@ mod tests {
             h,
             None,
             true,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
         )
@@ -437,6 +531,7 @@ mod tests {
                 4,
                 None,
                 true,
+                false,
                 SimConfig::default(),
                 Charging::Quiesce,
             )
@@ -475,6 +570,7 @@ mod tests {
             4,
             None,
             true,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
         )
@@ -503,7 +599,8 @@ mod tests {
             0,
             Direction::Out,
             1,
-            Some(&init),
+            Some(BfSeeds::dists(&init)),
+            false,
             false,
             SimConfig::default(),
             Charging::Quiesce,
@@ -525,6 +622,7 @@ mod tests {
             5,
             None,
             true,
+            false,
             SimConfig::default(),
             Charging::WorstCase,
         )
@@ -553,6 +651,7 @@ mod tests {
             2,
             None,
             true,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
         )
@@ -561,6 +660,111 @@ mod tests {
         // min-hop tie-break: direct edge (1 hop) preferred over 2-hop
         assert_eq!(res.entries[2].hops, 1);
         assert_eq!(res.entries[2].parent, Some(0));
+    }
+
+    #[test]
+    fn tracked_first_hops_telescope_on_full_sssp() {
+        for seed in 0..6 {
+            let g = gnm_connected(20, 44, true, WeightDist::Uniform(0, 9), seed);
+            let topo = setup(&g);
+            let (res, _) = run_full_sssp(
+                &g,
+                &topo,
+                0,
+                Direction::Out,
+                true,
+                SimConfig::default(),
+                Charging::Quiesce,
+            )
+            .unwrap();
+            let from0 = dijkstra(&g, 0, Direction::Out);
+            assert!(res.entries[0].first.is_none(), "source has no first hop");
+            for v in 1..g.n() {
+                let e = &res.entries[v];
+                if !e.reached() {
+                    assert!(e.first.is_none());
+                    continue;
+                }
+                let f = e.first.expect("reached non-source entry must carry a first hop");
+                let w = g
+                    .out_edges(0)
+                    .filter(|&(t, _)| t == f)
+                    .map(|(_, w)| w)
+                    .min()
+                    .expect("first hop must be an out-neighbor of the source");
+                let fromf = dijkstra(&g, f, Direction::Out);
+                // δ(s, v) = w(s, f) + δ(f, v): the recorded first hop lies
+                // on a shortest path.
+                assert_eq!(from0[v], w.plus(fromf[v]), "seed {seed} v={v} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn tracking_perturbs_nothing_but_payload() {
+        let g = gnm_connected(18, 40, true, WeightDist::Uniform(0, 9), 4);
+        let topo = setup(&g);
+        let run = |track: bool| {
+            run_bf(
+                &g,
+                &topo,
+                0,
+                Direction::Out,
+                4,
+                None,
+                true,
+                track,
+                SimConfig::default(),
+                Charging::Quiesce,
+            )
+            .unwrap()
+        };
+        let (tracked, rep_t) = run(true);
+        let (plain, rep_p) = run(false);
+        for v in 0..g.n() {
+            assert_eq!(tracked.entries[v].dist, plain.entries[v].dist);
+            assert_eq!(tracked.entries[v].hops, plain.entries[v].hops);
+            assert_eq!(tracked.entries[v].parent, plain.entries[v].parent);
+            assert!(plain.entries[v].first.is_none(), "untracked runs record no first hops");
+        }
+        assert_eq!(rep_t.rounds, rep_p.rounds);
+        assert_eq!(rep_t.messages, rep_p.messages);
+        assert_eq!(rep_t.node_sent, rep_p.node_sent);
+        // The only difference on the wire: one extra id word per relax.
+        assert_eq!(rep_t.max_msg_words, 3);
+        assert_eq!(rep_p.max_msg_words, 2);
+        assert!(rep_t.payload_words > rep_p.payload_words);
+    }
+
+    #[test]
+    fn seeded_first_hops_propagate() {
+        // Path 0-1-2-3; seed node 2 with dist 10 claiming its path from the
+        // origin starts at node 1: node 3's relaxed entry must inherit that
+        // first hop, while node 1 (relaxed by the source itself) becomes
+        // its own first hop.
+        let g = path(4, true, WeightDist::Unit, 0);
+        let topo = setup(&g);
+        let mut init = vec![u64::INF; 4];
+        init[2] = 10;
+        let mut first = vec![congest_graph::NO_SUCC; 4];
+        first[2] = 1;
+        let (res, _) = run_bf(
+            &g,
+            &topo,
+            0,
+            Direction::Out,
+            1,
+            Some(BfSeeds { dist: &init, first: Some(&first) }),
+            false,
+            true,
+            SimConfig::default(),
+            Charging::Quiesce,
+        )
+        .unwrap();
+        assert_eq!(res.entries[3].dist, 11);
+        assert_eq!(res.entries[3].first, Some(1), "seed first hop must ride the relaxation");
+        assert_eq!(res.entries[1].first, Some(1), "source-adjacent node is its own first hop");
+        assert_eq!(res.entries[2].first, Some(1), "seeded entry keeps its seed first hop");
     }
 
     #[test]
@@ -579,6 +783,7 @@ mod tests {
             1,
             None,
             true,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
         )

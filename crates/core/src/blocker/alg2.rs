@@ -124,7 +124,7 @@ impl<'a, W: Weight> Driver<'a, W> {
                     }
                 })
                 .collect();
-        let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial)?;
+        let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial, 2)?;
         rec.record(format!("{label}: score flood"), report);
         Ok(())
     }
@@ -225,7 +225,7 @@ impl<'a, W: Weight> Driver<'a, W> {
                     }
                 })
                 .collect();
-        let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial)?;
+        let (_, report) = all_to_all_broadcast(self.topo, self.sim, initial, 2)?;
         rec.record("alg2: scoreij broadcast", report);
         Ok(scoreij)
     }
@@ -354,7 +354,7 @@ impl<'a, W: Weight> Driver<'a, W> {
                     let initial: Vec<Vec<NodeId>> = (0..self.coll.n() as NodeId)
                         .map(|v| if a.contains(&v) { vec![v] } else { Vec::new() })
                         .collect();
-                    let (_, rep) = all_to_all_broadcast(self.topo, self.sim, initial)?;
+                    let (_, rep) = all_to_all_broadcast(self.topo, self.sim, initial, 1)?;
                     rec.record("alg2: A-id broadcast", rep);
                     let (cov_pi, cov_pij) = self.coverage(&a, vi, thr_j, rec)?;
                     if self.is_good(a.len(), cov_pi, cov_pij, i, pij_size) {

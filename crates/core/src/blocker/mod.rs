@@ -159,6 +159,7 @@ mod tests {
             &sources,
             h,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,

@@ -106,7 +106,7 @@ pub fn compute_bottlenecks<W: Weight>(
         let initial: Vec<Vec<(u64, NodeId)>> = (0..n)
             .map(|v| if tc[v] > 0 { vec![(tc[v], v as NodeId)] } else { Vec::new() })
             .collect();
-        let (logs, report) = all_to_all_broadcast(topo, sim, initial)?;
+        let (logs, report) = all_to_all_broadcast(topo, sim, initial, 2)?;
         rec.record(format!("bottleneck: count broadcast #{}", b.len()), report);
         let &(_, node) = logs[0]
             .iter()
@@ -156,6 +156,7 @@ mod tests {
             sources,
             h,
             Direction::In,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
@@ -251,6 +252,7 @@ mod threshold_sweep_tests {
             &sources,
             8,
             Direction::In,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,

@@ -12,6 +12,24 @@
 //! | `apsp_agarwal_ramachandran(&g, &cfg, m, s)` | `Solver::builder(&g).config(cfg).blocker_method(m).step6_method(s).run()` |
 //! | `apsp_ar18(&g, &cfg)` | `Solver::builder(&g).algorithm(Algorithm::Ar18).config(cfg).run()` |
 //! | `apsp_naive(&g, &cfg)` | `Solver::builder(&g).algorithm(Algorithm::Naive).config(cfg).run()` |
+//!
+//! ## Migration note: Step-7 successor tracking
+//!
+//! Since the Step-7 tracking change, `ApspConfig` carries a
+//! `track_successors` field (default **on**) and the outcome's `dist`
+//! carries a target-major successor plane that
+//! `congest_oracle::Oracle::from_dist` adopts without re-derivation.
+//! Callers of the shims observe three differences:
+//!
+//! * `ApspConfig` struct literals need the new field (or
+//!   `..Default::default()`).
+//! * Distances are bit-identical with tracking on or off, but the wire
+//!   payload is one id word wider per relax/push message — visible in the
+//!   recorder's new `payload_words` / `max_msg_words` accounting, not in
+//!   rounds or message counts.
+//! * Code that wants the pre-tracking behavior (distances only, oracle
+//!   derives successors) sets `track_successors: false` — or
+//!   `Solver::builder(&g).track_successors(false)` on the builder path.
 
 #![allow(deprecated)]
 

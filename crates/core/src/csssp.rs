@@ -11,7 +11,7 @@
 use crate::bf::run_bf;
 use crate::config::Charging;
 use congest_graph::seq::Direction;
-use congest_graph::{DistMatrix, Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
 use congest_sim::{PhaseReport, Recorder, SimConfig, SimError, Topology};
 
 /// A collection of rooted h-hop trees, one per source, stored as per-node
@@ -34,6 +34,17 @@ pub struct SsspCollection<W> {
     pub parent: Vec<Vec<Option<NodeId>>>,
     /// Children away from the root (members only).
     pub children: Vec<Vec<Vec<NodeId>>>,
+    /// `first[v][si]`: the first hop out of the root on the canonical tree
+    /// path to `v` (Out direction; the root's successor toward `v`), as
+    /// threaded through the relax messages when the collection was built
+    /// with successor tracking. [`NO_SUCC`] at the root, for non-members,
+    /// or when the collection is untracked.
+    pub first: Vec<Vec<NodeId>>,
+    /// Whether the collection was built with successor tracking (i.e. the
+    /// `first` plane is meaningful). Consumers that thread routing
+    /// information further — the Step-7 extension — assert on this instead
+    /// of silently misattributing path origins.
+    pub tracked: bool,
 }
 
 impl<W: Weight> SsspCollection<W> {
@@ -83,6 +94,7 @@ impl<W: Weight> SsspCollection<W> {
         self.hops[v as usize][si] = u32::MAX;
         self.dist[v as usize][si] = W::INF;
         self.parent[v as usize][si] = None;
+        self.first[v as usize][si] = NO_SUCC;
         self.children[v as usize][si].clear();
     }
 
@@ -162,6 +174,11 @@ impl<W: Weight> SsspCollection<W> {
 /// source in sequence and truncating at depth h (Lemma A.4; O(|S|·h)
 /// rounds). Phases are recorded into `rec` (one merged entry).
 ///
+/// With `track` on, the per-source runs thread first hops through the
+/// relaxation (one extra id word per relax message) and the collection's
+/// `first` plane reports, at every member `v`, the root's successor toward
+/// `v` — the routing seed Step 7 consumes.
+///
 /// # Errors
 /// Propagates engine errors.
 #[allow(clippy::too_many_arguments)]
@@ -171,6 +188,7 @@ pub fn build_csssp<W: Weight>(
     sources: &[NodeId],
     h: usize,
     dir: Direction,
+    track: bool,
     sim: SimConfig,
     charging: Charging,
     rec: &mut Recorder,
@@ -180,12 +198,15 @@ pub fn build_csssp<W: Weight>(
     let mut dist = DistMatrix::filled(n, sources.len(), W::INF);
     let mut hops = vec![Vec::with_capacity(sources.len()); n];
     let mut parent = vec![Vec::with_capacity(sources.len()); n];
+    let mut first = vec![Vec::with_capacity(sources.len()); n];
     let mut children: Vec<Vec<Vec<NodeId>>> = vec![Vec::with_capacity(sources.len()); n];
     let mut total = PhaseReport { node_sent: vec![0; n], ..Default::default() };
     for (si, &s) in sources.iter().enumerate() {
-        let (res, rep) = run_bf(g, topo, s, dir, 2 * h as u64, None, true, sim, charging)?;
+        let (res, rep) = run_bf(g, topo, s, dir, 2 * h as u64, None, true, track, sim, charging)?;
         total.rounds += rep.rounds;
         total.messages += rep.messages;
+        total.payload_words += rep.payload_words;
+        total.max_msg_words = total.max_msg_words.max(rep.max_msg_words);
         for (t, s2) in total.node_sent.iter_mut().zip(rep.node_sent.iter()) {
             *t += s2;
         }
@@ -197,6 +218,7 @@ pub fn build_csssp<W: Weight>(
                 dist.set(v, si, e.dist);
                 hops[v].push(e.hops);
                 parent[v].push(e.parent);
+                first[v].push(e.first.unwrap_or(NO_SUCC));
                 children[v].push(
                     res.children[v]
                         .iter()
@@ -210,12 +232,23 @@ pub fn build_csssp<W: Weight>(
             } else {
                 hops[v].push(u32::MAX);
                 parent[v].push(None);
+                first[v].push(NO_SUCC);
                 children[v].push(Vec::new());
             }
         }
     }
     rec.record(label, total);
-    Ok(SsspCollection { sources: sources.to_vec(), h, dir, dist, hops, parent, children })
+    Ok(SsspCollection {
+        sources: sources.to_vec(),
+        h,
+        dir,
+        dist,
+        hops,
+        parent,
+        children,
+        first,
+        tracked: track,
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +256,13 @@ mod tests {
     use super::*;
     use congest_graph::generators::{gnm_connected, Family, WeightDist};
 
-    fn build(g: &Graph<u64>, sources: &[NodeId], h: usize, dir: Direction) -> SsspCollection<u64> {
+    fn build_with(
+        g: &Graph<u64>,
+        sources: &[NodeId],
+        h: usize,
+        dir: Direction,
+        track: bool,
+    ) -> SsspCollection<u64> {
         let topo = Topology::from_graph(g);
         let mut rec = Recorder::new();
         build_csssp(
@@ -232,12 +271,17 @@ mod tests {
             sources,
             h,
             dir,
+            track,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
             "csssp",
         )
         .unwrap()
+    }
+
+    fn build(g: &Graph<u64>, sources: &[NodeId], h: usize, dir: Direction) -> SsspCollection<u64> {
+        build_with(g, sources, h, dir, false)
     }
 
     #[test]
@@ -299,6 +343,47 @@ mod tests {
     }
 
     #[test]
+    fn tracked_first_hops_realize_the_stored_distance() {
+        use congest_graph::seq::hop_limited_distances;
+        let h = 3;
+        for seed in [9u64, 21] {
+            let g = gnm_connected(16, 36, true, WeightDist::Uniform(0, 6), seed);
+            let sources: Vec<NodeId> = (0..g.n() as NodeId).collect();
+            let c = build_with(&g, &sources, h, Direction::Out, true);
+            for (si, &s) in c.sources.iter().enumerate() {
+                for v in 0..g.n() {
+                    if !c.is_member(v as NodeId, si) || v == s as usize {
+                        assert_eq!(c.first[v][si], NO_SUCC);
+                        continue;
+                    }
+                    let f = c.first[v][si];
+                    assert_ne!(f, NO_SUCC, "member {v} of tree {s} must have a first hop");
+                    let w = g
+                        .out_edges(s)
+                        .filter(|&(t, _)| t == f)
+                        .map(|(_, w)| w)
+                        .min()
+                        .expect("first hop must be an out-neighbor of the root");
+                    // δ_2h(s, v) decomposes exactly over the recorded first
+                    // hop: min-weight edge s→f plus the best ≤2h-1-hop
+                    // remainder (both directions of the inequality hold,
+                    // see the Step-7 tracking argument).
+                    let rest = hop_limited_distances(&g, f, 2 * h - 1, Direction::Out);
+                    assert_eq!(c.dist[v][si], w.plus(rest[v]), "seed {seed} tree {s} node {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untracked_collection_has_empty_first_plane() {
+        let g = gnm_connected(12, 24, true, WeightDist::Uniform(1, 5), 3);
+        let sources: Vec<NodeId> = (0..12).collect();
+        let c = build(&g, &sources, 2, Direction::Out);
+        assert!(c.first.iter().flatten().all(|&f| f == NO_SUCC));
+    }
+
+    #[test]
     fn rounds_scale_with_sources_times_h() {
         let g = gnm_connected(20, 40, false, WeightDist::Uniform(1, 9), 3);
         let topo = Topology::from_graph(&g);
@@ -311,6 +396,7 @@ mod tests {
             &sources,
             h,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::WorstCase,
             &mut rec,

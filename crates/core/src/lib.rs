@@ -40,9 +40,35 @@
 //! assert_eq!(strawman.dist, out.dist);
 //! ```
 //!
+//! ## Step-7 successor tracking (routing, not just distances)
+//!
+//! By default every algorithm also performs *distributed successor
+//! tracking*: each relax/push message carries the first hop of the path it
+//! summarizes (one extra O(log n)-bit id word, visible in the recorder's
+//! payload accounting), so as distances settle every node also learns its
+//! next hop, exactly as in the AR18 deterministic APSP construction. The
+//! outcome's `dist` then carries a target-major successor plane:
+//!
+//! ```
+//! use congest_apsp::Solver;
+//! use congest_graph::generators::{gnm_connected, WeightDist};
+//!
+//! let g = gnm_connected(12, 24, true, WeightDist::Uniform(1, 9), 7);
+//! let out = Solver::builder(&g).run().unwrap();
+//! let plane = out.dist.successors().expect("tracking is on by default");
+//! assert_eq!(plane.len(), 12 * 12);
+//! // dist.successor(u, v) = first hop from u toward v.
+//! let distances_only = Solver::builder(&g).track_successors(false).run().unwrap();
+//! assert!(distances_only.dist.successors().is_none());
+//! assert_eq!(out.dist, distances_only.dist); // tracking never perturbs distances
+//! ```
+//!
 //! The serving layer picks the result up without copying:
 //! `out.into_oracle(&g)` (via `congest_oracle::IntoOracle`) moves the n²
-//! arena straight into a query-ready `Oracle`.
+//! arena — and the successor plane, when present — straight into a
+//! query-ready `Oracle`, skipping the oracle's reverse-BFS successor
+//! derivation entirely (`congest_oracle::successor_derivations` witnesses
+//! the zero-derivation handoff).
 //!
 //! ## Migrating from the free functions
 //!

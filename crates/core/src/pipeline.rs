@@ -23,7 +23,7 @@ use crate::bottleneck::{compute_bottlenecks, BottleneckResult};
 use crate::config::{ApspConfig, BlockerParams};
 use crate::csssp::build_csssp;
 use congest_graph::seq::Direction;
-use congest_graph::{DistMatrix, Graph, NodeId, Weight};
+use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
 use congest_sim::primitives::all_to_all_broadcast;
 use congest_sim::{
     Engine, Envelope, NodeEnv, NodeLogic, Outbox, Recorder, RunUntil, SimConfig, SimError, Topology,
@@ -41,6 +41,72 @@ pub enum PushDiscipline {
     FixedPriority,
     /// Always serve the longest queue (greedy load heuristic).
     LongestFirst,
+}
+
+/// A value table paired with an optional first-hop plane of the same
+/// shape — the routing-aware currency of Steps 5–7.
+///
+/// `dist[r][c]` is a distance whose path starts at some origin node
+/// (conventionally the *source* coordinate of the table: row `x` for the
+/// n×|Q| `dvals` table, column `x` for the |Q|×n blocker table), and
+/// `first_at(r, c)` is the first edge out of that origin on a path
+/// realizing the value ([`NO_SUCC`] for zero-length paths, unreachable
+/// pairs, or untracked tables). Keeping the two planes together is what
+/// lets Step 6 deliver *routed* distances to the blockers and Step 7 seed
+/// its extension runs with paths anchored at the true origin.
+#[derive(Clone, Debug)]
+pub struct RoutedTable<W> {
+    /// The value table.
+    pub dist: DistMatrix<W>,
+    /// The parallel first-hop plane (row-major, same shape); `None` when
+    /// the producing pipeline ran with successor tracking off.
+    pub first: Option<Box<[NodeId]>>,
+}
+
+impl<W: Weight> RoutedTable<W> {
+    /// Wraps a table without routing information (tracking off).
+    #[must_use]
+    pub fn untracked(dist: DistMatrix<W>) -> Self {
+        RoutedTable { dist, first: None }
+    }
+
+    /// Wraps a table with an empty ([`NO_SUCC`]-filled) first-hop plane.
+    #[must_use]
+    pub fn tracked(dist: DistMatrix<W>) -> Self {
+        let cells = dist.rows() * dist.cols();
+        RoutedTable { dist, first: Some(vec![NO_SUCC; cells].into_boxed_slice()) }
+    }
+
+    /// `true` iff the table carries a first-hop plane.
+    #[must_use]
+    pub fn is_tracked(&self) -> bool {
+        self.first.is_some()
+    }
+
+    /// First hop recorded for cell `(r, c)`; [`NO_SUCC`] when untracked.
+    ///
+    /// # Panics
+    /// Panics if `(r, c)` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn first_at(&self, r: usize, c: usize) -> NodeId {
+        let (rows, cols) = (self.dist.rows(), self.dist.cols());
+        assert!(r < rows && c < cols, "cell ({r}, {c}) out of range");
+        self.first.as_ref().map_or(NO_SUCC, |f| f[r * cols + c])
+    }
+
+    /// Records `first` for cell `(r, c)`; no-op when untracked.
+    ///
+    /// # Panics
+    /// Panics if `(r, c)` is out of range.
+    #[inline]
+    pub fn set_first(&mut self, r: usize, c: usize, first: NodeId) {
+        let (rows, cols) = (self.dist.rows(), self.dist.cols());
+        assert!(r < rows && c < cols, "cell ({r}, {c}) out of range");
+        if let Some(f) = self.first.as_mut() {
+            f[r * cols + c] = first;
+        }
+    }
 }
 
 /// Statistics from one Step-6 run (experiments T3/F3).
@@ -72,6 +138,9 @@ struct RrMsg<W> {
     qi: u32,
     x: NodeId,
     dist: W,
+    /// First hop from `x` on the path realizing `dist` ([`NO_SUCC`] when
+    /// the run does not track successors); one extra id word on the wire.
+    first: NodeId,
 }
 
 struct RrNode<W> {
@@ -79,17 +148,19 @@ struct RrNode<W> {
     /// Per tree: channel index of the parent toward the blocker root
     /// (pre-resolved so the push uses [`Outbox::send_nbr`]).
     parent_ni: Vec<Option<usize>>,
-    /// Per tree: FIFO of (source, value) messages to forward.
-    queues: Vec<VecDeque<(NodeId, W)>>,
+    /// Per tree: FIFO of (source, value, first hop) messages to forward.
+    queues: Vec<VecDeque<(NodeId, W, NodeId)>>,
     /// Cyclic pointer into the blocker order O (Step 7).
     ptr: usize,
     outstanding: usize,
     /// Trees this node is the root of.
     root_of: Vec<bool>,
-    /// Values received as root: (qi, x, dist).
-    received: Vec<(u32, NodeId, W)>,
+    /// Values received as root: (qi, x, dist, first hop).
+    received: Vec<(u32, NodeId, W, NodeId)>,
     /// (round, nonempty-queue count) at power-of-two rounds.
     checkpoints: Vec<(u64, usize)>,
+    /// Whether the push carries first hops (affects payload accounting).
+    track: bool,
 }
 
 impl<W: Weight> NodeLogic for RrNode<W> {
@@ -102,11 +173,11 @@ impl<W: Weight> NodeLogic for RrNode<W> {
         out: &mut Outbox<'_, RrMsg<W>>,
     ) {
         for e in inbox {
-            let RrMsg { qi, x, dist } = e.msg;
+            let RrMsg { qi, x, dist, first } = e.msg;
             if self.root_of[qi as usize] {
-                self.received.push((qi, x, dist));
+                self.received.push((qi, x, dist, first));
             } else {
-                self.queues[qi as usize].push_back((x, dist));
+                self.queues[qi as usize].push_back((x, dist, first));
                 self.outstanding += 1;
             }
         }
@@ -127,9 +198,9 @@ impl<W: Weight> NodeLogic for RrNode<W> {
                 .max_by_key(|&qi| self.queues[qi].len()),
         };
         if let Some(qi) = next {
-            let (x, dist) = self.queues[qi].pop_front().expect("nonempty");
+            let (x, dist, first) = self.queues[qi].pop_front().expect("nonempty");
             let ni = self.parent_ni[qi].expect("queued message implies a parent");
-            out.send_nbr(ni, RrMsg { qi: qi as u32, x, dist });
+            out.send_nbr(ni, RrMsg { qi: qi as u32, x, dist, first });
             self.ptr = (qi + 1) % k;
             self.outstanding -= 1;
         }
@@ -138,12 +209,23 @@ impl<W: Weight> NodeLogic for RrNode<W> {
     fn active(&self) -> bool {
         self.outstanding > 0
     }
+
+    fn msg_words(&self, _msg: &Self::Msg) -> u32 {
+        // tree index + source id + distance, plus the first-hop id when
+        // successor tracking rides along.
+        if self.track {
+            4
+        } else {
+            3
+        }
+    }
 }
 
-/// The reversed q-sink propagation: delivers the `n × |Q|` matrix
-/// `dvals[x][qi] = δ(x, q[qi])` from every x to blocker `q[qi]`. Returns
-/// the `|Q| × n` matrix `out[qi][x]` as known at the blocker (INF where no
-/// path exists) plus the stats.
+/// The reversed q-sink propagation: delivers the `n × |Q|` table
+/// `dvals.dist[x][qi] = δ(x, q[qi])` (with its first-hop plane, when
+/// tracked) from every x to blocker `q[qi]`. Returns the `|Q| × n` table
+/// `out.dist[qi][x]` as known at the blocker (INF where no path exists) —
+/// tracked iff `dvals` is — plus the stats.
 ///
 /// # Errors
 /// Propagates engine errors.
@@ -154,9 +236,9 @@ pub fn propagate_to_blockers<W: Weight>(
     cfg: &ApspConfig,
     params: BlockerParams,
     q: &[NodeId],
-    dvals: &DistMatrix<W>,
+    dvals: &RoutedTable<W>,
     rec: &mut Recorder,
-) -> Result<(DistMatrix<W>, Step6Stats), SimError> {
+) -> Result<(RoutedTable<W>, Step6Stats), SimError> {
     propagate_to_blockers_with(g, topo, cfg, params, q, dvals, PushDiscipline::RoundRobin, rec)
 }
 
@@ -172,16 +254,22 @@ pub fn propagate_to_blockers_with<W: Weight>(
     cfg: &ApspConfig,
     params: BlockerParams,
     q: &[NodeId],
-    dvals: &DistMatrix<W>,
+    dvals: &RoutedTable<W>,
     discipline: PushDiscipline,
     rec: &mut Recorder,
-) -> Result<(DistMatrix<W>, Step6Stats), SimError> {
+) -> Result<(RoutedTable<W>, Step6Stats), SimError> {
     let n = g.n();
+    let track = dvals.is_tracked();
     let mut stats = Step6Stats::default();
-    let mut out = DistMatrix::filled(q.len(), n, W::INF);
-    // A blocker trivially knows its own row entry.
+    let mut out = if track {
+        RoutedTable::tracked(DistMatrix::filled(q.len(), n, W::INF))
+    } else {
+        RoutedTable::untracked(DistMatrix::filled(q.len(), n, W::INF))
+    };
+    // A blocker trivially knows its own row entry (a zero-length path: no
+    // first hop).
     for (qi, &c) in q.iter().enumerate() {
-        out[qi][c as usize] = W::ZERO;
+        out.dist[qi][c as usize] = W::ZERO;
     }
     if q.is_empty() {
         return Ok((out, stats));
@@ -190,13 +278,15 @@ pub fn propagate_to_blockers_with<W: Weight>(
     let sim = cfg.sim;
 
     // Shared substrate: the n^{2/3}-in-CSSSP for source set Q (Alg 8
-    // Step 1 / Alg 9 input).
+    // Step 1 / Alg 9 input). In-direction trees: no first-hop tracking
+    // needed, the push below forwards the origin's first hop verbatim.
     let cq = build_csssp(
         g,
         topo,
         q,
         h2,
         Direction::In,
+        false,
         sim,
         cfg.charging,
         rec,
@@ -208,7 +298,7 @@ pub fn propagate_to_blockers_with<W: Weight>(
     let (qp_res, _) = alg2_blocker(topo, sim, &cq, params, Selection::Derandomized, &mut qp_rec)?;
     rec.absorb("step6/alg8: Q' ", qp_rec);
     stats.q_prime_size = qp_res.q.len();
-    apply_relay_set(g, topo, cfg, q, dvals, &qp_res.q, &mut out, rec, "alg8")?;
+    apply_relay_set(g, topo, cfg, q, &qp_res.q, &mut out, rec, "alg8")?;
 
     // ---------------- Algorithm 9 (near case) ----------------
     // Step 1: bottleneck nodes with the paper's n√|Q| threshold.
@@ -219,7 +309,7 @@ pub fn propagate_to_blockers_with<W: Weight>(
     stats.congestion_before = congestion_before;
     stats.congestion_after = congestion_after;
     // Steps 2-4: SSSPs + broadcast for each b ∈ B.
-    apply_relay_set(g, topo, cfg, q, dvals, &b, &mut out, rec, "alg9-B")?;
+    apply_relay_set(g, topo, cfg, q, &b, &mut out, rec, "alg9-B")?;
 
     // Steps 6-9: round-robin push along the pruned trees.
     let engine = Engine::new(topo, sim);
@@ -236,12 +326,13 @@ pub fn propagate_to_blockers_with<W: Weight>(
                     }
                 })
                 .collect();
-            let mut queues: Vec<VecDeque<(NodeId, W)>> = vec![VecDeque::new(); q.len()];
+            let mut queues: Vec<VecDeque<(NodeId, W, NodeId)>> = vec![VecDeque::new(); q.len()];
             let mut outstanding = 0;
             for (qi, &c) in q.iter().enumerate() {
                 let vn = v as NodeId;
-                if vn != c && cq.is_member(vn, qi) && !removed[v][qi] && !dvals[v][qi].is_inf() {
-                    queues[qi].push_back((vn, dvals[v][qi]));
+                if vn != c && cq.is_member(vn, qi) && !removed[v][qi] && !dvals.dist[v][qi].is_inf()
+                {
+                    queues[qi].push_back((vn, dvals.dist[v][qi], dvals.first_at(v, qi)));
                     outstanding += 1;
                 }
             }
@@ -254,6 +345,7 @@ pub fn propagate_to_blockers_with<W: Weight>(
                 root_of: (0..q.len()).map(|qi| q[qi] == v as NodeId).collect(),
                 received: Vec::new(),
                 checkpoints: Vec::new(),
+                track,
             }
         })
         .collect();
@@ -267,10 +359,11 @@ pub fn propagate_to_blockers_with<W: Weight>(
     // Collect at the blockers; aggregate the progress measure.
     let mut progress: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
     for (v, nd) in nodes.into_iter().enumerate() {
-        for (qi, x, dist) in nd.received {
+        for (qi, x, dist, first) in nd.received {
             debug_assert_eq!(q[qi as usize] as usize, v);
-            if dist < out[qi as usize][x as usize] {
-                out[qi as usize][x as usize] = dist;
+            if dist < out.dist[qi as usize][x as usize] {
+                out.dist[qi as usize][x as usize] = dist;
+                out.set_first(qi as usize, x as usize, first);
             }
         }
         for (round, active) in nd.checkpoints {
@@ -285,15 +378,20 @@ pub fn propagate_to_blockers_with<W: Weight>(
 /// Shared far-case/bottleneck relay machinery (Alg 8 Steps 3-5, Alg 9
 /// Steps 2-4): for each relay r, run full in- and out-SSSP, broadcast
 /// every (x, r, δ(x,r)) and let each blocker c combine δ(x,r) + δ(r,c).
+///
+/// When `out` is tracked, the broadcast items additionally carry x's next
+/// hop toward the relay (its in-SSSP parent — local knowledge at x), so
+/// each blocker learns the *routed* value. When x is the relay itself the
+/// combined path starts on the relay's out-tree; the relay's out-SSSP runs
+/// with first-hop tracking for exactly that case.
 #[allow(clippy::too_many_arguments)]
 fn apply_relay_set<W: Weight>(
     g: &Graph<W>,
     topo: &Topology,
     cfg: &ApspConfig,
     q: &[NodeId],
-    dvals: &DistMatrix<W>,
     relays: &[NodeId],
-    out: &mut DistMatrix<W>,
+    out: &mut RoutedTable<W>,
     rec: &mut Recorder,
     label: &str,
 ) -> Result<(), SimError> {
@@ -302,48 +400,50 @@ fn apply_relay_set<W: Weight>(
     }
     let n = g.n();
     let sim = cfg.sim;
+    let track = out.is_tracked();
     // δ(x, r) at x (in-SSSP) and δ(r, c) at c (out-SSSP), r in sequence.
+    // The routing side-tables are only materialized when tracking is on.
     let mut to_relay: Vec<Vec<W>> = Vec::with_capacity(relays.len()); // [ri][x]
+    let mut to_relay_next: Vec<Vec<NodeId>> = Vec::new(); // [ri][x], tracked only
     let mut from_relay: Vec<Vec<W>> = Vec::with_capacity(relays.len()); // [ri][v]
+    let mut from_relay_first: Vec<Vec<NodeId>> = Vec::new(); // [ri][v], tracked only
     for &r in relays {
-        let (res_in, rep) = run_full_sssp(g, topo, r, Direction::In, sim, cfg.charging)?;
+        let (res_in, rep) = run_full_sssp(g, topo, r, Direction::In, false, sim, cfg.charging)?;
         rec.record(format!("step6/{label}: in-SSSP({r})"), rep);
         to_relay.push(res_in.entries.iter().map(|e| e.dist).collect());
-        let (res_out, rep) = run_full_sssp(g, topo, r, Direction::Out, sim, cfg.charging)?;
+        let (res_out, rep) = run_full_sssp(g, topo, r, Direction::Out, track, sim, cfg.charging)?;
         rec.record(format!("step6/{label}: out-SSSP({r})"), rep);
         from_relay.push(res_out.entries.iter().map(|e| e.dist).collect());
+        if track {
+            to_relay_next
+                .push(res_in.entries.iter().map(|e| e.parent.unwrap_or(NO_SUCC)).collect());
+            from_relay_first
+                .push(res_out.entries.iter().map(|e| e.first.unwrap_or(NO_SUCC)).collect());
+        }
     }
-    // Broadcast (x, ri, δ(x, r_ri)): n·|relays| values in O(n·|relays|)
-    // rounds (Lemma A.2 / Alg 8 Step 4).
-    let initial: Vec<Vec<(NodeId, u32, W)>> = (0..n)
+    // Broadcast (x, ri, δ(x, r_ri)) plus x's next hop toward the relay:
+    // n·|relays| values in O(n·|relays|) rounds (Lemma A.2 / Alg 8 Step 4).
+    let initial: Vec<Vec<BroadcastItem<W>>> = (0..n)
         .map(|x| {
             (0..relays.len())
                 .filter(|&ri| !to_relay[ri][x].is_inf())
-                .map(|ri| (x as NodeId, ri as u32, to_relay[ri][x]))
+                .map(|ri| BroadcastItem {
+                    x: x as NodeId,
+                    ri: ri as u32,
+                    dist: DistKey(to_relay[ri][x]),
+                    first: if track { to_relay_next[ri][x] } else { NO_SUCC },
+                })
                 .collect()
         })
         .collect();
     // W must be hashable for the flood; distances are compared exactly, so
     // forward them as opaque payloads keyed by (x, ri).
-    let (_, rep) = all_to_all_broadcast(
-        topo,
-        sim,
-        initial
-            .into_iter()
-            .map(|items| {
-                items
-                    .into_iter()
-                    .map(|(x, ri, d)| BroadcastItem { x, ri, dist: DistKey(d) })
-                    .collect::<Vec<_>>()
-            })
-            .collect(),
-    )?;
+    let (_, rep) = all_to_all_broadcast(topo, sim, initial, if track { 4 } else { 3 })?;
     rec.record(format!("step6/{label}: (x, r) table broadcast"), rep);
     // Local combine at each blocker (the orchestrator mirrors what node c
     // now knows: the broadcast delivered the full table everywhere).
-    let _ = dvals;
     for (qi, &c) in q.iter().enumerate() {
-        for (ri, _) in relays.iter().enumerate() {
+        for (ri, &r) in relays.iter().enumerate() {
             let rc = from_relay[ri][c as usize];
             if rc.is_inf() {
                 continue;
@@ -354,8 +454,18 @@ fn apply_relay_set<W: Weight>(
                     continue;
                 }
                 let via = xr.plus(rc);
-                if via < out[qi][x] {
-                    out[qi][x] = via;
+                if via < out.dist[qi][x] {
+                    out.dist[qi][x] = via;
+                    if track {
+                        // Path x →(in-tree) r →(out-tree) c: it starts on
+                        // the in-tree segment unless x is the relay itself.
+                        let f = if x == r as usize {
+                            from_relay_first[ri][c as usize]
+                        } else {
+                            to_relay_next[ri][x]
+                        };
+                        out.set_first(qi, x, f);
+                    }
                 }
             }
         }
@@ -363,12 +473,14 @@ fn apply_relay_set<W: Weight>(
     Ok(())
 }
 
-/// Flood payload: one (source, relay, distance) table entry.
+/// Flood payload: one (source, relay, distance, first hop) table entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct BroadcastItem<W: Weight> {
     x: NodeId,
     ri: u32,
     dist: DistKey<W>,
+    /// First hop from `x` ([`NO_SUCC`] when untracked or zero-length).
+    first: NodeId,
 }
 
 impl<W: Weight> std::hash::Hash for BroadcastItem<W> {
@@ -376,6 +488,7 @@ impl<W: Weight> std::hash::Hash for BroadcastItem<W> {
         self.x.hash(state);
         self.ri.hash(state);
         self.dist.hash(state);
+        self.first.hash(state);
     }
 }
 
@@ -402,30 +515,37 @@ pub fn propagate_trivial_broadcast<W: Weight>(
     topo: &Topology,
     sim: SimConfig,
     q: &[NodeId],
-    dvals: &DistMatrix<W>,
+    dvals: &RoutedTable<W>,
     rec: &mut Recorder,
-) -> Result<DistMatrix<W>, SimError> {
+) -> Result<RoutedTable<W>, SimError> {
     let n = topo.n();
+    let track = dvals.is_tracked();
     let initial: Vec<Vec<BroadcastItem<W>>> = (0..n)
         .map(|x| {
             (0..q.len())
-                .filter(|&qi| !dvals[x][qi].is_inf())
+                .filter(|&qi| !dvals.dist[x][qi].is_inf())
                 .map(|qi| BroadcastItem {
                     x: x as NodeId,
                     ri: qi as u32,
-                    dist: DistKey(dvals[x][qi]),
+                    dist: DistKey(dvals.dist[x][qi]),
+                    first: dvals.first_at(x, qi),
                 })
                 .collect()
         })
         .collect();
-    let (logs, rep) = all_to_all_broadcast(topo, sim, initial)?;
+    let (logs, rep) = all_to_all_broadcast(topo, sim, initial, if track { 4 } else { 3 })?;
     rec.record("step6-trivial: full broadcast", rep);
-    let mut out = DistMatrix::filled(q.len(), n, W::INF);
+    let mut out = if track {
+        RoutedTable::tracked(DistMatrix::filled(q.len(), n, W::INF))
+    } else {
+        RoutedTable::untracked(DistMatrix::filled(q.len(), n, W::INF))
+    };
     for (qi, &c) in q.iter().enumerate() {
-        out[qi][c as usize] = W::ZERO;
+        out.dist[qi][c as usize] = W::ZERO;
         for item in &logs[c as usize] {
-            if item.ri as usize == qi && item.dist.0 < out[qi][item.x as usize] {
-                out[qi][item.x as usize] = item.dist.0;
+            if item.ri as usize == qi && item.dist.0 < out.dist[qi][item.x as usize] {
+                out.dist[qi][item.x as usize] = item.dist.0;
+                out.set_first(qi, item.x as usize, item.first);
             }
         }
     }
@@ -444,9 +564,9 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let cfg = ApspConfig::default();
         let exact = apsp_dijkstra(&g);
-        let dvals = DistMatrix::from_rows(
+        let dvals = RoutedTable::untracked(DistMatrix::from_rows(
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-        );
+        ));
         let mut rec = Recorder::new();
         let (out, stats) =
             propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
@@ -455,7 +575,7 @@ mod tests {
             let oracle = dijkstra(&g, c, Direction::In);
             for x in 0..n {
                 assert_eq!(
-                    out[qi][x], oracle[x],
+                    out.dist[qi][x], oracle[x],
                     "seed {seed}: blocker {c} missing/incorrect δ({x},{c})"
                 );
             }
@@ -480,6 +600,66 @@ mod tests {
         run_case(16, 8, 5, vec![3, 10]);
     }
 
+    /// A tracked dvals table (exact distances + any valid first hop per
+    /// value) must reach the blockers with first hops that telescope in the
+    /// exact metric — whichever of the three delivery mechanisms (alg8
+    /// relays, alg9 bottleneck relays, round-robin push) carried each value.
+    #[test]
+    fn tracked_delivery_first_hops_telescope() {
+        let n = 16;
+        let g = gnm_connected(n, 34, true, WeightDist::Uniform(0, 9), 12);
+        let topo = Topology::from_graph(&g);
+        let cfg = ApspConfig::default();
+        let q: Vec<NodeId> = vec![2, 7, 11];
+        let exact = apsp_dijkstra(&g);
+        let min_edge = |u: usize, f: NodeId| {
+            g.out_edges(u as NodeId).filter(|&(t, _)| t == f).map(|(_, w)| w).min()
+        };
+        let mut dvals = RoutedTable::tracked(DistMatrix::filled(n, q.len(), u64::INF));
+        for x in 0..n {
+            for (qi, &c) in q.iter().enumerate() {
+                let d = exact[x][c as usize];
+                dvals.dist[x][qi] = d;
+                if x != c as usize && d != u64::INF {
+                    // Any out-neighbor on a shortest path is a valid first
+                    // hop; pick the smallest-id one.
+                    let f = g
+                        .out_edges(x as NodeId)
+                        .filter(|&(t, w)| w.plus(exact[t as usize][c as usize]) == d)
+                        .map(|(t, _)| t)
+                        .min()
+                        .expect("finite distance implies a shortest-path edge");
+                    dvals.set_first(x, qi, f);
+                }
+            }
+        }
+        let mut rec = Recorder::new();
+        let (out, _) =
+            propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
+                .unwrap();
+        assert!(out.is_tracked());
+        for (qi, &c) in q.iter().enumerate() {
+            for x in 0..n {
+                let d = out.dist[qi][x];
+                if x == c as usize {
+                    assert_eq!(out.first_at(qi, x), NO_SUCC, "zero-length path has no first hop");
+                    continue;
+                }
+                if d == u64::INF {
+                    continue;
+                }
+                let f = out.first_at(qi, x);
+                assert_ne!(f, NO_SUCC, "delivered δ({x},{c}) lost its first hop");
+                let w = min_edge(x, f).expect("first hop must be an out-neighbor");
+                assert_eq!(
+                    d,
+                    w.plus(exact[f as usize][c as usize]),
+                    "blocker {c}, source {x}: first hop {f} does not telescope"
+                );
+            }
+        }
+    }
+
     #[test]
     fn empty_q_is_noop() {
         let g = gnm_connected(8, 16, true, WeightDist::Unit, 1);
@@ -492,11 +672,11 @@ mod tests {
             &cfg,
             BlockerParams::default(),
             &[],
-            &DistMatrix::filled(8, 0, u64::INF),
+            &RoutedTable::untracked(DistMatrix::filled(8, 0, u64::INF)),
             &mut rec,
         )
         .unwrap();
-        assert_eq!(out.rows(), 0);
+        assert_eq!(out.dist.rows(), 0);
         assert_eq!(stats.round_robin_rounds, 0);
     }
 
@@ -507,15 +687,15 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let q: Vec<NodeId> = vec![2, 7, 11];
         let exact = apsp_dijkstra(&g);
-        let dvals = DistMatrix::from_rows(
+        let dvals = RoutedTable::untracked(DistMatrix::from_rows(
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-        );
+        ));
         let mut rec = Recorder::new();
         let out =
             propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut rec).unwrap();
         for (qi, &c) in q.iter().enumerate() {
             for x in 0..n {
-                assert_eq!(out[qi][x], exact[x][c as usize], "blocker {c} x {x}");
+                assert_eq!(out.dist[qi][x], exact[x][c as usize], "blocker {c} x {x}");
             }
         }
     }
@@ -528,9 +708,9 @@ mod tests {
         let cfg = ApspConfig::default();
         let q: Vec<NodeId> = vec![1, 5, 9, 13];
         let exact = apsp_dijkstra(&g);
-        let dvals = DistMatrix::from_rows(
+        let dvals = RoutedTable::untracked(DistMatrix::from_rows(
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-        );
+        ));
         let mut rec = Recorder::new();
         let (_, stats) =
             propagate_to_blockers(&g, &topo, &cfg, BlockerParams::default(), &q, &dvals, &mut rec)
@@ -560,9 +740,9 @@ mod discipline_tests {
         let cfg = ApspConfig::default();
         let q: Vec<NodeId> = vec![0, 5, 9, 14];
         let exact = apsp_dijkstra(&g);
-        let dvals = DistMatrix::from_rows(
+        let dvals = RoutedTable::untracked(DistMatrix::from_rows(
             (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-        );
+        ));
         let mut reference: Option<DistMatrix<u64>> = None;
         for d in [
             PushDiscipline::RoundRobin,
@@ -582,8 +762,8 @@ mod discipline_tests {
             )
             .unwrap();
             match &reference {
-                None => reference = Some(out),
-                Some(r) => assert_eq!(&out, r, "{d:?} delivered different values"),
+                None => reference = Some(out.dist),
+                Some(r) => assert_eq!(&out.dist, r, "{d:?} delivered different values"),
             }
         }
     }

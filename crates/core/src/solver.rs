@@ -134,6 +134,21 @@ impl<'g, W: Weight> SolverBuilder<'g, W> {
         self
     }
 
+    /// Toggles Step-7 successor tracking (default **on** for every
+    /// algorithm). When on, the distributed phases thread first hops
+    /// through their messages and the outcome's `dist` carries the
+    /// target-major successor plane, making
+    /// `congest_oracle::IntoOracle::into_oracle` a zero-derivation adopt.
+    /// When off, the outcome is distances-only and the oracle falls back
+    /// to its reverse-BFS derivation. Tracking never changes the computed
+    /// distances, round counts, or message counts — only the per-message
+    /// payload width (one extra id word on relax/push messages).
+    #[must_use]
+    pub fn track_successors(mut self, track: bool) -> Self {
+        self.solver.cfg.track_successors = track;
+        self
+    }
+
     /// Sets the recorder verbosity (default [`Verbosity::PerPhase`]).
     #[must_use]
     pub fn verbosity(mut self, verbosity: Verbosity) -> Self {
@@ -228,6 +243,8 @@ fn summarize(rec: &Recorder) -> Recorder {
         rounds: rec.total_rounds(),
         messages: rec.total_messages(),
         node_sent: rec.node_sent_totals(),
+        payload_words: rec.total_payload_words(),
+        max_msg_words: rec.max_msg_words(),
         ..Default::default()
     };
     total.peak_in_flight = rec.phases().iter().map(|p| p.peak_in_flight).max().unwrap_or(0);

@@ -324,6 +324,8 @@ pub fn collect_ancestors<W: Weight>(
         let report = engine.run(&mut nodes, RunUntil::Quiesce { max: budget })?;
         total.rounds += report.rounds;
         total.messages += report.messages;
+        total.payload_words += report.payload_words;
+        total.max_msg_words = total.max_msg_words.max(report.max_msg_words);
         for (t, s2) in total.node_sent.iter_mut().zip(report.node_sent.iter()) {
             *t += s2;
         }
@@ -360,6 +362,7 @@ mod tests {
             &sources,
             h,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
@@ -429,6 +432,7 @@ mod tests {
             &[0],
             3,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
@@ -464,6 +468,7 @@ mod tests {
             &sources,
             4,
             Direction::Out,
+            false,
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,

@@ -109,6 +109,33 @@ impl<W: Weight> DistMatrix<W> {
         self
     }
 
+    /// Attaches an empty (all-[`NO_SUCC`]) successor plane, ready to be
+    /// filled cell by cell via [`set_successor`](Self::set_successor) —
+    /// the constructor compute pipelines use while they aggregate
+    /// per-source next hops into the target-major layout.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn with_empty_successors(self) -> Self {
+        let cells = self.rows * self.cols;
+        self.with_successors(vec![NO_SUCC; cells])
+    }
+
+    /// Records `s` as the next hop from `u` toward target `v` in the
+    /// attached successor plane ([`NO_SUCC`] clears the cell).
+    ///
+    /// # Panics
+    /// Panics if no plane is attached or `u`/`v` is out of range (an
+    /// unchecked flat-index write would silently steer a different pair).
+    #[inline]
+    pub fn set_successor(&mut self, u: NodeId, v: NodeId, s: NodeId) {
+        let n = self.cols;
+        assert!((u as usize) < n && (v as usize) < self.rows, "node ({u}, {v}) out of range");
+        let succ = self.succ.as_deref_mut().expect("no successor plane attached");
+        succ[v as usize * n + u as usize] = s;
+    }
+
     /// Number of rows.
     #[inline]
     #[must_use]
@@ -315,6 +342,31 @@ mod tests {
         let (data, succ) = m.into_parts();
         assert_eq!(&*data, &[0, 1, u64::INF, 0]);
         assert_eq!(&*succ.unwrap(), &[NO_SUCC, NO_SUCC, 1, NO_SUCC]);
+    }
+
+    #[test]
+    fn empty_plane_filled_incrementally() {
+        let mut m =
+            DistMatrix::from_rows(vec![vec![0u64, 1], vec![u64::INF, 0]]).with_empty_successors();
+        assert_eq!(m.successor(0, 1), None, "fresh plane starts empty");
+        m.set_successor(0, 1, 1);
+        assert_eq!(m.successor(0, 1), Some(1));
+        m.set_successor(0, 1, NO_SUCC);
+        assert_eq!(m.successor(0, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_successor_bounds_checked() {
+        let mut m = DistMatrix::square(2, 0u64).with_empty_successors();
+        m.set_successor(2, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no successor plane")]
+    fn set_successor_requires_plane() {
+        let mut m = DistMatrix::square(2, 0u64);
+        m.set_successor(0, 1, 1);
     }
 
     #[test]

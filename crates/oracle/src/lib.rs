@@ -8,9 +8,14 @@
 //! Three pieces, composable but independent:
 //!
 //! * [`Oracle`] — a compact query-ready snapshot: all `n²` distances in one
-//!   flat arena plus a successor matrix derived from the distances and the
-//!   graph's adjacency, giving O(path-length) shortest-path reconstruction
-//!   (cycle-safe even with zero-weight edges; see [`oracle`] module docs).
+//!   flat arena plus a target-major successor matrix, giving O(path-length)
+//!   shortest-path reconstruction (cycle-safe even with zero-weight edges;
+//!   see [`oracle`] module docs). A Step-7-tracking pipeline outcome (the
+//!   `congest_apsp::Solver` default) already carries the successor plane,
+//!   which the oracle validates and adopts **by move** — zero reverse-BFS
+//!   derivation, witnessed by [`successor_derivations`]; the derivation
+//!   survives only as the fallback for plane-less outcomes and old
+//!   snapshots.
 //! * snapshot persistence — a versioned, checksummed binary format
 //!   ([`Oracle::save`] / [`Oracle::load`] / [`Oracle::to_bytes`] /
 //!   [`Oracle::from_bytes`]) with no external dependencies; malformed input
@@ -29,10 +34,14 @@
 //! use std::sync::Arc;
 //!
 //! // 1. Compute: the paper's deterministic APSP pipeline is the Solver
-//! //    default, and `into_oracle` moves its flat distance arena straight
-//! //    into the serving layer — no n² copy at the boundary.
+//! //    default, and `into_oracle` moves its flat distance arena — plus
+//! //    the Step-7 successor plane the pipeline filled during compute —
+//! //    straight into the serving layer: no n² copy and no reverse-BFS
+//! //    derivation at the boundary.
 //! let g = gnm_connected(16, 32, true, WeightDist::Uniform(1, 9), 42);
+//! let before = congest_oracle::successor_derivations();
 //! let oracle = Solver::builder(&g).run().unwrap().into_oracle(&g);
+//! assert_eq!(congest_oracle::successor_derivations(), before, "zero-derivation handoff");
 //!
 //! // 2. Snapshot: round-trip the oracle through bytes.
 //! let bytes = oracle.to_bytes();
@@ -60,5 +69,5 @@ pub mod oracle;
 mod snapshot;
 
 pub use engine::{CacheStats, EngineConfig, QueryEngine, QueryError};
-pub use oracle::{IntoOracle, Oracle, NO_SUCC};
+pub use oracle::{successor_derivations, IntoOracle, Oracle, NO_SUCC};
 pub use snapshot::{PortableWeight, SnapshotError, MAGIC, VERSION};

@@ -10,7 +10,18 @@
 //! per-target derivation write one contiguous row (so targets parallelize
 //! cleanly) and keeps a whole path walk inside one n-sized row.
 //!
-//! ## Why successors are derived by reverse BFS, not greedy matching
+//! ## Where successors come from
+//!
+//! A Step-7-tracking pipeline outcome (the `congest_apsp::Solver` default)
+//! already carries the target-major successor plane, filled while the
+//! distance messages propagated; [`Oracle::from_dist`] validates it
+//! (`check_plane` + a graph-consistency telescoping sweep) and adopts it
+//! by move. The reverse-BFS derivation below runs only for plane-less
+//! matrices — tracking-off runs, hand-built matrices, old snapshots — and
+//! every derivation ticks the process-wide [`successor_derivations`]
+//! counter, so the zero-derivation fast path is observable.
+//!
+//! ## Why the fallback derives by reverse BFS, not greedy matching
 //!
 //! The obvious derivation — for each `(u, v)` pick any neighbor `w` with
 //! `δ(u,v) = wt(u,w) + δ(w,v)` — is wrong in the presence of zero-weight
@@ -25,8 +36,24 @@ use congest_apsp::ApspOutcome;
 use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::parallel::par_indexed_map;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use congest_graph::NO_SUCC;
+
+/// Process-wide count of reverse-BFS successor derivations performed by
+/// [`Oracle::from_dist`]: one increment per oracle built from a matrix
+/// *without* a successor plane. Adopting a producer-supplied plane never
+/// increments it — the observable witness that `into_oracle` on a tracked
+/// pipeline outcome is zero-derivation.
+static DERIVATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide derivation counter (see [`Oracle::from_dist`]).
+/// Tests and benchmarks compare before/after values to prove a build took
+/// the supplied-plane fast path.
+#[must_use]
+pub fn successor_derivations() -> u64 {
+    DERIVATIONS.load(Ordering::Relaxed)
+}
 
 /// A compact distance + successor oracle over a fixed graph snapshot.
 ///
@@ -63,9 +90,11 @@ impl<W: Weight> Oracle<W> {
     /// move.
     ///
     /// If the matrix carries a successor plane it is validated and adopted
-    /// (also by move); otherwise successors are derived from the distances
-    /// plus `g`'s adjacency, parallelized over targets (one reverse BFS per
-    /// target, O(n·m) total work).
+    /// (also by move) — the zero-derivation fast path a Step-7-tracking
+    /// pipeline run takes, observable via [`successor_derivations`];
+    /// otherwise successors are derived from the distances plus `g`'s
+    /// adjacency, parallelized over targets (one reverse BFS per target,
+    /// O(n·m) total work).
     ///
     /// # Panics
     /// Panics if the matrix is not `n×n`, a diagonal entry is not zero, the
@@ -141,6 +170,7 @@ impl<W: Weight> Oracle<W> {
                 succ
             }
             None => {
+                DERIVATIONS.fetch_add(1, Ordering::Relaxed);
                 let mut succ = vec![NO_SUCC; n * n].into_boxed_slice();
                 {
                     let arena = &arena;

@@ -347,6 +347,24 @@ pub trait NodeLogic: Send {
     fn active(&self) -> bool {
         false
     }
+
+    /// On-wire width of one message, in O(log n)-bit machine words: each
+    /// node id, weight, hop count, or counter in the payload counts as one
+    /// word. The engine charges this into [`PhaseReport::payload_words`]
+    /// and tracks the per-phase maximum in
+    /// [`PhaseReport::max_msg_words`], so a protocol that grows its
+    /// payload (e.g. distance messages that also carry a first-hop id for
+    /// successor tracking) is visible in the accounting — and one that
+    /// exceeds the CONGEST O(1)-words-per-message budget can be asserted
+    /// against. The default models the classic one-word message.
+    ///
+    /// **Contract:** the width must be a pure function of the message
+    /// value (and protocol-wide configuration replicated at every node);
+    /// the engine may evaluate it at the receiver.
+    fn msg_words(&self, msg: &Self::Msg) -> u32 {
+        let _ = msg;
+        1
+    }
 }
 
 /// How long to run a phase.
@@ -501,6 +519,8 @@ impl<'t> Engine<'t> {
         let mut messages: u64 = 0;
         let mut rounds: u64 = 0;
         let mut peak_in_flight: u64 = 0;
+        let mut payload_words: u64 = 0;
+        let mut max_msg_words: u32 = 0;
 
         // Persistent worker team for the whole phase; nothing is spawned
         // per round. `workers == 1` keeps everything on this thread.
@@ -631,10 +651,30 @@ impl<'t> Engine<'t> {
             let delivered = plane.deliver(self.topo, bandwidth, &mut node_sent);
             messages += delivered;
             peak_in_flight = peak_in_flight.max(delivered);
+            // Charge payload widths for the just-delivered messages (they
+            // now sit in the current inbox buffer, grouped by receiver).
+            if delivered > 0 {
+                for (v, node) in nodes.iter().enumerate() {
+                    let (lo, hi) = (plane.cur_off[v] as usize, plane.cur_off[v + 1] as usize);
+                    for e in &plane.cur_buf[lo..hi] {
+                        let w = node.msg_words(&e.msg);
+                        payload_words += u64::from(w);
+                        max_msg_words = max_msg_words.max(w);
+                    }
+                }
+            }
             rounds += 1;
         }
 
-        Ok(PhaseReport { name: String::new(), rounds, messages, node_sent, peak_in_flight })
+        Ok(PhaseReport {
+            name: String::new(),
+            rounds,
+            messages,
+            node_sent,
+            peak_in_flight,
+            payload_words,
+            max_msg_words,
+        })
     }
 }
 
@@ -897,6 +937,39 @@ mod tests {
         assert_eq!(report.rounds, 8);
         assert_eq!(report.max_node_congestion(), 4);
         assert_eq!(report.peak_in_flight, 1);
+        // Default width: one word per message.
+        assert_eq!(report.payload_words, 7);
+        assert_eq!(report.max_msg_words, 1);
+    }
+
+    #[test]
+    fn payload_words_charged_per_message() {
+        struct Wide;
+        impl NodeLogic for Wide {
+            type Msg = (u32, u32, u32);
+            fn on_round(
+                &mut self,
+                env: &NodeEnv<'_>,
+                _ib: &[Envelope<Self::Msg>],
+                out: &mut Outbox<'_, Self::Msg>,
+            ) {
+                if env.round == 0 {
+                    out.broadcast((1, 2, 3));
+                }
+            }
+            fn msg_words(&self, _msg: &Self::Msg) -> u32 {
+                3
+            }
+        }
+        let g = path(3, false, WeightDist::Unit, 0);
+        let topo = Topology::from_graph(&g);
+        let engine = Engine::new(&topo, SimConfig::default());
+        let mut nodes = vec![Wide, Wide, Wide];
+        let report = engine.run(&mut nodes, RunUntil::Quiesce { max: 10 }).unwrap();
+        // 4 directed channels, each crossed once, 3 words each.
+        assert_eq!(report.messages, 4);
+        assert_eq!(report.payload_words, 12);
+        assert_eq!(report.max_msg_words, 3);
     }
 
     #[test]

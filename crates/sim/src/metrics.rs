@@ -21,6 +21,14 @@ pub struct PhaseReport {
     /// high-water mark of the engine's message plane, tracked incrementally
     /// by the delivery pass.
     pub peak_in_flight: u64,
+    /// Total payload delivered, in O(log n)-bit machine words (each id,
+    /// weight, or counter in a message counts as one word; see
+    /// [`crate::NodeLogic::msg_words`]).
+    pub payload_words: u64,
+    /// Widest single message delivered during the phase, in words. The
+    /// CONGEST model caps this at O(1) words of O(log n) bits each, so a
+    /// protocol that silently grows its payload shows up here.
+    pub max_msg_words: u32,
 }
 
 impl PhaseReport {
@@ -78,6 +86,19 @@ impl Recorder {
     #[must_use]
     pub fn max_node_congestion(&self) -> u64 {
         self.phases.iter().map(PhaseReport::max_node_congestion).max().unwrap_or(0)
+    }
+
+    /// Total payload across phases, in machine words.
+    #[must_use]
+    pub fn total_payload_words(&self) -> u64 {
+        self.phases.iter().map(|p| p.payload_words).sum()
+    }
+
+    /// Widest single message delivered in any phase, in machine words —
+    /// the number the CONGEST O(log n)-bits-per-message budget bounds.
+    #[must_use]
+    pub fn max_msg_words(&self) -> u32 {
+        self.phases.iter().map(|p| p.max_msg_words).max().unwrap_or(0)
     }
 
     /// Per-node total messages sent across all phases.
@@ -150,6 +171,15 @@ mod tests {
         assert_eq!(r.max_node_congestion(), 95);
         assert_eq!(r.node_sent_totals(), vec![8, 95]);
         assert_eq!(r.phases().len(), 3);
+    }
+
+    #[test]
+    fn payload_words_accumulate() {
+        let mut r = Recorder::new();
+        r.record("a", PhaseReport { payload_words: 30, max_msg_words: 3, ..phase(1, 10, vec![]) });
+        r.record("b", PhaseReport { payload_words: 8, max_msg_words: 4, ..phase(1, 2, vec![]) });
+        assert_eq!(r.total_payload_words(), 38);
+        assert_eq!(r.max_msg_words(), 4);
     }
 
     #[test]

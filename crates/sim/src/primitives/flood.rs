@@ -33,15 +33,18 @@ struct FloodNode<T> {
     peer_knows: Vec<BitSet>,
     /// Per neighbor: scan cursor into `log`.
     cursor: Vec<usize>,
+    /// On-wire width of one item, in machine words (protocol-wide).
+    item_words: u32,
 }
 
 impl<T: FloodItem> FloodNode<T> {
-    fn new(initial: Vec<T>, degree: usize) -> Self {
+    fn new(initial: Vec<T>, degree: usize, item_words: u32) -> Self {
         let mut node = FloodNode {
             log: Vec::new(),
             index: HashMap::new(),
             peer_knows: (0..degree).map(|_| BitSet::new()).collect(),
             cursor: vec![0; degree],
+            item_words,
         };
         for item in initial {
             node.learn(item);
@@ -92,10 +95,18 @@ impl<T: FloodItem> NodeLogic for FloodNode<T> {
             .enumerate()
             .any(|(ni, &c)| (c..self.log.len()).any(|i| !self.peer_knows[ni].get(i)))
     }
+
+    fn msg_words(&self, _msg: &T) -> u32 {
+        self.item_words
+    }
 }
 
 /// Floods every node's initial items to all nodes. Returns each node's full
 /// item log (discovery order, own items first) and the phase report.
+///
+/// `item_words` is the on-wire width of one item in O(log n)-bit machine
+/// words (each id/weight field counts as one word); it only affects the
+/// payload accounting, never the protocol.
 ///
 /// # Errors
 /// Propagates engine errors; `budget` bounds the rounds (callers typically
@@ -104,6 +115,7 @@ pub fn flood_broadcast<T: FloodItem>(
     topo: &Topology,
     cfg: SimConfig,
     initial: Vec<Vec<T>>,
+    item_words: u32,
     until: RunUntil,
 ) -> Result<(Vec<Vec<T>>, PhaseReport), SimError> {
     let n = topo.n();
@@ -112,14 +124,17 @@ pub fn flood_broadcast<T: FloodItem>(
     let mut nodes: Vec<FloodNode<T>> = initial
         .into_iter()
         .enumerate()
-        .map(|(i, items)| FloodNode::new(items, topo.neighbors(i as congest_graph::NodeId).len()))
+        .map(|(i, items)| {
+            FloodNode::new(items, topo.neighbors(i as congest_graph::NodeId).len(), item_words)
+        })
         .collect();
     let report = engine.run(&mut nodes, until)?;
     Ok((nodes.into_iter().map(|nd| nd.log).collect(), report))
 }
 
 /// Convenience wrapper for the Lemma A.2 pattern (all-to-all broadcast with
-/// a quiescence budget of `O(total items + n)`).
+/// a quiescence budget of `O(total items + n)`); `item_words` as in
+/// [`flood_broadcast`].
 ///
 /// # Errors
 /// Propagates engine errors.
@@ -127,10 +142,11 @@ pub fn all_to_all_broadcast<T: FloodItem>(
     topo: &Topology,
     cfg: SimConfig,
     initial: Vec<Vec<T>>,
+    item_words: u32,
 ) -> Result<(Vec<Vec<T>>, PhaseReport), SimError> {
     let total: usize = initial.iter().map(Vec::len).sum();
     let budget = 4 * (total as u64 + topo.n() as u64) + 16;
-    flood_broadcast(topo, cfg, initial, RunUntil::Quiesce { max: budget })
+    flood_broadcast(topo, cfg, initial, item_words, RunUntil::Quiesce { max: budget })
 }
 
 #[cfg(test)]
@@ -155,7 +171,7 @@ mod tests {
         let k = 20u32;
         let mut initial: Vec<Vec<u32>> = vec![Vec::new(); 8];
         initial[0] = (0..k).collect();
-        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
         check_all_know_all(&logs, &mut (0..k).collect());
         // Lemma A.1 shape: O(k + D) rounds.
         assert!(report.rounds <= (k as u64 + 8) + 8, "rounds = {}", report.rounds);
@@ -166,7 +182,7 @@ mod tests {
         let g = gnm_connected(24, 48, false, WeightDist::Unit, 5);
         let topo = Topology::from_graph(&g);
         let initial: Vec<Vec<u32>> = (0..24).map(|i| vec![i as u32]).collect();
-        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
         check_all_know_all(&logs, &mut (0..24).collect());
         // Lemma A.2 shape: O(n) rounds.
         assert!(report.rounds <= 4 * 24, "rounds = {}", report.rounds);
@@ -178,7 +194,7 @@ mod tests {
         let topo = Topology::from_graph(&g);
         // every node starts with the same item plus one unique item
         let initial: Vec<Vec<u32>> = (0..6).map(|i| vec![999, i as u32]).collect();
-        let (logs, _) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (logs, _) = all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
         check_all_know_all(&logs, &mut vec![999, 0, 1, 2, 3, 4, 5]);
     }
 
@@ -187,7 +203,7 @@ mod tests {
         let g = path(3, false, WeightDist::Unit, 0);
         let topo = Topology::from_graph(&g);
         let initial = vec![vec![10u32, 11], vec![20], vec![30]];
-        let (logs, _) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (logs, _) = all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
         assert_eq!(&logs[0][..2], &[10, 11]);
         assert_eq!(logs[1][0], 20);
     }
@@ -197,7 +213,7 @@ mod tests {
         let g = path(4, false, WeightDist::Unit, 0);
         let topo = Topology::from_graph(&g);
         let initial: Vec<Vec<u32>> = vec![Vec::new(); 4];
-        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
         assert!(logs.iter().all(Vec::is_empty));
         assert!(report.rounds <= 1);
         assert_eq!(report.messages, 0);
@@ -208,8 +224,9 @@ mod tests {
         let g = gnm_connected(16, 30, false, WeightDist::Unit, 9);
         let topo = Topology::from_graph(&g);
         let initial: Vec<Vec<u32>> = (0..16).map(|i| vec![i as u32 * 7]).collect();
-        let (a, ra) = all_to_all_broadcast(&topo, SimConfig::default(), initial.clone()).unwrap();
-        let (b, rb) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (a, ra) =
+            all_to_all_broadcast(&topo, SimConfig::default(), initial.clone(), 1).unwrap();
+        let (b, rb) = all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
         assert_eq!(a, b);
         assert_eq!(ra.rounds, rb.rounds);
         assert_eq!(ra.messages, rb.messages);
@@ -223,7 +240,8 @@ mod tests {
         let initial: Vec<Vec<u32>> = (0..6).map(|i| vec![i as u32]).collect();
         let budget = 4 * (6 + 6) + 16;
         let (_, report) =
-            flood_broadcast(&topo, SimConfig::default(), initial, RunUntil::Exact(budget)).unwrap();
+            flood_broadcast(&topo, SimConfig::default(), initial, 1, RunUntil::Exact(budget))
+                .unwrap();
         assert_eq!(report.rounds, budget);
     }
 
@@ -236,7 +254,7 @@ mod tests {
         let mut initial: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); 10];
         initial[0] = (0..50).map(|k| (0, k)).collect();
         initial[9] = (0..50).map(|k| (9, k)).collect();
-        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+        let (logs, report) = all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
         assert!(logs.iter().all(|l| l.len() == 100));
         assert!(report.rounds <= 2 * 50 + 3 * 10, "rounds = {}", report.rounds);
     }
@@ -271,7 +289,7 @@ mod proptests {
             expected.sort_unstable();
             expected.dedup();
             let (logs, report) =
-                all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+                all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
             for log in &logs {
                 let mut got = log.clone();
                 got.sort_unstable();
@@ -298,7 +316,7 @@ mod proptests {
                 .map(|v| topo.neighbors(v).len())
                 .sum();
             let (_, report) =
-                all_to_all_broadcast(&topo, SimConfig::default(), initial).unwrap();
+                all_to_all_broadcast(&topo, SimConfig::default(), initial, 1).unwrap();
             prop_assert!(report.messages <= (k * channels) as u64);
         }
     }

@@ -50,6 +50,10 @@ impl NodeLogic for ConvNode {
     fn active(&self) -> bool {
         self.parent_ni.is_some() && self.next_send < self.acc.len()
     }
+
+    fn msg_words(&self, _msg: &Self::Msg) -> u32 {
+        2 // component index + partial sum
+    }
 }
 
 /// Convergecast: component-wise sum of each node's `vals` vector, delivered
@@ -128,6 +132,10 @@ impl<T: Clone + Send + Sync + 'static> NodeLogic for StreamNode<T> {
 
     fn active(&self) -> bool {
         !self.children_ni.is_empty() && self.next_fwd < self.received.len()
+    }
+
+    fn msg_words(&self, _msg: &Self::Msg) -> u32 {
+        2 // stream index + item
     }
 }
 

@@ -33,6 +33,7 @@ fn main() {
         &sources,
         h,
         Direction::Out,
+        false,
         SimConfig::default(),
         Charging::Quiesce,
         &mut rec,

@@ -9,7 +9,7 @@
 //! ```
 
 use congest_apsp::config::BlockerParams;
-use congest_apsp::pipeline::{propagate_to_blockers, propagate_trivial_broadcast};
+use congest_apsp::pipeline::{propagate_to_blockers, propagate_trivial_broadcast, RoutedTable};
 use congest_apsp::ApspConfig;
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::{apsp_dijkstra, dijkstra, Direction};
@@ -26,9 +26,9 @@ fn main() {
     // (in the full algorithm these come from Step 5).
     let q: Vec<NodeId> = (0..n as NodeId).step_by(5).collect();
     let exact = apsp_dijkstra(&g);
-    let dvals = DistMatrix::from_rows(
+    let dvals = RoutedTable::untracked(DistMatrix::from_rows(
         (0..n).map(|x| q.iter().map(|&c| exact[x][c as usize]).collect()).collect(),
-    );
+    ));
     println!("n = {n}, |Q| = {} blockers, {} (x, c) values to deliver\n", q.len(), n * q.len());
 
     // Paper pipeline (Algorithms 8 + 9).
@@ -38,7 +38,7 @@ fn main() {
             .unwrap();
     for (qi, &c) in q.iter().enumerate() {
         let oracle = dijkstra(&g, c, Direction::In);
-        assert_eq!(&out[qi], &oracle[..], "delivery to blocker {c} incomplete");
+        assert_eq!(&out.dist[qi], &oracle[..], "delivery to blocker {c} incomplete");
     }
     println!("pipelined (Alg 8+9) : rounds = {:6}  ✓ all values delivered", rec.total_rounds());
     println!(
@@ -62,7 +62,7 @@ fn main() {
     let mut trec = Recorder::new();
     let tout =
         propagate_trivial_broadcast(&topo, SimConfig::default(), &q, &dvals, &mut trec).unwrap();
-    assert_eq!(tout, out);
+    assert_eq!(tout.dist, out.dist);
     println!("\ntrivial broadcast   : rounds = {:6}", trec.total_rounds());
     let ratio = trec.total_rounds() as f64 / rec.total_rounds() as f64;
     if ratio >= 1.0 {

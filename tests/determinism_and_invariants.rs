@@ -23,6 +23,21 @@ fn deterministic_runs_are_bit_identical() {
 }
 
 #[test]
+fn tracked_successor_planes_are_byte_identical_across_runs() {
+    let g = Family::SparseRandom.build(16, true, WeightDist::Uniform(0, 9), 42);
+    let solver = Solver::builder(&g).build();
+    let a = solver.run().unwrap();
+    let b = solver.run().unwrap();
+    let pa = a.dist.successors().expect("tracking is on by default");
+    let pb = b.dist.successors().expect("tracking is on by default");
+    assert_eq!(pa, pb, "two runs must produce byte-identical successor planes");
+    assert_eq!(a.dist.as_slice(), b.dist.as_slice());
+    // Payload accounting is deterministic too.
+    assert_eq!(a.recorder.total_payload_words(), b.recorder.total_payload_words());
+    assert_eq!(a.recorder.max_msg_words(), b.recorder.max_msg_words());
+}
+
+#[test]
 fn randomized_variant_same_answer_any_seed() {
     let g = Family::Broom.build(14, true, WeightDist::Uniform(1, 9), 5);
     let oracle = apsp_dijkstra(&g);
@@ -58,6 +73,7 @@ fn blocker_set_reported_in_meta_is_valid() {
         &sources,
         out.meta.h,
         Direction::Out,
+        false,
         SimConfig::default(),
         Charging::Quiesce,
         &mut rec,

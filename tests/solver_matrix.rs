@@ -61,7 +61,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Every algorithm/knob combination reachable through the builder is
-    /// exact on small random graphs.
+    /// exact on small random graphs, and toggling `track_successors` never
+    /// perturbs a single distance bit — only the presence of the plane.
     #[test]
     fn solver_knob_matrix_is_exact(
         n in 8usize..14,
@@ -77,18 +78,44 @@ proptest! {
             BlockerMethod::Derandomized,
         ] {
             for step6 in [Step6Method::Pipelined, Step6Method::TrivialBroadcast] {
-                let out = Solver::builder(&g)
-                    .blocker_method(blocker)
-                    .step6_method(step6)
-                    .verbosity(Verbosity::Summary)
-                    .run()
-                    .unwrap();
-                prop_assert!(out.dist == oracle, "Ar20/{blocker:?}/{step6:?} diverged");
+                let build = |track: bool| {
+                    Solver::builder(&g)
+                        .blocker_method(blocker)
+                        .step6_method(step6)
+                        .track_successors(track)
+                        .verbosity(Verbosity::Summary)
+                        .run()
+                        .unwrap()
+                };
+                let on = build(true);
+                let off = build(false);
+                prop_assert!(on.dist == oracle, "Ar20/{blocker:?}/{step6:?} diverged");
+                prop_assert!(on.dist.successors().is_some(), "tracking on must attach a plane");
+                prop_assert!(off.dist.successors().is_none(), "tracking off must not");
+                prop_assert!(
+                    on.dist.as_slice() == off.dist.as_slice(),
+                    "Ar20/{blocker:?}/{step6:?}: tracking perturbed the distance arena"
+                );
+                prop_assert!(
+                    on.recorder.total_rounds() == off.recorder.total_rounds()
+                        && on.recorder.total_messages() == off.recorder.total_messages(),
+                    "Ar20/{blocker:?}/{step6:?}: tracking changed rounds or message counts"
+                );
             }
         }
         for algorithm in [Algorithm::Ar18, Algorithm::Naive] {
-            let out = Solver::builder(&g).algorithm(algorithm).run().unwrap();
-            prop_assert!(out.dist == oracle, "{algorithm:?} diverged");
+            let on = Solver::builder(&g).algorithm(algorithm).run().unwrap();
+            let off = Solver::builder(&g)
+                .algorithm(algorithm)
+                .track_successors(false)
+                .run()
+                .unwrap();
+            prop_assert!(on.dist == oracle, "{algorithm:?} diverged");
+            prop_assert!(on.dist.successors().is_some() && off.dist.successors().is_none());
+            prop_assert!(
+                on.dist.as_slice() == off.dist.as_slice(),
+                "{algorithm:?}: tracking perturbed the distance arena"
+            );
         }
     }
 }
