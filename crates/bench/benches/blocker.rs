@@ -25,6 +25,7 @@ fn bench_blocker(c: &mut Criterion) {
         SimConfig::default(),
         Charging::Quiesce,
         &mut rec,
+        &mut congest_apsp::Recovery::disabled(),
         "csssp",
     )
     .unwrap();

@@ -277,7 +277,12 @@ fn bench_oracle(c: &mut Criterion) {
     // only pays the plane-validation sweep — the derivation counter proves
     // the reverse BFS never runs on that path.
     let dist_for_supplied = dist.clone();
-    let outcome = ApspOutcome { dist, recorder: Recorder::new(), meta: ApspMeta::default() };
+    let outcome = ApspOutcome {
+        dist,
+        recorder: Recorder::new(),
+        meta: ApspMeta::default(),
+        fault_report: congest_apsp::FaultReport::default(),
+    };
     let arena_bytes = std::mem::size_of_val(outcome.dist.as_slice());
     // For contrast: what the pre-DistMatrix boundary paid on top — a full
     // n² arena copy (plus, historically, n per-row allocations). Measured

@@ -262,6 +262,7 @@ pub fn t2(n: usize) -> ExperimentOutput {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut congest_apsp::Recovery::disabled(),
             "csssp",
         )
         .unwrap();
@@ -353,6 +354,7 @@ pub fn f2() -> ExperimentOutput {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut congest_apsp::Recovery::disabled(),
             "csssp",
         )
         .unwrap();
@@ -697,6 +699,7 @@ pub fn f4() -> ExperimentOutput {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut congest_apsp::Recovery::disabled(),
             "c",
         )
         .unwrap();
@@ -714,6 +717,7 @@ pub fn f4() -> ExperimentOutput {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut congest_apsp::Recovery::disabled(),
             "p",
         );
         // build_csssp always runs 2h; emulate the plain variant by

@@ -17,10 +17,11 @@ use crate::extension::extend_all_sources;
 use crate::pipeline::{
     propagate_to_blockers, propagate_trivial_broadcast, RoutedTable, Step6Stats,
 };
+use crate::recovery::{sentinels, FaultReport, Recovery, SolverError};
 use congest_graph::seq::Direction;
 use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
 use congest_sim::primitives::all_to_all_broadcast;
-use congest_sim::{Recorder, SimError, Topology};
+use congest_sim::{Recorder, Topology};
 
 /// Which blocker-set construction Step 2 uses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -72,6 +73,11 @@ pub struct ApspOutcome<W> {
     pub recorder: Recorder,
     /// Sizes and counters.
     pub meta: ApspMeta,
+    /// What the fault plane did to this run (all-zero without a plan; see
+    /// [`crate::recovery`]). A successful outcome's `dist` is
+    /// bit-identical to the fault-free run regardless of these counters —
+    /// they measure what recovery *absorbed*, not residual damage.
+    pub fault_report: FaultReport,
 }
 
 impl<W: Weight> ApspOutcome<W> {
@@ -118,11 +124,12 @@ pub(crate) fn run_ar20<W: Weight>(
     cfg: &ApspConfig,
     method: BlockerMethod,
     step6: Step6Method,
-) -> Result<ApspOutcome<W>, SimError> {
+) -> Result<ApspOutcome<W>, SolverError> {
     assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
     let n = g.n();
     let topo = Topology::from_graph(g);
     let mut rec = Recorder::new();
+    let mut rc = Recovery::from_config(cfg);
     let mut meta = ApspMeta { h: cfg.hop_param(n), ..Default::default() };
     let h = meta.h;
     let sim = cfg.sim;
@@ -141,27 +148,40 @@ pub(crate) fn run_ar20<W: Weight>(
         sim,
         cfg.charging,
         &mut rec,
+        &mut rc,
         "step1: h-CSSSP for V",
     )?;
 
-    // Step 2: blocker set.
+    // Step 2: blocker set (a multi-engine phase: recoverable as one unit,
+    // with the covering property — every full root-to-leaf path hits Q —
+    // as the sentinel).
     let q = match method {
-        BlockerMethod::Greedy => {
-            let mut brec = Recorder::new();
-            let res = greedy_blocker(&topo, sim, &coll, &mut brec)?;
-            rec.absorb("step2/", brec);
-            res.q
-        }
+        BlockerMethod::Greedy => rc.compound(
+            "step2: greedy blocker set",
+            "step2/",
+            sim,
+            &mut rec,
+            |sim, brec| Ok(greedy_blocker(&topo, sim, &coll, brec)?.q),
+            |q| sentinels::blocker_covers(&coll, q),
+        )?,
         BlockerMethod::Randomized | BlockerMethod::Derandomized => {
             let sel = match method {
                 BlockerMethod::Randomized => Selection::Randomized { seed: cfg.seed },
                 _ => Selection::Derandomized,
             };
-            let mut brec = Recorder::new();
-            let (res, stats) = alg2_blocker(&topo, sim, &coll, cfg.blocker, sel, &mut brec)?;
-            rec.absorb("step2/", brec);
+            let (q, stats) = rc.compound(
+                "step2: blocker set (Algorithm 2)",
+                "step2/",
+                sim,
+                &mut rec,
+                |sim, brec| {
+                    let (res, stats) = alg2_blocker(&topo, sim, &coll, cfg.blocker, sel, brec)?;
+                    Ok((res.q, stats))
+                },
+                |(q, _)| sentinels::blocker_covers(&coll, q),
+            )?;
             meta.blocker_stats = Some(stats);
-            res.q
+            q
         }
     };
     meta.q = q.clone();
@@ -174,8 +194,17 @@ pub(crate) fn run_ar20<W: Weight>(
     let mut to_q: Vec<Vec<W>> = Vec::with_capacity(q.len());
     let mut to_q_next: Vec<Vec<NodeId>> = Vec::with_capacity(if track { q.len() } else { 0 });
     for &c in &q {
-        let (res, rep) =
-            run_bf(g, &topo, c, Direction::In, h as u64, None, false, false, sim, cfg.charging)?;
+        // Sentinel note: these trees run without the repair sub-phase, so
+        // only the hop budget and the root entry are checkable — stale
+        // parents are legitimate at a truncated horizon (see crate::bf).
+        let (res, rep) = rc.phase(
+            &format!("step3: h-in-SSSP({c})"),
+            sim,
+            |sim| {
+                run_bf(g, &topo, c, Direction::In, h as u64, None, false, false, sim, cfg.charging)
+            },
+            |res| sentinels::bounded_tree(c, h as u64, res),
+        )?;
         rec.record(format!("step3: h-in-SSSP({c})"), rep);
         to_q.push(res.entries.iter().map(|e| e.dist).collect());
         if track {
@@ -201,7 +230,15 @@ pub(crate) fn run_ar20<W: Weight>(
                 }
             })
             .collect();
-        let (_, rep) = all_to_all_broadcast(&topo, sim, initial, 3)?;
+        // A dropped frame starves every log behind it without any local
+        // symptom, so the sentinel demands complete logs everywhere.
+        let expected: usize = initial.iter().map(Vec::len).sum();
+        let (_, rep) = rc.phase(
+            "step4: QxQ matrix broadcast",
+            sim,
+            |sim| all_to_all_broadcast(&topo, sim, initial.clone(), 3),
+            |logs| sentinels::flood_complete(logs, expected),
+        )?;
         rec.record("step4: QxQ matrix broadcast", rep);
     }
 
@@ -276,23 +313,50 @@ pub(crate) fn run_ar20<W: Weight>(
     }
     rec.record_local("step5: local closure over Q");
 
-    // Step 6: reversed q-sink propagation.
+    // Step 6: reversed q-sink propagation. Step 6 only *routes* the
+    // locally known-exact dvals table, so the sentinel can demand the
+    // delivered table equal its transpose cell-for-cell.
     let at_blocker = match step6 {
         Step6Method::Pipelined => {
-            let (out, stats) =
-                propagate_to_blockers(g, &topo, cfg, cfg.blocker, &q, &dvals, &mut rec)?;
+            let (out, stats) = rc.compound(
+                "step6: pipelined propagation",
+                "",
+                sim,
+                &mut rec,
+                |sim, srec| {
+                    propagate_to_blockers(
+                        g,
+                        &topo,
+                        &ApspConfig { sim, ..*cfg },
+                        cfg.blocker,
+                        &q,
+                        &dvals,
+                        srec,
+                    )
+                },
+                |(out, _)| sentinels::transposed_delivery(&out.dist, &dvals.dist),
+            )?;
             meta.step6 = Some(stats);
             out
         }
-        Step6Method::TrivialBroadcast => {
-            propagate_trivial_broadcast(&topo, sim, &q, &dvals, &mut rec)?
-        }
+        Step6Method::TrivialBroadcast => rc.compound(
+            "step6: trivial broadcast",
+            "",
+            sim,
+            &mut rec,
+            |sim, srec| propagate_trivial_broadcast(&topo, sim, &q, &dvals, srec),
+            |out| sentinels::transposed_delivery(&out.dist, &dvals.dist),
+        )?,
     };
 
     // Step 7: h-hop extension per source (assembles the successor plane
     // when tracking is on).
-    let dist = extend_all_sources(g, &topo, cfg, &coll, &q, &at_blocker, &mut rec)?;
-    Ok(ApspOutcome { dist, recorder: rec, meta })
+    let dist = extend_all_sources(g, &topo, cfg, &coll, &q, &at_blocker, &mut rec, &mut rc)?;
+
+    // Final whole-matrix certificate (fault-active runs only): zero
+    // diagonal, relaxation fixed point, successor telescoping.
+    crate::recovery::final_certificate(g, &dist, &rc)?;
+    Ok(ApspOutcome { dist, recorder: rec, meta, fault_report: rc.report() })
 }
 
 #[cfg(test)]

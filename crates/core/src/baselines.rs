@@ -16,10 +16,11 @@ use crate::bf::run_full_sssp;
 use crate::blocker::greedy_blocker;
 use crate::config::ApspConfig;
 use crate::csssp::build_csssp;
+use crate::recovery::{sentinels, Recovery, SolverError};
 use congest_graph::seq::Direction;
 use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
 use congest_sim::primitives::all_to_all_broadcast;
-use congest_sim::{Recorder, SimError, Topology};
+use congest_sim::{Recorder, Topology};
 
 /// One full Bellman–Ford per source (n sequential SSSPs). The engine
 /// behind [`crate::Solver`] with [`crate::Algorithm::Naive`].
@@ -31,18 +32,29 @@ use congest_sim::{Recorder, SimError, Topology};
 pub(crate) fn run_naive<W: Weight>(
     g: &Graph<W>,
     cfg: &ApspConfig,
-) -> Result<ApspOutcome<W>, SimError> {
+) -> Result<ApspOutcome<W>, SolverError> {
     assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
     let n = g.n();
     let topo = Topology::from_graph(g);
     let mut rec = Recorder::new();
+    let mut rc = Recovery::from_config(cfg);
     let track = cfg.track_successors;
     let mut dist = DistMatrix::square(n, W::INF);
     if track {
         dist = dist.with_empty_successors();
     }
     for x in 0..n as NodeId {
-        let (res, rep) = run_full_sssp(g, &topo, x, Direction::Out, track, cfg.sim, cfg.charging)?;
+        // A full-horizon SSSP admits a complete certificate: realizable
+        // parents (telescoping) plus the relaxation fixed point.
+        let (res, rep) = rc.phase(
+            &format!("naive: SSSP({x})"),
+            cfg.sim,
+            |sim| run_full_sssp(g, &topo, x, Direction::Out, track, sim, cfg.charging),
+            |res| {
+                sentinels::repaired_tree(g, Direction::Out, x, res)?;
+                sentinels::exact_row(g, Direction::Out, x, |t| res.entries[t].dist)
+            },
+        )?;
         rec.record(format!("naive: SSSP({x})"), rep);
         for t in 0..n {
             dist[x as usize][t] = res.entries[t].dist;
@@ -51,7 +63,8 @@ pub(crate) fn run_naive<W: Weight>(
             }
         }
     }
-    Ok(ApspOutcome { dist, recorder: rec, meta: ApspMeta::default() })
+    crate::recovery::final_certificate(g, &dist, &rc)?;
+    Ok(ApspOutcome { dist, recorder: rec, meta: ApspMeta::default(), fault_report: rc.report() })
 }
 
 /// Flood payload for the (x, c, δ(x,c)) table.
@@ -75,11 +88,12 @@ impl<W: Weight> std::hash::Hash for TableItem<W> {
 pub(crate) fn run_ar18<W: Weight>(
     g: &Graph<W>,
     cfg: &ApspConfig,
-) -> Result<ApspOutcome<W>, SimError> {
+) -> Result<ApspOutcome<W>, SolverError> {
     assert!(g.is_comm_connected(), "CONGEST algorithms need a connected network");
     let n = g.n();
     let topo = Topology::from_graph(g);
     let mut rec = Recorder::new();
+    let mut rc = Recovery::from_config(cfg);
     // h = ⌈√n⌉ balances O(nh) against O(n|Q|) with |Q| = Õ(n/h).
     let h = (n as f64).sqrt().ceil() as usize;
     let mut meta = ApspMeta { h, ..Default::default() };
@@ -98,13 +112,19 @@ pub(crate) fn run_ar18<W: Weight>(
         sim,
         cfg.charging,
         &mut rec,
+        &mut rc,
         "ar18/step1: sqrt(n)-CSSSP",
     )?;
 
     // Step 2: greedy blocker set (the O(n·|Q|) construction of [2]).
-    let mut brec = Recorder::new();
-    let q = greedy_blocker(&topo, sim, &coll, &mut brec)?.q;
-    rec.absorb("ar18/step2/", brec);
+    let q = rc.compound(
+        "ar18/step2: greedy blocker set",
+        "ar18/step2/",
+        sim,
+        &mut rec,
+        |sim, brec| Ok(greedy_blocker(&topo, sim, &coll, brec)?.q),
+        |q| sentinels::blocker_covers(&coll, q),
+    )?;
     meta.q = q.clone();
 
     // Step 3: full in-SSSP and out-SSSP per blocker (O(n) rounds each).
@@ -116,13 +136,29 @@ pub(crate) fn run_ar18<W: Weight>(
     let mut from_q: Vec<Vec<W>> = Vec::with_capacity(q.len()); // δ(c, t) at t
     let mut from_q_first: Vec<Vec<NodeId>> = Vec::new(); // tracked only
     for &c in &q {
-        let (res, rep) = run_full_sssp(g, &topo, c, Direction::In, false, sim, cfg.charging)?;
+        let full_cert = |dir: Direction| {
+            move |res: &crate::bf::BfTreeResult<W>| {
+                sentinels::repaired_tree(g, dir, c, res)?;
+                sentinels::exact_row(g, dir, c, |t| res.entries[t].dist)
+            }
+        };
+        let (res, rep) = rc.phase(
+            &format!("ar18/step3: in-SSSP({c})"),
+            sim,
+            |sim| run_full_sssp(g, &topo, c, Direction::In, false, sim, cfg.charging),
+            full_cert(Direction::In),
+        )?;
         rec.record(format!("ar18/step3: in-SSSP({c})"), rep);
         to_q.push(res.entries.iter().map(|e| e.dist).collect());
         if track {
             to_q_next.push(res.entries.iter().map(|e| e.parent.unwrap_or(NO_SUCC)).collect());
         }
-        let (res, rep) = run_full_sssp(g, &topo, c, Direction::Out, track, sim, cfg.charging)?;
+        let (res, rep) = rc.phase(
+            &format!("ar18/step3: out-SSSP({c})"),
+            sim,
+            |sim| run_full_sssp(g, &topo, c, Direction::Out, track, sim, cfg.charging),
+            full_cert(Direction::Out),
+        )?;
         rec.record(format!("ar18/step3: out-SSSP({c})"), rep);
         from_q.push(res.entries.iter().map(|e| e.dist).collect());
         if track {
@@ -140,7 +176,13 @@ pub(crate) fn run_ar18<W: Weight>(
                     .collect()
             })
             .collect();
-        let (_, rep) = all_to_all_broadcast(&topo, sim, initial, 3)?;
+        let expected: usize = initial.iter().map(Vec::len).sum();
+        let (_, rep) = rc.phase(
+            "ar18/step4: (x, c) table broadcast",
+            sim,
+            |sim| all_to_all_broadcast(&topo, sim, initial.clone(), 3),
+            |logs| sentinels::flood_complete(logs, expected),
+        )?;
         rec.record("ar18/step4: (x, c) table broadcast", rep);
     }
 
@@ -186,7 +228,8 @@ pub(crate) fn run_ar18<W: Weight>(
             }
         }
     }
-    Ok(ApspOutcome { dist, recorder: rec, meta })
+    crate::recovery::final_certificate(g, &dist, &rc)?;
+    Ok(ApspOutcome { dist, recorder: rec, meta, fault_report: rc.report() })
 }
 
 #[cfg(test)]

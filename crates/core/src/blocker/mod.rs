@@ -163,6 +163,7 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut crate::recovery::Recovery::disabled(),
             "csssp",
         )
         .unwrap();

@@ -160,6 +160,7 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut crate::recovery::Recovery::disabled(),
             "cq",
         )
         .unwrap();
@@ -256,6 +257,7 @@ mod threshold_sweep_tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut crate::recovery::Recovery::disabled(),
             "cq",
         )
         .unwrap();

@@ -35,8 +35,28 @@
 
 use crate::apsp::{ApspOutcome, BlockerMethod, Step6Method};
 use crate::config::ApspConfig;
+use crate::recovery::SolverError;
 use congest_graph::{Graph, Weight};
 use congest_sim::SimError;
+
+/// The shims predate the fault plane and keep their [`SimError`] return
+/// type; fault-injection runs must go through the [`Solver`](crate::Solver)
+/// API, whose [`SolverError`] can express an exhausted recovery budget.
+fn downgrade<T>(res: Result<T, SolverError>) -> Result<T, SimError> {
+    res.map_err(|e| match e {
+        SolverError::Sim(e) => e,
+        SolverError::Unrecoverable { .. } => {
+            unreachable!("recovery only arms with cfg.fault set, which the shims reject up front")
+        }
+    })
+}
+
+fn reject_fault_plan(cfg: &ApspConfig) {
+    assert!(
+        cfg.fault.is_none(),
+        "fault injection requires the Solver API (Solver::builder(..).fault_plan(..))"
+    );
+}
 
 /// Runs Algorithm 1 (the paper's Õ(n^{4/3}) APSP).
 ///
@@ -44,7 +64,8 @@ use congest_sim::SimError;
 /// Propagates engine errors.
 ///
 /// # Panics
-/// Panics if the communication graph is disconnected.
+/// Panics if the communication graph is disconnected, or if `cfg.fault`
+/// is set (fault-injection runs must use the `Solver` API).
 #[deprecated(
     since = "0.1.0",
     note = "use `Solver::builder(&g).blocker_method(..).step6_method(..).run()` instead"
@@ -55,7 +76,8 @@ pub fn apsp_agarwal_ramachandran<W: Weight>(
     method: BlockerMethod,
     step6: Step6Method,
 ) -> Result<ApspOutcome<W>, SimError> {
-    crate::apsp::run_ar20(g, cfg, method, step6)
+    reject_fault_plan(cfg);
+    downgrade(crate::apsp::run_ar20(g, cfg, method, step6))
 }
 
 /// Runs the Õ(n^{3/2}) AR18-style baseline.
@@ -64,13 +86,15 @@ pub fn apsp_agarwal_ramachandran<W: Weight>(
 /// Propagates engine errors.
 ///
 /// # Panics
-/// Panics if the communication graph is disconnected.
+/// Panics if the communication graph is disconnected, or if `cfg.fault`
+/// is set (fault-injection runs must use the `Solver` API).
 #[deprecated(
     since = "0.1.0",
     note = "use `Solver::builder(&g).algorithm(Algorithm::Ar18).run()` instead"
 )]
 pub fn apsp_ar18<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
-    crate::baselines::run_ar18(g, cfg)
+    reject_fault_plan(cfg);
+    downgrade(crate::baselines::run_ar18(g, cfg))
 }
 
 /// Runs one full Bellman–Ford per source (the naive O(n²) baseline).
@@ -79,13 +103,15 @@ pub fn apsp_ar18<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcom
 /// Propagates engine errors.
 ///
 /// # Panics
-/// Panics if the communication graph is disconnected.
+/// Panics if the communication graph is disconnected, or if `cfg.fault`
+/// is set (fault-injection runs must use the `Solver` API).
 #[deprecated(
     since = "0.1.0",
     note = "use `Solver::builder(&g).algorithm(Algorithm::Naive).run()` instead"
 )]
 pub fn apsp_naive<W: Weight>(g: &Graph<W>, cfg: &ApspConfig) -> Result<ApspOutcome<W>, SimError> {
-    crate::baselines::run_naive(g, cfg)
+    reject_fault_plan(cfg);
+    downgrade(crate::baselines::run_naive(g, cfg))
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Shared configuration for the distributed APSP algorithms.
 
+use congest_sim::fault::FaultSpec;
 use congest_sim::{RunUntil, SimConfig};
 
 /// How phase durations are charged (DESIGN.md §3.2).
@@ -61,6 +62,18 @@ pub struct ApspConfig {
     /// payloads by one id word but never changes the computed distances,
     /// round counts, or message counts.
     pub track_successors: bool,
+    /// Optional fault-injection plan: every pipeline phase runs under this
+    /// spec (reseeded per phase and attempt) with phase-level
+    /// detect-and-recover (see [`crate::recovery`]). `None` (the default)
+    /// means the literal fault-free code path. Setting `sim.fault` here
+    /// directly instead injects faults *without* recovery — useful for
+    /// studying raw damage, but the solver then makes no exactness
+    /// promise.
+    pub fault: Option<FaultSpec>,
+    /// Retry budget per phase under an active `fault` plan: a phase may
+    /// run up to `1 + max_phase_retries` times before the solver gives up
+    /// with [`crate::SolverError::Unrecoverable`]. Ignored without a plan.
+    pub max_phase_retries: u32,
 }
 
 impl Default for ApspConfig {
@@ -72,6 +85,8 @@ impl Default for ApspConfig {
             sim: SimConfig::default(),
             seed: 0xC0FFEE,
             track_successors: true,
+            fault: None,
+            max_phase_retries: 4,
         }
     }
 }

@@ -10,9 +10,10 @@
 
 use crate::bf::run_bf;
 use crate::config::Charging;
+use crate::recovery::{sentinels, Recovery, SolverError};
 use congest_graph::seq::Direction;
 use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
-use congest_sim::{PhaseReport, Recorder, SimConfig, SimError, Topology};
+use congest_sim::{PhaseReport, Recorder, SimConfig, Topology};
 
 /// A collection of rooted h-hop trees, one per source, stored as per-node
 /// local knowledge: entry `[v][si]` is node v's state in the tree of
@@ -179,8 +180,14 @@ impl<W: Weight> SsspCollection<W> {
 /// `first` plane reports, at every member `v`, the root's successor toward
 /// `v` — the routing seed Step 7 consumes.
 ///
+/// Every per-source tree runs through `rc` as its own recoverable phase
+/// (sentinel: [`sentinels::repaired_tree`] — the repair sub-phase restores
+/// full parent telescoping, so damage to any surviving entry is locally
+/// detectable).
+///
 /// # Errors
-/// Propagates engine errors.
+/// Propagates engine errors; [`SolverError::Unrecoverable`] when a tree
+/// exhausts the retry budget.
 #[allow(clippy::too_many_arguments)]
 pub fn build_csssp<W: Weight>(
     g: &Graph<W>,
@@ -192,8 +199,9 @@ pub fn build_csssp<W: Weight>(
     sim: SimConfig,
     charging: Charging,
     rec: &mut Recorder,
+    rc: &mut Recovery,
     label: &str,
-) -> Result<SsspCollection<W>, SimError> {
+) -> Result<SsspCollection<W>, SolverError> {
     let n = g.n();
     let mut dist = DistMatrix::filled(n, sources.len(), W::INF);
     let mut hops = vec![Vec::with_capacity(sources.len()); n];
@@ -202,10 +210,16 @@ pub fn build_csssp<W: Weight>(
     let mut children: Vec<Vec<Vec<NodeId>>> = vec![Vec::with_capacity(sources.len()); n];
     let mut total = PhaseReport { node_sent: vec![0; n], ..Default::default() };
     for (si, &s) in sources.iter().enumerate() {
-        let (res, rep) = run_bf(g, topo, s, dir, 2 * h as u64, None, true, track, sim, charging)?;
+        let (res, rep) = rc.phase(
+            &format!("{label} [tree {s}]"),
+            sim,
+            |sim| run_bf(g, topo, s, dir, 2 * h as u64, None, true, track, sim, charging),
+            |res| sentinels::repaired_tree(g, dir, s, res),
+        )?;
         total.rounds += rep.rounds;
         total.messages += rep.messages;
         total.payload_words += rep.payload_words;
+        total.faults.merge(&rep.faults);
         total.max_msg_words = total.max_msg_words.max(rep.max_msg_words);
         for (t, s2) in total.node_sent.iter_mut().zip(rep.node_sent.iter()) {
             *t += s2;
@@ -275,6 +289,7 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut Recovery::disabled(),
             "csssp",
         )
         .unwrap()
@@ -400,6 +415,7 @@ mod tests {
             SimConfig::default(),
             Charging::WorstCase,
             &mut rec,
+            &mut Recovery::disabled(),
             "csssp",
         )
         .unwrap();

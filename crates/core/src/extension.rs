@@ -18,9 +18,10 @@ use crate::bf::{run_bf, BfSeeds};
 use crate::config::ApspConfig;
 use crate::csssp::SsspCollection;
 use crate::pipeline::RoutedTable;
+use crate::recovery::{sentinels, Recovery, SolverError};
 use congest_graph::seq::Direction;
 use congest_graph::{DistMatrix, Graph, NodeId, Weight, NO_SUCC};
-use congest_sim::{Recorder, SimConfig, SimError, Topology};
+use congest_sim::{Recorder, SimConfig, Topology};
 
 /// Runs the extension for every source and returns the full distance
 /// matrix `dist[x][t]` — carrying the target-major successor plane when
@@ -33,13 +34,20 @@ use congest_sim::{Recorder, SimConfig, SimError, Topology};
 ///   blocker knows its own column, with the first hop out of x riding
 ///   along when tracked).
 ///
+/// Every per-source extension runs through `rc` as its own recoverable
+/// phase (sentinel: [`sentinels::exact_row`] — the extension's output row
+/// is a complete distance vector, so the relaxation fixed point is
+/// checkable locally).
+///
 /// # Errors
-/// Propagates engine errors.
+/// Propagates engine errors; [`SolverError::Unrecoverable`] when a source
+/// exhausts the retry budget.
 ///
 /// # Panics
 /// Panics when `cfg.track_successors` is on but `coll` or a non-empty
 /// `at_blocker` carries no routing information — tracking over
 /// routing-less inputs would produce an invalid plane.
+#[allow(clippy::too_many_arguments)]
 pub fn extend_all_sources<W: Weight>(
     g: &Graph<W>,
     topo: &Topology,
@@ -48,7 +56,8 @@ pub fn extend_all_sources<W: Weight>(
     q: &[NodeId],
     at_blocker: &RoutedTable<W>,
     rec: &mut Recorder,
-) -> Result<DistMatrix<W>, SimError> {
+    rc: &mut Recovery,
+) -> Result<DistMatrix<W>, SolverError> {
     let n = g.n();
     let h = coll.h as u64;
     let sim: SimConfig = cfg.sim;
@@ -94,9 +103,15 @@ pub fn extend_all_sources<W: Weight>(
                 }
             }
         }
-        let seeds = BfSeeds { dist: &init, first: init_first.as_deref() };
-        let (res, rep) =
-            run_bf(g, topo, x, Direction::Out, h, Some(seeds), false, track, sim, cfg.charging)?;
+        let (res, rep) = rc.phase(
+            &format!("step7: extension from {x}"),
+            sim,
+            |sim| {
+                let seeds = BfSeeds { dist: &init, first: init_first.as_deref() };
+                run_bf(g, topo, x, Direction::Out, h, Some(seeds), false, track, sim, cfg.charging)
+            },
+            |res| sentinels::exact_row(g, Direction::Out, x, |t| res.entries[t].dist),
+        )?;
         rec.record(format!("step7: extension from {x}"), rep);
         for t in 0..n {
             dist[xi][t] = res.entries[t].dist;
@@ -141,6 +156,7 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut Recovery::disabled(),
             "csssp",
         )
         .unwrap();
@@ -150,7 +166,17 @@ mod tests {
         let at_blocker = RoutedTable::untracked(congest_graph::DistMatrix::from_rows(
             (0..n).map(|c| (0..n).map(|x| exact[x][c]).collect()).collect(),
         ));
-        let dist = extend_all_sources(&g, &topo, &cfg, &coll, &q, &at_blocker, &mut rec).unwrap();
+        let dist = extend_all_sources(
+            &g,
+            &topo,
+            &cfg,
+            &coll,
+            &q,
+            &at_blocker,
+            &mut rec,
+            &mut Recovery::disabled(),
+        )
+        .unwrap();
         assert_eq!(dist, exact);
     }
 
@@ -173,11 +199,22 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut Recovery::disabled(),
             "csssp",
         )
         .unwrap();
         let empty = RoutedTable::untracked(congest_graph::DistMatrix::filled(0, n, u64::INF));
-        let dist = extend_all_sources(&g, &topo, &cfg, &coll, &[], &empty, &mut rec).unwrap();
+        let dist = extend_all_sources(
+            &g,
+            &topo,
+            &cfg,
+            &coll,
+            &[],
+            &empty,
+            &mut rec,
+            &mut Recovery::disabled(),
+        )
+        .unwrap();
         // with no blockers, result must be within [δ, δ_2h]: at least the
         // h-hop reachability of the CSSSP extended by h more hops.
         let exact = apsp_dijkstra(&g);

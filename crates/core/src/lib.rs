@@ -70,6 +70,53 @@
 //! derivation entirely (`congest_oracle::successor_derivations` witnesses
 //! the zero-derivation handoff).
 //!
+//! ## Fault model & recovery
+//!
+//! The pipeline is self-verifying: armed with a seeded
+//! [`FaultSpec`](congest_sim::fault::FaultSpec) via
+//! [`SolverBuilder::fault_plan`](solver::SolverBuilder::fault_plan), every
+//! phase runs inside a detect-and-recover loop ([`Recovery`]). An attempt
+//! is accepted only if the engine counted **zero injected faults** for it
+//! *and* the phase's invariant sentinel (tree telescoping, row fixpoints,
+//! flood completeness, transpose equality — see [`recovery::sentinels`])
+//! passes; anything else re-runs just that phase under a fresh
+//! deterministic per-attempt salt, up to
+//! [`max_phase_retries`](solver::SolverBuilder::max_phase_retries). A
+//! final whole-matrix certificate guards the assembled result.
+//!
+//! The contract, enforced by the differential `fault_matrix` test suite:
+//! under *any* seeded plan, [`Solver::run`] returns distances (and
+//! successor plane, and recorded per-phase rounds) **bit-identical** to
+//! the fault-free run, or the typed [`SolverError::Unrecoverable`] — never
+//! silently wrong answers, never a hang. The outcome's
+//! [`FaultReport`](ApspOutcome::fault_report) records what recovery
+//! absorbed (injections, retries, rounds lost to rejected attempts).
+//!
+//! ```
+//! use congest_apsp::{Solver, SolverError};
+//! use congest_graph::generators::{gnm_connected, WeightDist};
+//! use congest_sim::fault::FaultSpec;
+//!
+//! let g = gnm_connected(14, 28, true, WeightDist::Uniform(0, 9), 3);
+//! let clean = Solver::builder(&g).run().unwrap();
+//! let plan = FaultSpec::seeded(7).drops(200).corruption(100);
+//! match Solver::builder(&g).fault_plan(plan).max_phase_retries(8).run() {
+//!     Ok(out) => {
+//!         assert_eq!(out.dist, clean.dist); // recovered == bit-identical
+//!         println!("absorbed: {:?}", out.fault_report);
+//!     }
+//!     Err(SolverError::Unrecoverable { phase, attempts, .. }) => {
+//!         println!("refused after {attempts} attempts in {phase}");
+//!     }
+//!     Err(e) => panic!("armed plans never leak raw engine errors: {e}"),
+//! }
+//! ```
+//!
+//! With no plan armed the recovery layer is zero-cost: one attempt per
+//! phase on the exact configuration, no sentinel evaluation, byte-identical
+//! behavior — and the deprecated [`compat`] shims reject armed plans up
+//! front, so fault injection is exclusive to the builder API.
+//!
 //! ## Migrating from the free functions
 //!
 //! The pre-facade entry points (`apsp_agarwal_ramachandran`, `apsp_ar18`,
@@ -95,6 +142,7 @@ pub mod config;
 pub mod csssp;
 pub mod extension;
 pub mod pipeline;
+pub mod recovery;
 pub mod solver;
 pub mod trees;
 
@@ -102,4 +150,5 @@ pub use apsp::{ApspMeta, ApspOutcome, BlockerMethod, Step6Method};
 #[allow(deprecated)]
 pub use compat::{apsp_agarwal_ramachandran, apsp_ar18, apsp_naive};
 pub use config::{ApspConfig, BlockerParams, Charging};
+pub use recovery::{FaultReport, Recovery, SolverError};
 pub use solver::{Algorithm, Solver, SolverBuilder, Verbosity};

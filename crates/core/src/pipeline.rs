@@ -280,6 +280,9 @@ pub fn propagate_to_blockers_with<W: Weight>(
     // Shared substrate: the n^{2/3}-in-CSSSP for source set Q (Alg 8
     // Step 1 / Alg 9 input). In-direction trees: no first-hop tracking
     // needed, the push below forwards the origin's first hop verbatim.
+    // Recovery is disabled here on purpose: the solver retries Step 6 as
+    // one compound unit, so nested per-tree retries would only skew the
+    // per-attempt fault accounting.
     let cq = build_csssp(
         g,
         topo,
@@ -290,8 +293,15 @@ pub fn propagate_to_blockers_with<W: Weight>(
         sim,
         cfg.charging,
         rec,
+        &mut crate::recovery::Recovery::disabled(),
         "step6: n^{2/3}-in-CSSSP for Q",
-    )?;
+    )
+    .map_err(|e| match e {
+        crate::recovery::SolverError::Sim(e) => e,
+        crate::recovery::SolverError::Unrecoverable { .. } => {
+            unreachable!("disabled recovery never exhausts a retry budget")
+        }
+    })?;
 
     // ---------------- Algorithm 8 (far case) ----------------
     let mut qp_rec = Recorder::new();

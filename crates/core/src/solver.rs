@@ -28,8 +28,10 @@
 use crate::apsp::{run_ar20, ApspOutcome, BlockerMethod, Step6Method};
 use crate::baselines::{run_ar18, run_naive};
 use crate::config::{ApspConfig, BlockerParams, Charging};
+use crate::recovery::SolverError;
 use congest_graph::{Graph, Weight};
-use congest_sim::{PhaseReport, Recorder, SimConfig, SimError};
+use congest_sim::fault::FaultSpec;
+use congest_sim::{PhaseReport, Recorder, SimConfig};
 
 /// Which APSP algorithm the [`Solver`] runs.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -134,6 +136,28 @@ impl<'g, W: Weight> SolverBuilder<'g, W> {
         self
     }
 
+    /// Arms the deterministic fault-injection plane: every pipeline phase
+    /// runs under `spec` (reseeded per phase and attempt) with phase-level
+    /// detect-and-recover (see [`crate::recovery`]). A successful run's
+    /// distances are bit-identical to the fault-free run; an exhausted
+    /// retry budget surfaces as
+    /// [`SolverError::Unrecoverable`] —
+    /// the solver never returns damaged results. An inactive (all-zero)
+    /// spec is equivalent to not calling this at all.
+    #[must_use]
+    pub fn fault_plan(mut self, spec: FaultSpec) -> Self {
+        self.solver.cfg.fault = Some(spec);
+        self
+    }
+
+    /// Sets the per-phase retry budget under an active fault plan
+    /// (default 4; ignored without one).
+    #[must_use]
+    pub fn max_phase_retries(mut self, retries: u32) -> Self {
+        self.solver.cfg.max_phase_retries = retries;
+        self
+    }
+
     /// Toggles Step-7 successor tracking (default **on** for every
     /// algorithm). When on, the distributed phases thread first hops
     /// through their messages and the outcome's `dist` carries the
@@ -165,8 +189,8 @@ impl<'g, W: Weight> SolverBuilder<'g, W> {
     /// Convenience: [`build`](Self::build) + [`Solver::run`] in one call.
     ///
     /// # Errors
-    /// Propagates engine errors.
-    pub fn run(self) -> Result<ApspOutcome<W>, SimError> {
+    /// As [`Solver::run`].
+    pub fn run(self) -> Result<ApspOutcome<W>, SolverError> {
         self.build().run()
     }
 }
@@ -217,11 +241,14 @@ impl<'g, W: Weight> Solver<'g, W> {
     /// Runs the configured algorithm to completion.
     ///
     /// # Errors
-    /// Propagates engine errors.
+    /// [`SolverError::Sim`] on an engine abort without a fault plan;
+    /// [`SolverError::Unrecoverable`] when an armed fault plan defeats the
+    /// per-phase retry budget. Never damaged results: a successful outcome
+    /// is bit-identical to the fault-free run.
     ///
     /// # Panics
     /// Panics if the communication graph is disconnected.
-    pub fn run(&self) -> Result<ApspOutcome<W>, SimError> {
+    pub fn run(&self) -> Result<ApspOutcome<W>, SolverError> {
         let mut out = match self.algorithm {
             Algorithm::Ar20 => run_ar20(self.g, &self.cfg, self.blocker, self.step6)?,
             Algorithm::Ar18 => run_ar18(self.g, &self.cfg)?,
@@ -245,6 +272,7 @@ fn summarize(rec: &Recorder) -> Recorder {
         node_sent: rec.node_sent_totals(),
         payload_words: rec.total_payload_words(),
         max_msg_words: rec.max_msg_words(),
+        faults: rec.total_faults(),
         ..Default::default()
     };
     total.peak_in_flight = rec.phases().iter().map(|p| p.peak_in_flight).max().unwrap_or(0);

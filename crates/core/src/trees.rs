@@ -326,6 +326,7 @@ pub fn collect_ancestors<W: Weight>(
         total.messages += report.messages;
         total.payload_words += report.payload_words;
         total.max_msg_words = total.max_msg_words.max(report.max_msg_words);
+        total.faults.merge(&report.faults);
         for (t, s2) in total.node_sent.iter_mut().zip(report.node_sent.iter()) {
             *t += s2;
         }
@@ -366,6 +367,7 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut crate::recovery::Recovery::disabled(),
             "csssp",
         )
         .unwrap();
@@ -436,6 +438,7 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut crate::recovery::Recovery::disabled(),
             "c",
         )
         .unwrap();
@@ -472,6 +475,7 @@ mod tests {
             SimConfig::default(),
             Charging::Quiesce,
             &mut rec,
+            &mut crate::recovery::Recovery::disabled(),
             "c",
         )
         .unwrap();

@@ -40,6 +40,17 @@ pub enum QueryError {
         /// Number of nodes in the snapshot.
         n: usize,
     },
+    /// The successor plane disagrees with the distance arena: a finite
+    /// distance whose successor walk dead-ends, cycles, or exceeds the
+    /// node count. Only a damaged or hand-forged snapshot can produce
+    /// this — validated builds ([`crate::Oracle::from_dist`], the
+    /// snapshot loader) reject such planes up front.
+    CorruptSuccessors {
+        /// Walk origin.
+        u: NodeId,
+        /// Walk target.
+        v: NodeId,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -47,6 +58,9 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::NodeOutOfRange { node, n } => {
                 write!(f, "node {node} out of range (n = {n})")
+            }
+            QueryError::CorruptSuccessors { u, v } => {
+                write!(f, "corrupt successor matrix: walk {u} -> {v} dead-ends or cycles")
             }
         }
     }
@@ -140,7 +154,10 @@ impl<W: Weight> QueryEngine<W> {
     /// O(path length) and cached.
     ///
     /// # Errors
-    /// [`QueryError::NodeOutOfRange`] for invalid node ids.
+    /// [`QueryError::NodeOutOfRange`] for invalid node ids;
+    /// [`QueryError::CorruptSuccessors`] if the snapshot's successor plane
+    /// cannot realize a walk for a finite distance (never a panic, so one
+    /// damaged snapshot cannot take down a serving thread).
     ///
     /// # Panics
     /// Panics only if a shard mutex was poisoned by a panicking thread.
@@ -156,7 +173,10 @@ impl<W: Weight> QueryEngine<W> {
             return Ok(Some(p));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let p: Arc<[NodeId]> = self.oracle.path(u, v).expect("finite distance has a path").into();
+        // The distance is finite, so a `None` walk means the plane lost
+        // the pair — corrupt, not unreachable.
+        let walk = self.oracle.try_path(u, v)?.ok_or(QueryError::CorruptSuccessors { u, v })?;
+        let p: Arc<[NodeId]> = walk.into();
         shard.lock().expect("shard cache poisoned").insert((u, v), p.clone());
         Ok(Some(p))
     }
@@ -232,6 +252,31 @@ mod tests {
         assert_eq!(e.path(99, 0).unwrap_err(), QueryError::NodeOutOfRange { node: 99, n: 10 });
         assert_eq!(e.k_nearest(10, 3).unwrap_err(), QueryError::NodeOutOfRange { node: 10, n: 10 });
         assert_eq!(format!("{}", e.dist(0, 10).unwrap_err()), "node 10 out of range (n = 10)");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_a_panic() {
+        use crate::oracle::NO_SUCC;
+        // Forged arenas: finite distances, but toward target 1 node 0
+        // names itself (cycle) and toward target 0 node 1 has no
+        // successor at all. A serving thread must get typed errors, and
+        // untouched queries on the same snapshot must keep working.
+        let dist = vec![0u64, 1, 1, 0].into_boxed_slice();
+        let mut succ = vec![NO_SUCC; 4];
+        succ[2] = 0; // toward target 1, from node 0: points at itself
+        let o = Arc::new(Oracle::from_parts(2, dist, succ.into_boxed_slice()));
+        let e = QueryEngine::new(o, EngineConfig::default());
+        assert_eq!(e.path(0, 1).unwrap_err(), QueryError::CorruptSuccessors { u: 0, v: 1 });
+        assert_eq!(e.path(1, 0).unwrap_err(), QueryError::CorruptSuccessors { u: 1, v: 0 });
+        assert_eq!(
+            format!("{}", e.path(0, 1).unwrap_err()),
+            "corrupt successor matrix: walk 0 -> 1 dead-ends or cycles"
+        );
+        // Distance reads bypass the plane entirely and still serve.
+        assert_eq!(e.dist(0, 1).unwrap(), Some(1));
+        assert_eq!(e.path(0, 0).unwrap().as_deref(), Some(&[0u32][..]));
+        // Nothing corrupt may have been cached.
+        assert_eq!(e.cached_paths(), 1);
     }
 
     #[test]

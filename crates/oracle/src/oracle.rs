@@ -32,6 +32,7 @@
 //! `v` itself), so successor chains strictly decrease in hop level and a
 //! walk finishes in at most `n - 1` steps.
 
+use crate::engine::QueryError;
 use congest_apsp::ApspOutcome;
 use congest_graph::{DistMatrix, Graph, NodeId, Weight};
 use congest_sim::parallel::par_indexed_map;
@@ -214,7 +215,11 @@ impl<W: Weight> Oracle<W> {
     #[inline]
     #[must_use]
     pub fn distance(&self, u: NodeId, v: NodeId) -> W {
-        assert!((v as usize) < self.n, "node {v} out of range");
+        // Both bounds checked up front: without the `u` check an
+        // out-of-range source would either panic with an unhelpful raw
+        // slice index message or, worse, for `u * n + v` still in range,
+        // silently read another row's distance.
+        assert!((u as usize) < self.n && (v as usize) < self.n, "node out of range");
         self.dist[u as usize * self.n + v as usize]
     }
 
@@ -243,27 +248,55 @@ impl<W: Weight> Oracle<W> {
     /// unreachable; `Some(vec![u])` when `u == v`.
     ///
     /// # Panics
-    /// Panics if `u` or `v` is out of range.
+    /// Panics if `u` or `v` is out of range, or if the successor matrix is
+    /// corrupt (see [`Oracle::try_path`] for the panic-free form serving
+    /// layers should use on untrusted snapshots).
     #[must_use]
     pub fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "node out of range");
+        match self.try_path(u, v) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Oracle::path`] with every failure mode surfaced as a typed error
+    /// instead of a panic: out-of-range ids and — on a damaged or
+    /// hand-forged snapshot — a successor walk that dead-ends or fails to
+    /// reach `v` within `n` steps (the budget every valid plane satisfies,
+    /// since chains strictly descend in hop level).
+    ///
+    /// # Errors
+    /// [`QueryError::NodeOutOfRange`] for invalid ids;
+    /// [`QueryError::CorruptSuccessors`] when the walk defeats the step
+    /// budget or dead-ends before `v`.
+    pub fn try_path(&self, u: NodeId, v: NodeId) -> Result<Option<Vec<NodeId>>, QueryError> {
+        for node in [u, v] {
+            if node as usize >= self.n {
+                return Err(QueryError::NodeOutOfRange { node, n: self.n });
+            }
+        }
         if u == v {
-            return Some(vec![u]);
+            return Ok(Some(vec![u]));
         }
         let col = &self.succ[v as usize * self.n..(v as usize + 1) * self.n];
         if col[u as usize] == NO_SUCC {
-            return None;
+            return Ok(None);
         }
         let mut walk = Vec::new();
         let mut cur = u;
         walk.push(cur);
         while cur != v {
             let nxt = col[cur as usize];
-            assert!(nxt != NO_SUCC && walk.len() < self.n, "corrupt successor matrix");
+            // Budget: a simple path visits at most n vertices. A plane
+            // that dead-ends (NO_SUCC mid-walk), cycles, or wanders past
+            // the budget can only come from a corrupt snapshot.
+            if nxt == NO_SUCC || nxt as usize >= self.n || walk.len() >= self.n {
+                return Err(QueryError::CorruptSuccessors { u, v });
+            }
             walk.push(nxt);
             cur = nxt;
         }
-        Some(walk)
+        Ok(Some(walk))
     }
 
     /// The `k` nearest *other* nodes to `u` (finite distances only), sorted
@@ -522,6 +555,52 @@ mod tests {
         plane[2 * 3] = 2; // toward target 2, from node 0: take the long edge
         let dist = apsp_dijkstra(&g).with_successors(plane);
         let _ = Oracle::from_dist(&g, dist);
+    }
+
+    /// Forged arenas (bypassing validation) with finite distances but a
+    /// successor plane that cycles toward one target and dead-ends toward
+    /// another — the shape a damaged snapshot would have.
+    fn corrupt_oracle() -> Oracle<u64> {
+        let n = 3;
+        let dist = vec![0u64, 1, 1, 1, 0, 1, 1, 1, 0].into_boxed_slice();
+        let mut succ = vec![NO_SUCC; n * n];
+        let mut set = |v: usize, u: usize, s: NodeId| succ[v * n + u] = s;
+        // target 0: valid chain 2 -> 1 -> 0
+        set(0, 1, 0);
+        set(0, 2, 1);
+        // target 1: node 0 walks to 2, which has no successor (dead end)
+        set(1, 0, 2);
+        // target 2: nodes 0 and 1 name each other (cycle, defeats budget)
+        set(2, 0, 1);
+        set(2, 1, 0);
+        Oracle::from_parts(n, dist, succ.into_boxed_slice())
+    }
+
+    #[test]
+    fn try_path_reports_corruption_instead_of_panicking() {
+        let o = corrupt_oracle();
+        assert_eq!(o.try_path(2, 0), Ok(Some(vec![2, 1, 0])));
+        assert_eq!(o.try_path(1, 1), Ok(Some(vec![1])));
+        assert_eq!(o.try_path(0, 1), Err(QueryError::CorruptSuccessors { u: 0, v: 1 }));
+        assert_eq!(o.try_path(0, 2), Err(QueryError::CorruptSuccessors { u: 0, v: 2 }));
+        assert_eq!(o.try_path(0, 9), Err(QueryError::NodeOutOfRange { node: 9, n: 3 }));
+        assert_eq!(o.try_path(9, 0), Err(QueryError::NodeOutOfRange { node: 9, n: 3 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt successor matrix")]
+    fn path_panics_on_corrupt_plane() {
+        let _ = corrupt_oracle().path(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn distance_bounds_checks_the_source() {
+        let g = diamond();
+        let o = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        // u = 4 with v in range: u*n + v would still land inside the
+        // arena, so an unchecked read would return another row's entry.
+        let _ = o.distance(4, 0);
     }
 
     #[test]

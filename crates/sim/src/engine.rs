@@ -52,9 +52,11 @@
 //!   activity changed).
 
 use crate::error::SimError;
+use crate::fault::{FaultCounters, FaultPlan, FaultSpec, MsgFault};
 use crate::metrics::PhaseReport;
 use crate::parallel::{worker_count, WorkerPool};
 use congest_graph::{Graph, NodeId, Weight};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Communication topology in CSR form: the undirected adjacency over which
 /// messages flow, with precomputed reverse-channel indices. Extracted from
@@ -365,6 +367,24 @@ pub trait NodeLogic: Send {
         let _ = msg;
         1
     }
+
+    /// Fault-plane corruption hook: mutate `msg` in place into a different
+    /// but *in-domain* payload (stay within the CONGEST word budget and
+    /// never produce a value that could index out of bounds at the
+    /// receiver), deterministically from `entropy`, and return `true`.
+    /// The default returns `false` — "this protocol cannot reinterpret a
+    /// damaged frame" — and the engine then drops the message instead
+    /// (modeled as a failed payload checksum), counting it as dropped
+    /// rather than corrupted.
+    ///
+    /// **Contract:** like [`msg_words`](NodeLogic::msg_words), this must
+    /// be a pure function of `(msg, entropy)` and protocol-wide
+    /// configuration; the engine evaluates it at the receiver during the
+    /// delivery pass.
+    fn corrupt_msg(&self, msg: &mut Self::Msg, entropy: u64) -> bool {
+        let _ = (msg, entropy);
+        false
+    }
 }
 
 /// How long to run a phase.
@@ -396,11 +416,17 @@ pub struct SimConfig {
     /// [`worker_count`](crate::parallel::worker_count) automatically.
     /// Results are identical for every value (determinism suite).
     pub workers: usize,
+    /// Optional seeded fault model (see [`crate::fault`]). `None` — or a
+    /// spec with every rate zero — takes the exact fault-free code path.
+    /// Because the spec rides inside the config, every primitive and
+    /// algorithm built on the engine inherits faults without per-call-site
+    /// changes.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { bandwidth: 1, parallel_threshold: 4096, workers: 0 }
+        SimConfig { bandwidth: 1, parallel_threshold: 4096, workers: 0, fault: None }
     }
 }
 
@@ -478,19 +504,80 @@ impl<M> Plane<M> {
         std::mem::swap(&mut self.cur_off, &mut self.next_off);
         delivered
     }
+
+    /// [`deliver`](Self::deliver) with a fault filter: `fate` is consulted
+    /// once per message (sender, receiver, index on the channel, payload)
+    /// and may mutate the payload in place; returning `false` discards the
+    /// message. Sends are still charged into `node_sent` (the bandwidth
+    /// was consumed), but only surviving messages count as delivered.
+    ///
+    /// This is a separate method, not a branch inside `deliver`, so the
+    /// fault-free path stays byte-identical to its pre-fault code.
+    fn deliver_faulty<F>(
+        &mut self,
+        topo: &Topology,
+        bandwidth: u32,
+        node_sent: &mut [u64],
+        fate: &mut F,
+    ) -> u64
+    where
+        F: FnMut(NodeId, NodeId, u32, &mut M) -> bool,
+    {
+        let b = bandwidth as usize;
+        self.next_buf.clear();
+        self.next_off[0] = 0;
+        let mut delivered = 0u64;
+        for u in 0..topo.n() {
+            let (lo, hi) = (topo.off[u] as usize, topo.off[u + 1] as usize);
+            for s in lo..hi {
+                let rs = topo.rev[s] as usize;
+                let c = self.out_cnt[rs];
+                if c > 0 {
+                    let from = topo.adj[s];
+                    node_sent[from as usize] += u64::from(c);
+                    for t in 0..c as usize {
+                        let mut msg =
+                            self.out_buf[rs * b + t].take().expect("counted slot is full");
+                        if fate(from, u as NodeId, t as u32, &mut msg) {
+                            delivered += 1;
+                            self.next_buf.push(Envelope { from, msg });
+                        }
+                    }
+                    self.out_cnt[rs] = 0;
+                }
+            }
+            self.next_off[u + 1] =
+                u32::try_from(self.next_buf.len()).expect("in-flight messages exceed u32");
+        }
+        std::mem::swap(&mut self.cur_buf, &mut self.next_buf);
+        std::mem::swap(&mut self.cur_off, &mut self.next_off);
+        delivered
+    }
 }
 
 /// The round-loop executor for one protocol phase over a fixed topology.
 pub struct Engine<'t> {
     topo: &'t Topology,
     cfg: SimConfig,
+    plan: Option<FaultPlan>,
 }
 
 impl<'t> Engine<'t> {
-    /// Creates an engine over `topo`.
+    /// Creates an engine over `topo`. A fault spec in `cfg` (with at least
+    /// one non-zero rate) becomes the engine's seeded fault plan.
     #[must_use]
     pub fn new(topo: &'t Topology, cfg: SimConfig) -> Self {
-        Engine { topo, cfg }
+        let plan = cfg.fault.filter(FaultSpec::is_active).map(FaultPlan::Seeded);
+        Engine { topo, cfg, plan }
+    }
+
+    /// Replaces the fault plan (e.g. with an explicit
+    /// [`FaultPlan::Script`] in tests). Overrides whatever `cfg.fault`
+    /// installed.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
     }
 
     /// The engine's topology.
@@ -545,6 +632,13 @@ impl<'t> Engine<'t> {
         let mut active_count: usize = active_flags.iter().filter(|&&f| f).count();
         let mut active_delta: Vec<i64> = vec![0; workers];
 
+        // Fault plane: all decisions are pure hashes of the plan, so both
+        // stepping paths and every retry observe the identical pattern.
+        let plan = self.plan.as_ref();
+        let mut faults = FaultCounters::default();
+        let node_faults = plan.is_some_and(FaultPlan::has_node_faults);
+        let mut down: Vec<bool> = vec![false; if node_faults { n } else { 0 }];
+
         let budget = match until {
             RunUntil::Exact(r) => r,
             RunUntil::Quiesce { max } => max,
@@ -572,6 +666,22 @@ impl<'t> Engine<'t> {
                 }
             }
 
+            // Crash plane: recompute the down set at the round boundary. A
+            // down node neither steps nor reads the messages that arrived
+            // this round (they vanish when the inbox buffers swap); its
+            // local state survives for the eventual warm restart.
+            if node_faults {
+                let plan = plan.expect("node_faults implies a plan");
+                for (v, d) in down.iter_mut().enumerate() {
+                    *d = plan.node_down(v as NodeId, rounds);
+                    if *d {
+                        faults.crashed_rounds += 1;
+                        faults.injected += 1;
+                    }
+                }
+            }
+            let down_ro: Option<&[bool]> = node_faults.then_some(&down[..]);
+
             // Step every node for round `rounds`. Split the plane into its
             // read side (current inboxes) and write side (send slots).
             let Plane { out_cnt, out_buf, cur_buf, cur_off, .. } = &mut plane;
@@ -592,6 +702,7 @@ impl<'t> Engine<'t> {
                         errors: SyncPtr(errors.as_mut_ptr()),
                         active_flags: SyncPtr(active_flags.as_mut_ptr()),
                         active_delta: SyncPtr(active_delta.as_mut_ptr()),
+                        down: down_ro,
                     };
                     pool.run(&|slot| {
                         let lo = (slot * node_chunk).min(n);
@@ -610,6 +721,9 @@ impl<'t> Engine<'t> {
                     let err = &mut errors[0];
                     let delta = &mut active_delta[0];
                     for (i, node) in nodes.iter_mut().enumerate() {
+                        if down_ro.is_some_and(|d| d[i]) {
+                            continue;
+                        }
                         let (a, z) = (self.topo.off[i] as usize, self.topo.off[i + 1] as usize);
                         let inbox = &in_buf[in_off[i] as usize..in_off[i + 1] as usize];
                         step_node(
@@ -647,8 +761,47 @@ impl<'t> Engine<'t> {
             active_delta.iter_mut().for_each(|d| *d = 0);
 
             // Deliver into the next buffer and swap: receive order is
-            // sender-id sorted by construction of the slot walk.
-            let delivered = plane.deliver(self.topo, bandwidth, &mut node_sent);
+            // sender-id sorted by construction of the slot walk. With a
+            // fault plan, each message's fate is decided here — the single
+            // injection point every protocol inherits.
+            let delivered = match plan {
+                None => plane.deliver(self.topo, bandwidth, &mut node_sent),
+                Some(plan) => {
+                    let nodes_ro: &[N] = nodes;
+                    plane.deliver_faulty(
+                        self.topo,
+                        bandwidth,
+                        &mut node_sent,
+                        &mut |from, to, nth, msg: &mut N::Msg| match plan
+                            .message_fault(rounds, from, to, nth)
+                        {
+                            None => true,
+                            Some(MsgFault::Drop { flap }) => {
+                                faults.dropped += 1;
+                                faults.injected += 1;
+                                if flap {
+                                    faults.flapped += 1;
+                                }
+                                false
+                            }
+                            Some(MsgFault::Corrupt { entropy }) => {
+                                if nodes_ro[to as usize].corrupt_msg(msg, entropy) {
+                                    faults.corrupted += 1;
+                                    faults.injected += 1;
+                                    true
+                                } else {
+                                    // Protocol can't mutate this payload:
+                                    // model the corruption as a frame that
+                                    // failed its checksum and was discarded.
+                                    faults.dropped += 1;
+                                    faults.injected += 1;
+                                    false
+                                }
+                            }
+                        },
+                    )
+                }
+            };
             messages += delivered;
             peak_in_flight = peak_in_flight.max(delivered);
             // Charge payload widths for the just-delivered messages (they
@@ -674,6 +827,7 @@ impl<'t> Engine<'t> {
             peak_in_flight,
             payload_words,
             max_msg_words,
+            faults,
         })
     }
 }
@@ -700,6 +854,8 @@ struct StepCtx<'a, N: NodeLogic> {
     errors: SyncPtr<Option<(usize, SimError)>>,
     active_flags: SyncPtr<bool>,
     active_delta: SyncPtr<i64>,
+    /// Per-node crash flags for this round (fault plane), if any.
+    down: Option<&'a [bool]>,
 }
 
 /// Steps nodes `lo..hi` for worker `slot`.
@@ -722,6 +878,9 @@ unsafe fn step_range<N: NodeLogic>(ctx: &StepCtx<'_, N>, slot: usize, lo: usize,
     let cnt = std::slice::from_raw_parts_mut(ctx.out_cnt.0.add(s0), s1 - s0);
     let buf = std::slice::from_raw_parts_mut(ctx.out_buf.0.add(s0 * b), (s1 - s0) * b);
     for i in lo..hi {
+        if ctx.down.is_some_and(|d| d[i]) {
+            continue;
+        }
         let node = &mut *ctx.nodes.0.add(i);
         let (a, z) = (ctx.topo.off[i] as usize - s0, ctx.topo.off[i + 1] as usize - s0);
         let inbox = &ctx.in_buf[ctx.in_off[i] as usize..ctx.in_off[i + 1] as usize];
@@ -769,7 +928,17 @@ fn step_node<N: NodeLogic>(
     let env = NodeEnv { id, n, round, neighbors };
     let mut out =
         Outbox::new(id, round, neighbors, bandwidth, &mut cnt[..deg], &mut buf[..deg * b], map);
-    node.on_round(&env, inbox, &mut out);
+    // Panic containment: a panicking protocol must surface as a typed
+    // error attributed to its node, not poison the worker pool's barrier.
+    // The partially-written outbox is harmless — the run aborts before the
+    // delivery pass. (AssertUnwindSafe: the node's state may be torn, but
+    // it is never observed again; the engine returns immediately.)
+    if catch_unwind(AssertUnwindSafe(|| node.on_round(&env, inbox, &mut out))).is_err() {
+        if err.is_none() {
+            *err = Some((i, SimError::NodePanic { node: id, round }));
+        }
+        return;
+    }
     if let Some(e) = out.error {
         if err.is_none() {
             *err = Some((i, e));

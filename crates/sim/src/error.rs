@@ -32,6 +32,23 @@ pub enum SimError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// A node's `on_round` panicked. The engine catches the unwind and
+    /// attributes it (deterministically, lowest node id first) instead of
+    /// poisoning the worker pool's barrier.
+    NodePanic {
+        /// The node whose logic panicked.
+        node: NodeId,
+        /// Round in which the panic occurred.
+        round: u64,
+    },
+    /// The protocol quiesced without covering the whole network, and the
+    /// run had faults injected — e.g. a crashed node was never reached by
+    /// a tree construction. Never produced on a fault-free run (there the
+    /// same condition is a protocol bug and panics).
+    Incomplete {
+        /// A node the protocol failed to cover.
+        node: NodeId,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -46,6 +63,12 @@ impl core::fmt::Display for SimError {
             ),
             SimError::RoundBudgetExhausted { budget } => {
                 write!(f, "phase exceeded round budget of {budget}")
+            }
+            SimError::NodePanic { node, round } => {
+                write!(f, "round {round}: node {node} panicked in on_round")
+            }
+            SimError::Incomplete { node } => {
+                write!(f, "protocol quiesced under faults without covering node {node}")
             }
         }
     }

@@ -6,6 +6,8 @@
 //! *congestion at a node* = number of messages a node sends during an
 //! algorithm.
 
+use crate::fault::FaultCounters;
+
 /// Statistics for one protocol phase (one [`crate::Engine::run`] call).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseReport {
@@ -29,6 +31,10 @@ pub struct PhaseReport {
     /// CONGEST model caps this at O(1) words of O(log n) bits each, so a
     /// protocol that silently grows its payload shows up here.
     pub max_msg_words: u32,
+    /// Faults the engine injected during this phase (see [`crate::fault`]).
+    /// All-zero when no fault plan is active, so fault-free reports compare
+    /// equal to pre-fault-plane ones.
+    pub faults: FaultCounters,
 }
 
 impl PhaseReport {
@@ -99,6 +105,16 @@ impl Recorder {
     #[must_use]
     pub fn max_msg_words(&self) -> u32 {
         self.phases.iter().map(|p| p.max_msg_words).max().unwrap_or(0)
+    }
+
+    /// Total fault counters merged across all phases.
+    #[must_use]
+    pub fn total_faults(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for p in &self.phases {
+            total.merge(&p.faults);
+        }
+        total
     }
 
     /// Per-node total messages sent across all phases.

@@ -131,7 +131,17 @@ pub fn build_bfs_tree(
     let mut depth = Vec::with_capacity(n);
     let mut children = Vec::with_capacity(n);
     for (i, nd) in nodes.into_iter().enumerate() {
-        let d = nd.depth.unwrap_or_else(|| panic!("node {i} unreached: graph disconnected"));
+        let d = match nd.depth {
+            Some(d) => d,
+            // Under an active fault plan a crashed node can legitimately
+            // stay unreached until the protocol quiesces; surface that as
+            // a retryable error, not a panic. Fault-free it is still a
+            // protocol bug (disconnected input) and panics loudly.
+            None if report.faults.injected > 0 => {
+                return Err(SimError::Incomplete { node: i as NodeId })
+            }
+            None => panic!("node {i} unreached: graph disconnected"),
+        };
         parent.push(nd.parent);
         depth.push(d);
         let mut ch = nd.children;

@@ -9,6 +9,7 @@
 //! order that cannot observe thread scheduling.
 
 use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_sim::fault::FaultSpec;
 use congest_sim::primitives::{
     all_to_all_broadcast, broadcast_stream, build_bfs_tree, convergecast_budget, convergecast_sum,
 };
@@ -115,6 +116,13 @@ impl NodeLogic for HashChain {
     fn active(&self) -> bool {
         self.rounds_left > 0
     }
+
+    // Real in-domain corruption so seeded corrupt plans exercise mutation
+    // (not the drop fallback): any u64 is a valid payload for this protocol.
+    fn corrupt_msg(&self, msg: &mut u64, entropy: u64) -> bool {
+        *msg ^= entropy | 1;
+        true
+    }
 }
 
 fn run_hash_chain(topo: &Topology, cfg: SimConfig) -> (Vec<u64>, PhaseReport) {
@@ -134,6 +142,62 @@ fn order_sensitive_state_is_bit_identical() {
             let (par_state, par_rep) = run_hash_chain(&topo, par_cfg(workers));
             assert_eq!(seq_state, par_state, "seed {seed} workers {workers}");
             assert_eq!(seq_rep, par_rep, "seed {seed} workers {workers}");
+        }
+    }
+}
+
+/// Like [`run_hash_chain`] but fault-tolerant in the harness: under an
+/// aggressive fault plan the run may legitimately exhaust its budget, and
+/// that outcome must also be identical across stepping paths.
+fn run_hash_chain_faulted(
+    topo: &Topology,
+    cfg: SimConfig,
+) -> (Vec<u64>, Result<PhaseReport, SimError>) {
+    let engine = Engine::new(topo, cfg);
+    let mut nodes: Vec<HashChain> =
+        (0..topo.n()).map(|v| HashChain { acc: v as u64 + 1, rounds_left: 8 }).collect();
+    let report = engine.run(&mut nodes, RunUntil::Quiesce { max: 64 });
+    (nodes.into_iter().map(|nd| nd.acc).collect(), report)
+}
+
+/// Same `FaultSpec` seed ⇒ byte-identical node states and phase reports
+/// (including the fault counters) whether nodes are stepped sequentially
+/// or by the worker pool, for every fault class.
+#[test]
+fn fault_injection_is_worker_invariant() {
+    let classes = [
+        ("drop", FaultSpec::seeded(0xD0).drops(120_000)),
+        ("corrupt", FaultSpec::seeded(0xC0).corruption(120_000)),
+        ("crash", FaultSpec::seeded(0xCA).crashes(150_000, 3)),
+        ("flap", FaultSpec::seeded(0xF1).flaps(150_000, 3)),
+        (
+            "all",
+            FaultSpec::seeded(0xA1)
+                .drops(60_000)
+                .corruption(60_000)
+                .crashes(80_000, 2)
+                .flaps(80_000, 2),
+        ),
+    ];
+    for (name, spec) in classes {
+        for seed in 0..4u64 {
+            let topo = random_topo(22, 40, seed);
+            let (seq_state, seq_rep) =
+                run_hash_chain_faulted(&topo, SimConfig { fault: Some(spec), ..seq_cfg() });
+            if let Ok(rep) = &seq_rep {
+                assert!(
+                    rep.faults.injected > 0,
+                    "{name} seed {seed}: plan was meant to inject something"
+                );
+            }
+            for workers in [2, 5] {
+                let (par_state, par_rep) = run_hash_chain_faulted(
+                    &topo,
+                    SimConfig { fault: Some(spec), ..par_cfg(workers) },
+                );
+                assert_eq!(seq_state, par_state, "{name} seed {seed} workers {workers}: state");
+                assert_eq!(seq_rep, par_rep, "{name} seed {seed} workers {workers}: report");
+            }
         }
     }
 }

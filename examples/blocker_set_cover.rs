@@ -37,6 +37,7 @@ fn main() {
         SimConfig::default(),
         Charging::Quiesce,
         &mut rec,
+        &mut congest_apsp::Recovery::disabled(),
         "csssp",
     )
     .unwrap();

@@ -77,6 +77,7 @@ fn blocker_set_reported_in_meta_is_valid() {
         SimConfig::default(),
         Charging::Quiesce,
         &mut rec,
+        &mut congest_apsp::Recovery::disabled(),
         "csssp",
     )
     .unwrap();

@@ -108,3 +108,55 @@ fn errors_render_useful_messages() {
     let err = Oracle::<u64>::from_bytes(&bytes).unwrap_err();
     assert!(err.to_string().contains("version"));
 }
+
+// ---------------------------------------------------------------------------
+// Fuzz: arbitrary byte-range mutations. The loader's contract is that NO
+// input makes `from_bytes` panic, and no accepted input serves different
+// answers than the snapshot that was saved — a mutation either trips a
+// typed `SnapshotError` (usually the checksum) or was semantically a no-op.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fuzzed_byte_ranges_never_panic_or_corrupt(
+        seed in 0u64..6,
+        start in 0usize..100_000,
+        len in 1usize..64,
+        xor in proptest::collection::vec(0u8..=255u8, 64),
+        resize in 0usize..3,
+        delta in 1usize..32,
+    ) {
+        let oracle = sample(10, seed);
+        let clean = oracle.to_bytes();
+        let mut bytes = clean.clone();
+        let start = start % bytes.len();
+        for (i, &mask) in xor.iter().enumerate().take(len) {
+            let Some(b) = bytes.get_mut(start + i) else { break };
+            *b ^= mask;
+        }
+        match resize {
+            1 => bytes.truncate(bytes.len().saturating_sub(delta)),
+            2 => bytes.extend(xor.iter().cycle().take(delta)),
+            _ => {}
+        }
+        match Oracle::<u64>::from_bytes(&bytes) {
+            // Any typed error is a pass — a panic would fail the test.
+            // (The untouched snapshot must still load.)
+            Err(_) => prop_assert_ne!(bytes, clean),
+            Ok(restored) => {
+                // Only a semantically no-op mutation may be accepted, and
+                // it must serve bit-identical distances and valid walks.
+                for u in 0..10u32 {
+                    for v in 0..10u32 {
+                        prop_assert_eq!(restored.distance(u, v), oracle.distance(u, v));
+                        prop_assert!(restored.try_path(u, v).is_ok());
+                    }
+                }
+            }
+        }
+    }
+}
