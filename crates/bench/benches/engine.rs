@@ -315,48 +315,57 @@ fn bench_engine(c: &mut Criterion) {
     let sizes: Vec<MeasuredSize> = SIZES.iter().map(|&n| measure_size(c, n)).collect();
 
     if let Ok(path) = std::env::var("BENCH_ENGINE_JSON") {
-        let mut json = String::from("{\n");
-        json.push_str(
-            "  \"benchmark\": \"engine message plane: legacy boxed vs flat double-buffered\",\n",
-        );
-        json.push_str("  \"sizes\": [\n");
-        for (si, size) in sizes.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{\n      \"n\": {},\n      \"extra_edges\": {},\n      \"workloads\": [\n",
-                size.n,
-                2 * size.n
-            ));
-            // A name filter (`cargo bench ... -- <substring>`) leaves
-            // skipped benchmarks with 0.0 medians; emitting those would put
-            // NaN/inf ratios in the JSON, so drop them like the console
-            // summary does.
-            let complete: Vec<&MeasuredWorkload> = size
-                .workloads
-                .iter()
-                .filter(|w| w.legacy_ns > 0.0 && w.flat_seq_ns > 0.0 && w.flat_par_ns > 0.0)
-                .collect();
-            for (i, w) in complete.iter().enumerate() {
-                json.push_str(&format!(
-                    "        {{\n          \"name\": \"{}\",\n          \"rounds\": {},\n          \"messages\": {},\n          \"legacy_boxed_ms\": {:.3},\n          \"flat_seq_ms\": {:.3},\n          \"flat_par_ms\": {:.3},\n          \"speedup_flat_seq_vs_legacy\": {:.2},\n          \"speedup_flat_par_vs_legacy\": {:.2},\n          \"speedup_flat_par_vs_flat_seq\": {:.2}\n        }}{}\n",
-                    w.name,
-                    w.rounds,
-                    w.messages,
-                    w.legacy_ns / 1e6,
-                    w.flat_seq_ns / 1e6,
-                    w.flat_par_ns / 1e6,
-                    w.legacy_ns / w.flat_seq_ns,
-                    w.legacy_ns / w.flat_par_ns,
-                    w.flat_seq_ns / w.flat_par_ns,
-                    if i + 1 < complete.len() { "," } else { "" },
-                ));
-            }
-            json.push_str(&format!(
-                "      ]\n    }}{}\n",
-                if si + 1 < sizes.len() { "," } else { "" }
-            ));
-        }
-        json.push_str("  ]\n}\n");
-        std::fs::write(&path, json).expect("write BENCH_ENGINE_JSON");
+        use congest_telemetry::json::{obj, Json};
+        let ms = |ns: f64| Json::F64((ns / 1e6 * 1000.0).round() / 1000.0);
+        let ratio = |a: f64, b: f64| Json::F64((a / b * 100.0).round() / 100.0);
+        let sizes_json: Vec<Json> = sizes
+            .iter()
+            .map(|size| {
+                // A name filter (`cargo bench ... -- <substring>`) leaves
+                // skipped benchmarks with 0.0 medians; emitting those would
+                // put NaN/inf ratios in the JSON, so drop them like the
+                // console summary does.
+                let workloads: Vec<Json> = size
+                    .workloads
+                    .iter()
+                    .filter(|w| w.legacy_ns > 0.0 && w.flat_seq_ns > 0.0 && w.flat_par_ns > 0.0)
+                    .map(|w| {
+                        obj(vec![
+                            ("name", Json::from(w.name)),
+                            ("rounds", Json::U64(w.rounds)),
+                            ("messages", Json::U64(w.messages)),
+                            ("legacy_boxed_ms", ms(w.legacy_ns)),
+                            ("flat_seq_ms", ms(w.flat_seq_ns)),
+                            ("flat_par_ms", ms(w.flat_par_ns)),
+                            ("speedup_flat_seq_vs_legacy", ratio(w.legacy_ns, w.flat_seq_ns)),
+                            ("speedup_flat_par_vs_legacy", ratio(w.legacy_ns, w.flat_par_ns)),
+                            ("speedup_flat_par_vs_flat_seq", ratio(w.flat_seq_ns, w.flat_par_ns)),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("n", Json::from(size.n)),
+                    ("extra_edges", Json::from(2 * size.n)),
+                    ("workloads", Json::Arr(workloads)),
+                ])
+            })
+            .collect();
+        congest_telemetry::Manifest::new("bench-engine")
+            .field(
+                "benchmark",
+                Json::from("engine message plane: legacy boxed vs flat double-buffered"),
+            )
+            .field(
+                "knobs",
+                obj(vec![
+                    ("waves", Json::from(WAVES)),
+                    ("bf_rounds", Json::U64(BF_ROUNDS)),
+                    ("graph", Json::from("gnm_connected(n, 2n, unit weights, seed 7)")),
+                ]),
+            )
+            .field("sizes", Json::Arr(sizes_json))
+            .write(&path)
+            .expect("write BENCH_ENGINE_JSON");
         println!("wrote {path}");
     }
 }

@@ -241,45 +241,67 @@ fn bench_faults(c: &mut Criterion) {
     let sizes: Vec<MeasuredSize> = SIZES.iter().map(|&n| measure_size(c, n)).collect();
 
     if let Ok(path) = std::env::var("BENCH_FAULTS_JSON") {
-        let mut json = String::from("{\n");
-        json.push_str(
-            "  \"benchmark\": \"detect-and-recover overhead vs fault rate (BF relaxation phase)\",\n",
-        );
-        json.push_str(&format!("  \"max_attempts\": {MAX_ATTEMPTS},\n"));
-        json.push_str("  \"sizes\": [\n");
-        for (si, size) in sizes.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{\n      \"n\": {},\n      \"clean_rounds\": {},\n      \"clean_messages\": {},\n      \"clean_ms\": {:.3},\n      \"rates\": [\n",
-                size.n,
-                size.clean_rounds,
-                size.clean_messages,
-                size.clean_ns / 1e6,
-            ));
-            let complete: Vec<&MeasuredRate> =
-                size.rates.iter().filter(|r| r.median_ns > 0.0).collect();
-            for (i, r) in complete.iter().enumerate() {
-                json.push_str(&format!(
-                    "        {{\n          \"kind\": \"{}\",\n          \"lambda\": {},\n          \"rate_ppm\": {},\n          \"attempts\": {},\n          \"injected_faults\": {},\n          \"recovered\": {},\n          \"rounds_total\": {},\n          \"rounds_overhead\": {:.2},\n          \"wall_ms\": {:.3},\n          \"wall_overhead\": {:.2}\n        }}{}\n",
-                    r.kind,
-                    r.lambda,
-                    r.ppm,
-                    r.attempts,
-                    r.injected,
-                    r.recovered,
-                    r.total_rounds,
-                    r.total_rounds as f64 / size.clean_rounds as f64,
-                    r.median_ns / 1e6,
-                    if size.clean_ns > 0.0 { r.median_ns / size.clean_ns } else { 0.0 },
-                    if i + 1 < complete.len() { "," } else { "" },
-                ));
-            }
-            json.push_str(&format!(
-                "      ]\n    }}{}\n",
-                if si + 1 < sizes.len() { "," } else { "" }
-            ));
-        }
-        json.push_str("  ]\n}\n");
-        std::fs::write(&path, json).expect("write BENCH_FAULTS_JSON");
+        use congest_telemetry::json::{obj, Json};
+        let round2 = |x: f64| Json::F64((x * 100.0).round() / 100.0);
+        let ms = |ns: f64| Json::F64((ns / 1e6 * 1000.0).round() / 1000.0);
+        let sizes_json: Vec<Json> = sizes
+            .iter()
+            .map(|size| {
+                let rates: Vec<Json> = size
+                    .rates
+                    .iter()
+                    .filter(|r| r.median_ns > 0.0)
+                    .map(|r| {
+                        obj(vec![
+                            ("kind", Json::from(r.kind)),
+                            ("lambda", Json::F64(r.lambda)),
+                            ("rate_ppm", Json::from(r.ppm)),
+                            ("attempts", Json::from(r.attempts)),
+                            ("injected_faults", Json::U64(r.injected)),
+                            ("recovered", Json::Bool(r.recovered)),
+                            ("rounds_total", Json::U64(r.total_rounds)),
+                            (
+                                "rounds_overhead",
+                                round2(r.total_rounds as f64 / size.clean_rounds as f64),
+                            ),
+                            ("wall_ms", ms(r.median_ns)),
+                            (
+                                "wall_overhead",
+                                round2(if size.clean_ns > 0.0 {
+                                    r.median_ns / size.clean_ns
+                                } else {
+                                    0.0
+                                }),
+                            ),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("n", Json::from(size.n)),
+                    ("clean_rounds", Json::U64(size.clean_rounds)),
+                    ("clean_messages", Json::U64(size.clean_messages)),
+                    ("clean_ms", ms(size.clean_ns)),
+                    ("rates", Json::Arr(rates)),
+                ])
+            })
+            .collect();
+        congest_telemetry::Manifest::new("bench-faults")
+            .field(
+                "benchmark",
+                Json::from("detect-and-recover overhead vs fault rate (BF relaxation phase)"),
+            )
+            .field(
+                "knobs",
+                obj(vec![
+                    ("max_attempts", Json::from(MAX_ATTEMPTS)),
+                    ("bf_rounds", Json::U64(BF_ROUNDS)),
+                    ("lambdas", Json::Arr(LAMBDAS.iter().map(|&l| Json::F64(l)).collect())),
+                    ("graph", Json::from("gnm_connected(n, 2n, unit weights, seed 7)")),
+                ]),
+            )
+            .field("sizes", Json::Arr(sizes_json))
+            .write(&path)
+            .expect("write BENCH_FAULTS_JSON");
         println!("wrote {path}");
     }
 }

@@ -214,6 +214,31 @@ fn bench_oracle(c: &mut Criterion) {
     });
     group.finish();
 
+    // -------- per-op latency histograms (telemetry-enabled) --------
+    // The criterion group above times the raw oracle; this loop drives the
+    // same mixed workload through the QueryEngine with telemetry on, so the
+    // per-op histograms a production serving process would export
+    // (`oracle.op.dist_ns` / `path_ns` / `k_nearest_ns`) are populated and
+    // their p50/p99/p999 land in `BENCH_oracle.json`.
+    congest_telemetry::enable();
+    {
+        let mut state = 3u64;
+        for i in 0..100_000u64 {
+            let (u, v) = pair(&mut state);
+            if i % PATH_EVERY == 0 {
+                black_box(engine.path(u, v).expect("in range"));
+            } else {
+                black_box(engine.dist(u, v).expect("in range"));
+            }
+            if i % 64 == 0 {
+                black_box(engine.k_nearest(u, 10).expect("in range"));
+            }
+        }
+    }
+    engine.publish_gauges();
+    congest_telemetry::disable();
+    let op_hist = |name: &str| congest_telemetry::global().registry().histogram(name);
+
     // -------- concurrent throughput --------
     // Per-workload cache accounting: the counters are cumulative across the
     // whole process, so each phase's hit rate is computed from the delta of
@@ -323,43 +348,100 @@ fn bench_oracle(c: &mut Criterion) {
     let snapshot_bytes = oracle.to_bytes().len();
 
     if let Ok(path) = std::env::var("BENCH_ORACLE_JSON") {
+        use congest_telemetry::json::{obj, Json};
         let median = |suffix: &str| -> f64 {
             c.results.iter().find(|(n, _)| n.ends_with(suffix)).map_or(0.0, |(_, s)| s.median_ns)
         };
-        let mut json = String::from("{\n");
-        json.push_str("  \"benchmark\": \"distance-oracle serving layer throughput\",\n");
-        json.push_str(&format!(
-            "  \"n\": {N},\n  \"extra_edges\": {},\n  \"snapshot_bytes\": {snapshot_bytes},\n",
-            4 * N
-        ));
-        json.push_str(&format!(
-            "  \"ops_ns\": {{\n    \"dist\": {:.1},\n    \"path_uncached\": {:.1},\n    \"path_cached\": {:.1},\n    \"k_nearest_10\": {:.1}\n  }},\n",
-            median("dist"),
-            median("path-uncached"),
-            median("path-cached"),
-            median("k-nearest-10"),
-        ));
-        json.push_str(&format!(
-            "  \"workload\": {{\n    \"queries_per_thread\": {QUERIES_PER_THREAD},\n    \"uniform_dist_to_path_ratio\": \"{}:1\",\n    \"uniform_cache_hit_rate\": {uniform_hit_rate:.3},\n    \"hot_route_pairs\": {},\n    \"hot_route_cache_hit_rate\": {hot_hit_rate:.3},\n    \"zipf_universe_pairs\": {ZIPF_UNIVERSE},\n    \"zipf_exponent\": {ZIPF_S:.2},\n    \"zipf_cache_hit_rate\": {zipf_hit_rate:.3}\n  }},\n",
-            PATH_EVERY - 1,
-            hot.len(),
-        ));
-        json.push_str(&format!(
-            "  \"build_from_outcome\": {{\n    \"n\": {N},\n    \"derived_plane_ms\": {derived_ms:.1},\n    \"derived_reverse_bfs_derivations\": {derived_derivations},\n    \"supplied_plane_ms\": {supplied_ms:.1},\n    \"supplied_reverse_bfs_derivations\": {supplied_derivations},\n    \"dist_arena_bytes_moved\": {arena_bytes},\n    \"avoided_n2_copy_ms\": {avoided_copy_ms:.1},\n    \"note\": \"arena (and any Step-7 successor plane) moves from ApspOutcome into Oracle; supplied-plane time is the validation sweep only, zero reverse-BFS\"\n  }},\n",
-        ));
-        json.push_str("  \"throughput\": [\n");
-        for (i, p) in points.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{ \"threads\": {}, \"uniform_mixed_queries_per_sec\": {:.0}, \"hot_route_paths_per_sec\": {:.0}, \"zipf_paths_per_sec\": {:.0} }}{}\n",
-                p.threads,
-                p.qps,
-                p.hot_qps,
-                p.zipf_qps,
-                if i + 1 < points.len() { "," } else { "" },
-            ));
-        }
-        json.push_str("  ]\n}\n");
-        std::fs::write(&path, json).expect("write BENCH_ORACLE_JSON");
+        let round1 = |x: f64| Json::F64((x * 10.0).round() / 10.0);
+        let round3 = |x: f64| Json::F64((x * 1000.0).round() / 1000.0);
+        let hist_quantiles = |name: &str| {
+            let h = op_hist(name);
+            obj(vec![
+                ("count", Json::U64(h.count())),
+                ("p50", Json::U64(h.p50())),
+                ("p99", Json::U64(h.p99())),
+                ("p999", Json::U64(h.p999())),
+                ("max", Json::U64(h.max())),
+            ])
+        };
+        let throughput: Vec<Json> = points
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("threads", Json::from(p.threads)),
+                    ("uniform_mixed_queries_per_sec", Json::F64(p.qps.round())),
+                    ("hot_route_paths_per_sec", Json::F64(p.hot_qps.round())),
+                    ("zipf_paths_per_sec", Json::F64(p.zipf_qps.round())),
+                ])
+            })
+            .collect();
+        congest_telemetry::Manifest::new("bench-oracle")
+            .field("benchmark", Json::from("distance-oracle serving layer throughput"))
+            .field(
+                "knobs",
+                obj(vec![
+                    ("n", Json::from(N)),
+                    ("extra_edges", Json::from(4 * N)),
+                    ("graph", Json::from("gnm_connected(n, 4n, uniform 1..100, seed 2026)")),
+                    ("shards", Json::U64(64)),
+                    ("cache_per_shard", Json::U64(4096)),
+                    ("queries_per_thread", Json::U64(QUERIES_PER_THREAD)),
+                ]),
+            )
+            .field("snapshot_bytes", Json::from(snapshot_bytes))
+            .field(
+                "ops_ns",
+                obj(vec![
+                    ("dist", round1(median("dist"))),
+                    ("path_uncached", round1(median("path-uncached"))),
+                    ("path_cached", round1(median("path-cached"))),
+                    ("k_nearest_10", round1(median("k-nearest-10"))),
+                ]),
+            )
+            .field(
+                "op_latency_ns",
+                obj(vec![
+                    ("dist", hist_quantiles("oracle.op.dist_ns")),
+                    ("path", hist_quantiles("oracle.op.path_ns")),
+                    ("k_nearest", hist_quantiles("oracle.op.k_nearest_ns")),
+                ]),
+            )
+            .field(
+                "workload",
+                obj(vec![
+                    (
+                        "uniform_dist_to_path_ratio",
+                        Json::from(format!("{}:1", PATH_EVERY - 1)),
+                    ),
+                    ("uniform_cache_hit_rate", round3(uniform_hit_rate)),
+                    ("hot_route_pairs", Json::from(hot.len())),
+                    ("hot_route_cache_hit_rate", round3(hot_hit_rate)),
+                    ("zipf_universe_pairs", Json::from(ZIPF_UNIVERSE)),
+                    ("zipf_exponent", Json::F64(ZIPF_S)),
+                    ("zipf_cache_hit_rate", round3(zipf_hit_rate)),
+                ]),
+            )
+            .field(
+                "build_from_outcome",
+                obj(vec![
+                    ("n", Json::from(N)),
+                    ("derived_plane_ms", round1(derived_ms)),
+                    ("derived_reverse_bfs_derivations", Json::U64(derived_derivations)),
+                    ("supplied_plane_ms", round1(supplied_ms)),
+                    ("supplied_reverse_bfs_derivations", Json::U64(supplied_derivations)),
+                    ("dist_arena_bytes_moved", Json::from(arena_bytes)),
+                    ("avoided_n2_copy_ms", round1(avoided_copy_ms)),
+                    (
+                        "note",
+                        Json::from(
+                            "arena (and any Step-7 successor plane) moves from ApspOutcome into Oracle; supplied-plane time is the validation sweep only, zero reverse-BFS",
+                        ),
+                    ),
+                ]),
+            )
+            .field("throughput", Json::Arr(throughput))
+            .write(&path)
+            .expect("write BENCH_ORACLE_JSON");
         println!("wrote {path}");
     }
 }

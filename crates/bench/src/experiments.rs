@@ -794,11 +794,17 @@ pub fn f4() -> ExperimentOutput {
 /// queries/sec for a mixed dist/path burst.
 #[must_use]
 pub fn e1_oracle(big: bool) -> ExperimentOutput {
+    use congest_telemetry::json::{obj, Json};
     const QUERIES: u64 = 200_000;
     let mut table = String::new();
     let mut csv = String::from(
         "n,rounds,q,compute_ms,oracle_build_ms,snapshot_bytes,queries,serve_qps,cache_hit_rate\n",
     );
+    // The whole slice runs instrumented: solver spans, per-phase rows, op
+    // latency histograms, and shard-cache gauges all land in the run
+    // manifest written at the end.
+    congest_telemetry::enable();
+    let mut size_rows: Vec<Json> = Vec::new();
     let _ = writeln!(
         table,
         "E1: compute -> serve vertical slice (Solver -> into_oracle -> QueryEngine, {QUERIES} mixed queries)"
@@ -816,6 +822,7 @@ pub fn e1_oracle(big: bool) -> ExperimentOutput {
         let compute_ms = t0.elapsed().as_secs_f64() * 1e3;
         let rounds = out.recorder.total_rounds();
         let q = out.meta.q.len();
+        let phase_rows = out.recorder.manifest_rows();
         assert_eq!(out.dist, apsp_dijkstra(&g), "e2e slice must stay exact");
 
         let t0 = Instant::now();
@@ -840,8 +847,32 @@ pub fn e1_oracle(big: bool) -> ExperimentOutput {
             }
         }
         let qps = QUERIES as f64 / t0.elapsed().as_secs_f64();
+        engine.publish_gauges();
         let stats = engine.cache_stats();
-        let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+        let hit_rate = stats.hit_rate();
+        let shard_rows: Vec<Json> = engine
+            .shard_stats()
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("hits", Json::U64(s.hits)),
+                    ("misses", Json::U64(s.misses)),
+                    ("hit_rate", Json::F64((s.hit_rate() * 1000.0).round() / 1000.0)),
+                ])
+            })
+            .collect();
+        size_rows.push(obj(vec![
+            ("n", Json::from(n)),
+            ("rounds", Json::U64(rounds)),
+            ("q", Json::from(q)),
+            ("compute_ms", Json::F64((compute_ms * 10.0).round() / 10.0)),
+            ("oracle_build_ms", Json::F64((build_ms * 100.0).round() / 100.0)),
+            ("snapshot_bytes", Json::from(snapshot_bytes)),
+            ("serve_qps", Json::F64(qps.round())),
+            ("cache_hit_rate", Json::F64((hit_rate * 1000.0).round() / 1000.0)),
+            ("shards", Json::Arr(shard_rows)),
+            ("phases", Json::Arr(phase_rows.iter().map(phase_row_json).collect())),
+        ]));
         let _ = writeln!(
             table,
             "{n:>5} {rounds:>9} {q:>4} {compute_ms:>11.1} {build_ms:>9.2} {snapshot_bytes:>10} {qps:>12.0} {hit_rate:>9.3}"
@@ -851,11 +882,48 @@ pub fn e1_oracle(big: bool) -> ExperimentOutput {
             "{n},{rounds},{q},{compute_ms:.1},{build_ms:.2},{snapshot_bytes},{QUERIES},{qps:.0},{hit_rate:.3}"
         );
     }
+    let manifest = congest_telemetry::Manifest::new("experiment-e1")
+        .field(
+            "experiment",
+            Json::from("compute -> serve vertical slice (Solver -> into_oracle -> QueryEngine)"),
+        )
+        .field(
+            "knobs",
+            obj(vec![
+                ("queries", Json::U64(QUERIES)),
+                ("shards", Json::U64(8)),
+                ("cache_per_shard", Json::U64(1024)),
+                ("big", Json::Bool(big)),
+                ("graph", Json::from("sparse_random(n, seed 4000+n)")),
+            ]),
+        )
+        .field("sizes", Json::Arr(size_rows))
+        .metrics(congest_telemetry::global().registry());
+    congest_telemetry::disable();
+    if let Ok(path) = manifest.write_run("results") {
+        let _ = writeln!(table, "\nrun manifest: {}", path.display());
+    }
     let _ = writeln!(
         table,
         "\n(build-ms is plane validation only: the n^2 distance arena and the Step-7 successor plane move into the oracle with zero copies and zero reverse-BFS derivations)"
     );
     ExperimentOutput { id: "e1", table, csv }
+}
+
+/// [`congest_telemetry::PhaseRow`] as a manifest JSON object (the
+/// `Manifest::phases` section does the same for whole-run tables; here
+/// each e1 size carries its own).
+fn phase_row_json(r: &congest_telemetry::PhaseRow) -> congest_telemetry::json::Json {
+    use congest_telemetry::json::{obj, Json};
+    obj(vec![
+        ("name", Json::from(r.name.as_str())),
+        ("rounds", Json::U64(r.rounds)),
+        ("messages", Json::U64(r.messages)),
+        ("payload_words", Json::U64(r.payload_words)),
+        ("max_msg_words", Json::from(r.max_msg_words)),
+        ("max_node_congestion", Json::U64(r.max_node_congestion)),
+        ("wall_ns", Json::U64(r.wall_ns)),
+    ])
 }
 
 /// Runs one experiment by id.

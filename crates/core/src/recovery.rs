@@ -121,6 +121,31 @@ impl FaultReport {
     }
 }
 
+/// Telemetry: a retry is worth seeing on a trace timeline. No-op while
+/// the global plane is disabled.
+fn note_retry(phase: &str, attempt: u32) {
+    if congest_telemetry::enabled() {
+        let tele = congest_telemetry::global();
+        tele.registry().counter("recovery.retries").inc();
+        tele.instant(
+            "recovery.retry",
+            vec![
+                ("phase".to_string(), phase.to_string()),
+                ("attempt".to_string(), attempt.to_string()),
+            ],
+        );
+    }
+}
+
+/// Telemetry: a sentinel rejecting an attempt, ditto.
+fn note_sentinel_trip(phase: &str) {
+    if congest_telemetry::enabled() {
+        let tele = congest_telemetry::global();
+        tele.registry().counter("recovery.sentinel_trips").inc();
+        tele.instant("recovery.sentinel_trip", vec![("phase".to_string(), phase.to_string())]);
+    }
+}
+
 /// Per-run retry orchestrator threaded through the pipeline phases.
 #[derive(Clone, Debug)]
 pub struct Recovery {
@@ -208,6 +233,7 @@ impl Recovery {
                 if attempt_no == 1 {
                     self.report.phases_retried += 1;
                 }
+                note_retry(name, attempt_no);
             }
             match attempt(self.salted(base, seq, attempt_no)) {
                 Err(e) => last_error = Some(e),
@@ -217,6 +243,7 @@ impl Recovery {
                     let verified = sentinel(&t).is_ok();
                     if !verified {
                         self.report.sentinel_trips += 1;
+                        note_sentinel_trip(name);
                     }
                     if clean && verified {
                         return Ok((t, rep));
@@ -266,6 +293,7 @@ impl Recovery {
                 if attempt_no == 1 {
                     self.report.phases_retried += 1;
                 }
+                note_retry(name, attempt_no);
             }
             let mut scratch = Recorder::new();
             match attempt(self.salted(base, seq, attempt_no), &mut scratch) {
@@ -277,6 +305,7 @@ impl Recovery {
                     let verified = sentinel(&t).is_ok();
                     if !verified {
                         self.report.sentinel_trips += 1;
+                        note_sentinel_trip(name);
                     }
                     if clean && verified {
                         rec.absorb(prefix, scratch);

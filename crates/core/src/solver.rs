@@ -249,17 +249,56 @@ impl<'g, W: Weight> Solver<'g, W> {
     /// # Panics
     /// Panics if the communication graph is disconnected.
     pub fn run(&self) -> Result<ApspOutcome<W>, SolverError> {
-        let mut out = match self.algorithm {
-            Algorithm::Ar20 => run_ar20(self.g, &self.cfg, self.blocker, self.step6)?,
-            Algorithm::Ar18 => run_ar18(self.g, &self.cfg)?,
-            Algorithm::Naive => run_naive(self.g, &self.cfg)?,
+        let span = congest_telemetry::with(|t| t.span_start("solver.run"));
+        let result = match self.algorithm {
+            Algorithm::Ar20 => run_ar20(self.g, &self.cfg, self.blocker, self.step6),
+            Algorithm::Ar18 => run_ar18(self.g, &self.cfg),
+            Algorithm::Naive => run_naive(self.g, &self.cfg),
         };
+        if let Some(id) = span {
+            // Emit the per-phase slices from the *full* recorder (span
+            // names = `Recorder` phase labels), then close the solver
+            // span annotated with the algorithm, the knob set, and the
+            // recovery outcome — before any verbosity collapse.
+            let tele = congest_telemetry::global();
+            match &result {
+                Ok(out) => {
+                    out.recorder.trace_phases();
+                    tele.span_end_with(id, self.span_attrs(out));
+                }
+                Err(e) => tele.span_end_with(id, vec![("error".to_string(), e.to_string())]),
+            }
+        }
+        let mut out = result?;
         match self.verbosity {
             Verbosity::PerPhase => {}
             Verbosity::Summary => out.recorder = summarize(&out.recorder),
             Verbosity::Silent => out.recorder = Recorder::new(),
         }
         Ok(out)
+    }
+
+    /// Solver-span annotations: algorithm, knob set, recovery outcome.
+    fn span_attrs(&self, out: &ApspOutcome<W>) -> Vec<(String, String)> {
+        let fr = out.fault_report;
+        let mut attrs = vec![
+            ("algorithm".to_string(), format!("{:?}", self.algorithm)),
+            ("blocker_method".to_string(), format!("{:?}", self.blocker)),
+            ("step6_method".to_string(), format!("{:?}", self.step6)),
+            ("n".to_string(), self.g.n().to_string()),
+            ("h".to_string(), out.meta.h.to_string()),
+            ("charging".to_string(), format!("{:?}", self.cfg.charging)),
+            ("seed".to_string(), self.cfg.seed.to_string()),
+            ("track_successors".to_string(), self.cfg.track_successors.to_string()),
+            ("bandwidth".to_string(), self.cfg.sim.bandwidth.to_string()),
+            ("retries".to_string(), fr.retries.to_string()),
+            ("sentinel_trips".to_string(), fr.sentinel_trips.to_string()),
+        ];
+        if fr.faults.injected > 0 {
+            attrs.push(("faults_injected".to_string(), fr.faults.injected.to_string()));
+            attrs.push(("rounds_lost".to_string(), fr.rounds_lost.to_string()));
+        }
+        attrs
     }
 }
 

@@ -11,8 +11,10 @@
 use crate::lru::LruCache;
 use crate::oracle::Oracle;
 use congest_graph::{NodeId, Weight};
+use congest_telemetry::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Tuning knobs for a [`QueryEngine`].
 #[derive(Copy, Clone, Debug)]
@@ -68,7 +70,8 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
-/// Aggregate path-cache counters across all shards.
+/// Path-cache counters — per shard ([`QueryEngine::shard_stats`]) or
+/// aggregated across shards ([`QueryEngine::cache_stats`]).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Path queries served from a shard cache.
@@ -77,18 +80,76 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+impl CacheStats {
+    /// Fraction of path queries served from cache, in `[0, 1]`
+    /// (0.0 when no query has been counted yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 type PathCache = LruCache<(NodeId, NodeId), Arc<[NodeId]>>;
+
+/// One cache shard: the LRU plus its own hit/miss counters, so per-shard
+/// load is observable without adding any cross-shard coordination (the
+/// aggregate is the sum).
+struct Shard {
+    cache: Mutex<PathCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cached handles into the global telemetry registry, fetched once at
+/// engine construction so the per-op hot path never touches the
+/// registry lock. Recording happens only while telemetry is enabled.
+struct OpHists {
+    dist: Arc<Histogram>,
+    path: Arc<Histogram>,
+    k_nearest: Arc<Histogram>,
+}
+
+impl OpHists {
+    fn new() -> Self {
+        let reg = congest_telemetry::global().registry();
+        OpHists {
+            dist: reg.histogram("oracle.op.dist_ns"),
+            path: reg.histogram("oracle.op.path_ns"),
+            k_nearest: reg.histogram("oracle.op.k_nearest_ns"),
+        }
+    }
+}
+
+/// Records `t0`'s elapsed nanoseconds into `hist`; `t0` is only `Some`
+/// when telemetry was enabled at op entry.
+#[inline]
+fn record_op(hist: &Histogram, t0: Option<Instant>) {
+    if let Some(t0) = t0 {
+        hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
 
 /// Sharded concurrent query server over an immutable oracle snapshot.
 ///
 /// Cheap to share: clone the `Arc<QueryEngine>` (or just `&`-borrow it)
 /// into worker threads.
+///
+/// Observability: while the global `congest_telemetry` plane is enabled,
+/// every `dist`/`path`/`k_nearest` call records its latency into the
+/// `oracle.op.*_ns` histograms (p50/p99/p999 readable from exports), and
+/// [`publish_gauges`](Self::publish_gauges) snapshots per-shard cache
+/// state into gauges. Disabled, the only cost per op is one relaxed
+/// atomic load.
 pub struct QueryEngine<W> {
     oracle: Arc<Oracle<W>>,
-    shards: Box<[Mutex<PathCache>]>,
+    shards: Box<[Shard]>,
     mask: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    op_hists: OpHists,
 }
 
 impl<W: Weight> QueryEngine<W> {
@@ -99,10 +160,15 @@ impl<W: Weight> QueryEngine<W> {
         let shards = cfg.shards.max(1).next_power_of_two();
         QueryEngine {
             oracle,
-            shards: (0..shards).map(|_| Mutex::new(LruCache::new(cfg.cache_per_shard))).collect(),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    cache: Mutex::new(LruCache::new(cfg.cache_per_shard)),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                })
+                .collect(),
             mask: shards as u64 - 1,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            op_hists: OpHists::new(),
         }
     }
 
@@ -126,7 +192,7 @@ impl<W: Weight> QueryEngine<W> {
         }
     }
 
-    fn shard(&self, u: NodeId, v: NodeId) -> &Mutex<PathCache> {
+    fn shard(&self, u: NodeId, v: NodeId) -> &Shard {
         // SplitMix64 finalizer over the packed pair: cheap and well mixed.
         let mut z = (u64::from(u) << 32) | u64::from(v);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -142,6 +208,13 @@ impl<W: Weight> QueryEngine<W> {
     /// # Errors
     /// [`QueryError::NodeOutOfRange`] for invalid node ids.
     pub fn dist(&self, u: NodeId, v: NodeId) -> Result<Option<W>, QueryError> {
+        let t0 = congest_telemetry::enabled().then(Instant::now);
+        let r = self.dist_impl(u, v);
+        record_op(&self.op_hists.dist, t0);
+        r
+    }
+
+    fn dist_impl(&self, u: NodeId, v: NodeId) -> Result<Option<W>, QueryError> {
         self.check(u)?;
         self.check(v)?;
         let d = self.oracle.distance(u, v);
@@ -162,22 +235,29 @@ impl<W: Weight> QueryEngine<W> {
     /// # Panics
     /// Panics only if a shard mutex was poisoned by a panicking thread.
     pub fn path(&self, u: NodeId, v: NodeId) -> Result<Option<Arc<[NodeId]>>, QueryError> {
+        let t0 = congest_telemetry::enabled().then(Instant::now);
+        let r = self.path_impl(u, v);
+        record_op(&self.op_hists.path, t0);
+        r
+    }
+
+    fn path_impl(&self, u: NodeId, v: NodeId) -> Result<Option<Arc<[NodeId]>>, QueryError> {
         self.check(u)?;
         self.check(v)?;
         if self.oracle.distance(u, v).is_inf() {
             return Ok(None);
         }
         let shard = self.shard(u, v);
-        if let Some(p) = shard.lock().expect("shard cache poisoned").get(&(u, v)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = shard.cache.lock().expect("shard cache poisoned").get(&(u, v)) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(p));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         // The distance is finite, so a `None` walk means the plane lost
         // the pair — corrupt, not unreachable.
         let walk = self.oracle.try_path(u, v)?.ok_or(QueryError::CorruptSuccessors { u, v })?;
         let p: Arc<[NodeId]> = walk.into();
-        shard.lock().expect("shard cache poisoned").insert((u, v), p.clone());
+        shard.cache.lock().expect("shard cache poisoned").insert((u, v), p.clone());
         Ok(Some(p))
     }
 
@@ -188,8 +268,11 @@ impl<W: Weight> QueryEngine<W> {
     /// # Errors
     /// [`QueryError::NodeOutOfRange`] for an invalid node id.
     pub fn k_nearest(&self, u: NodeId, k: usize) -> Result<Vec<(NodeId, W)>, QueryError> {
-        self.check(u)?;
-        Ok(self.oracle.k_nearest(u, k))
+        let t0 = congest_telemetry::enabled().then(Instant::now);
+        self.check(u).inspect_err(|_| record_op(&self.op_hists.k_nearest, t0))?;
+        let r = self.oracle.k_nearest(u, k);
+        record_op(&self.op_hists.k_nearest, t0);
+        Ok(r)
     }
 
     /// Total number of paths currently resident across all shard caches.
@@ -198,15 +281,56 @@ impl<W: Weight> QueryEngine<W> {
     /// Panics only if a shard mutex was poisoned by a panicking thread.
     #[must_use]
     pub fn cached_paths(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("shard cache poisoned").len()).sum()
+        self.shards.iter().map(|s| s.cache.lock().expect("shard cache poisoned").len()).sum()
     }
 
-    /// Aggregate path-cache hit/miss counters.
+    /// Aggregate path-cache hit/miss counters (the sum over
+    /// [`shard_stats`](Self::shard_stats)).
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+        let mut total = CacheStats::default();
+        for s in &*self.shards {
+            total.hits += s.hits.load(Ordering::Relaxed);
+            total.misses += s.misses.load(Ordering::Relaxed);
         }
+        total
+    }
+
+    /// Per-shard path-cache hit/miss counters, indexed by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| CacheStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Snapshots per-shard cache state into the global telemetry
+    /// registry as gauges (`oracle.cache.shard<i>.hits` / `.misses` /
+    /// `.resident`) plus an aggregate `oracle.cache.hit_rate_bp` gauge
+    /// in basis points. No-op while telemetry is disabled.
+    ///
+    /// # Panics
+    /// Panics only if a shard mutex was poisoned by a panicking thread.
+    pub fn publish_gauges(&self) {
+        if !congest_telemetry::enabled() {
+            return;
+        }
+        let reg = congest_telemetry::global().registry();
+        for (i, s) in self.shards.iter().enumerate() {
+            let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+            let resident = s.cache.lock().expect("shard cache poisoned").len();
+            reg.gauge(&format!("oracle.cache.shard{i}.hits"))
+                .set(clamp(s.hits.load(Ordering::Relaxed)));
+            reg.gauge(&format!("oracle.cache.shard{i}.misses"))
+                .set(clamp(s.misses.load(Ordering::Relaxed)));
+            reg.gauge(&format!("oracle.cache.shard{i}.resident"))
+                .set(i64::try_from(resident).unwrap_or(i64::MAX));
+        }
+        let rate_bp = (self.cache_stats().hit_rate() * 10_000.0).round() as i64;
+        reg.gauge("oracle.cache.hit_rate_bp").set(rate_bp);
     }
 }
 
@@ -331,6 +455,64 @@ mod tests {
         let stats = e.cache_stats();
         assert!(stats.hits + stats.misses > 0);
         assert!(stats.hits > stats.misses, "repeat queries should mostly hit: {stats:?}");
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_the_aggregate() {
+        let (e, _) = engine(16, 2, EngineConfig { shards: 4, cache_per_shard: 64 });
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                let _ = e.path(u, v).unwrap();
+            }
+        }
+        for _ in 0..5 {
+            let _ = e.path(0, 15).unwrap();
+        }
+        let shards = e.shard_stats();
+        assert_eq!(shards.len(), 4);
+        let agg = e.cache_stats();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), agg.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), agg.misses);
+        assert!(shards.iter().filter(|s| s.hits + s.misses > 0).count() > 1, "load spreads");
+    }
+
+    #[test]
+    fn hit_rate_is_a_fraction_of_path_queries() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats { hits: 3, misses: 1 }.hit_rate(), 0.75);
+        let (e, _) = engine(16, 2, EngineConfig { shards: 4, cache_per_shard: 64 });
+        for _ in 0..10 {
+            let _ = e.path(0, 15).unwrap();
+        }
+        assert_eq!(e.cache_stats().hit_rate(), 0.9);
+    }
+
+    #[test]
+    fn publish_gauges_snapshots_per_shard_state() {
+        let (e, _) = engine(16, 6, EngineConfig { shards: 2, cache_per_shard: 64 });
+        for _ in 0..4 {
+            let _ = e.path(1, 14).unwrap();
+        }
+        e.publish_gauges(); // disabled: must be a no-op
+        let tele = congest_telemetry::enable();
+        e.publish_gauges();
+        congest_telemetry::disable();
+        let gauges = tele.registry().gauges();
+        let get = |name: &str| {
+            gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or_else(|| {
+                panic!("missing gauge {name}");
+            })
+        };
+        let shard_total: i64 = (0..2)
+            .map(|i| {
+                get(&format!("oracle.cache.shard{i}.hits"))
+                    + get(&format!("oracle.cache.shard{i}.misses"))
+            })
+            .sum();
+        assert_eq!(shard_total, 4);
+        assert_eq!(get("oracle.cache.hit_rate_bp"), 7500);
+        let resident: i64 = (0..2).map(|i| get(&format!("oracle.cache.shard{i}.resident"))).sum();
+        assert_eq!(resident, 1);
     }
 
     #[test]

@@ -113,6 +113,13 @@ impl<W: Weight> Oracle<W> {
         }
         let (arena, succ_plane) = dist.into_parts();
 
+        // Build timing: a supplied plane pays validation, a missing one
+        // pays the reverse-BFS derivation — both worth a span + histogram
+        // when telemetry is on (the 231 ms vs 370 ms gap at n = 2^11 is
+        // exactly what PR 4 bought; keep it observable).
+        let build_t0 = congest_telemetry::enabled().then(std::time::Instant::now);
+        let supplied = succ_plane.is_some();
+
         let succ = match succ_plane {
             Some(succ) => {
                 // A producer-supplied plane replaces the derivation, but
@@ -181,6 +188,22 @@ impl<W: Weight> Oracle<W> {
                 succ
             }
         };
+        if let Some(t0) = build_t0 {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let tele = congest_telemetry::global();
+            let (span, hist) = if supplied {
+                ("oracle.build/validate-plane", "oracle.build.validate_ns")
+            } else {
+                ("oracle.build/derive-plane", "oracle.build.derive_ns")
+            };
+            tele.complete_span(
+                span,
+                tele.now_ns().saturating_sub(ns),
+                ns,
+                vec![("n".to_string(), n.to_string())],
+            );
+            tele.registry().histogram(hist).record(ns);
+        }
         Oracle { n, dist: arena, succ }
     }
 

@@ -422,11 +422,22 @@ pub struct SimConfig {
     /// algorithm built on the engine inherits faults without per-call-site
     /// changes.
     pub fault: Option<FaultSpec>,
+    /// Per-round trace sampling interval: every `trace_rounds`-th round
+    /// emits an `engine.round` instant event into the global telemetry
+    /// plane (when it is enabled). 0 — the default — disables sampling,
+    /// and the round loop does not touch telemetry at all.
+    pub trace_rounds: u32,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { bandwidth: 1, parallel_threshold: 4096, workers: 0, fault: None }
+        SimConfig {
+            bandwidth: 1,
+            parallel_threshold: 4096,
+            workers: 0,
+            fault: None,
+            trace_rounds: 0,
+        }
     }
 }
 
@@ -590,9 +601,58 @@ impl<'t> Engine<'t> {
     /// phase report (unnamed; callers label it via
     /// [`crate::Recorder::record`]).
     ///
+    /// Observability: the report's `wall_ns` is always populated (two
+    /// `Instant` reads per phase — it never participates in report
+    /// equality); when the global `congest_telemetry` plane is enabled
+    /// the phase additionally runs inside an `engine.run` span, and
+    /// [`SimConfig::trace_rounds`] samples per-round instant events.
+    ///
     /// # Errors
     /// Propagates CONGEST violations and budget exhaustion as [`SimError`].
     pub fn run<N: NodeLogic>(
+        &self,
+        nodes: &mut [N],
+        until: RunUntil,
+    ) -> Result<PhaseReport, SimError> {
+        let phase_start = std::time::Instant::now();
+        let span = congest_telemetry::with(|t| t.span_start("engine.run"));
+        let mut result = self.run_inner(nodes, until);
+        let wall_ns = u64::try_from(phase_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Ok(rep) = &mut result {
+            rep.wall_ns = wall_ns;
+        }
+        if let Some(id) = span {
+            let attrs = match &result {
+                Ok(rep) => vec![
+                    ("rounds".to_string(), rep.rounds.to_string()),
+                    ("messages".to_string(), rep.messages.to_string()),
+                    ("payload_words".to_string(), rep.payload_words.to_string()),
+                ],
+                Err(e) => vec![("error".to_string(), e.to_string())],
+            };
+            congest_telemetry::global().span_end_with(id, attrs);
+        }
+        result
+    }
+
+    /// [`run`](Self::run) minus the phase-level timing and telemetry
+    /// wrapper (the returned report's `wall_ns` stays 0). Exists only so
+    /// the overhead-guard bench can measure what the instrumentation
+    /// costs when telemetry is disabled; everything else should call
+    /// `run`.
+    ///
+    /// # Errors
+    /// Propagates CONGEST violations and budget exhaustion as [`SimError`].
+    #[doc(hidden)]
+    pub fn run_uninstrumented<N: NodeLogic>(
+        &self,
+        nodes: &mut [N],
+        until: RunUntil,
+    ) -> Result<PhaseReport, SimError> {
+        self.run_inner(nodes, until)
+    }
+
+    fn run_inner<N: NodeLogic>(
         &self,
         nodes: &mut [N],
         until: RunUntil,
@@ -816,6 +876,21 @@ impl<'t> Engine<'t> {
                     }
                 }
             }
+            // Sampled per-round trace events: the knob check keeps the
+            // common trace_rounds == 0 path free of any telemetry call.
+            if self.cfg.trace_rounds != 0
+                && rounds.is_multiple_of(u64::from(self.cfg.trace_rounds))
+                && congest_telemetry::enabled()
+            {
+                congest_telemetry::global().instant(
+                    "engine.round",
+                    vec![
+                        ("round".to_string(), rounds.to_string()),
+                        ("delivered".to_string(), delivered.to_string()),
+                        ("active".to_string(), active_count.to_string()),
+                    ],
+                );
+            }
             rounds += 1;
         }
 
@@ -828,6 +903,7 @@ impl<'t> Engine<'t> {
             payload_words,
             max_msg_words,
             faults,
+            wall_ns: 0, // populated by the `run` wrapper
         })
     }
 }

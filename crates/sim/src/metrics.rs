@@ -9,7 +9,7 @@
 use crate::fault::FaultCounters;
 
 /// Statistics for one protocol phase (one [`crate::Engine::run`] call).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct PhaseReport {
     /// Human-readable phase label, e.g. `"step1: h-CSSSP"`.
     pub name: String,
@@ -35,13 +35,53 @@ pub struct PhaseReport {
     /// All-zero when no fault plan is active, so fault-free reports compare
     /// equal to pre-fault-plane ones.
     pub faults: FaultCounters,
+    /// Host wall-clock spent simulating the phase, in nanoseconds.
+    /// Observability only — **excluded from equality** (see the manual
+    /// [`PartialEq`] below), because the simulated outcome of a
+    /// deterministic protocol is bit-identical across runs while the
+    /// host timing never is.
+    pub wall_ns: u64,
 }
+
+/// Equality covers every *simulated* quantity and ignores `wall_ns`
+/// (host timing), keeping the bit-identical contracts — the recovery
+/// accept rule, the sequential ≡ parallel determinism suite, the
+/// fault-matrix differential suite — valid verbatim. Precedent:
+/// `DistMatrix` equality ignores its successor plane.
+impl PartialEq for PhaseReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.node_sent == other.node_sent
+            && self.peak_in_flight == other.peak_in_flight
+            && self.payload_words == other.payload_words
+            && self.max_msg_words == other.max_msg_words
+            && self.faults == other.faults
+    }
+}
+
+impl Eq for PhaseReport {}
 
 impl PhaseReport {
     /// Maximum congestion at any node (paper's footnote 4 definition).
     #[must_use]
     pub fn max_node_congestion(&self) -> u64 {
         self.node_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// This report as a run-manifest row (see `congest_telemetry`).
+    #[must_use]
+    pub fn manifest_row(&self) -> congest_telemetry::PhaseRow {
+        congest_telemetry::PhaseRow {
+            name: self.name.clone(),
+            rounds: self.rounds,
+            messages: self.messages,
+            payload_words: self.payload_words,
+            max_msg_words: self.max_msg_words,
+            max_node_congestion: self.max_node_congestion(),
+            wall_ns: self.wall_ns,
+        }
     }
 }
 
@@ -130,6 +170,12 @@ impl Recorder {
         total
     }
 
+    /// Total host wall-clock across phases, in nanoseconds.
+    #[must_use]
+    pub fn total_wall_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.wall_ns).sum()
+    }
+
     /// Merges another recorder's phases (used when a sub-algorithm keeps its
     /// own recorder), prefixing each phase name.
     pub fn absorb(&mut self, prefix: &str, other: Recorder) {
@@ -139,30 +185,88 @@ impl Recorder {
         }
     }
 
-    /// Renders a compact per-phase table (used by examples and experiments).
+    /// The recorded phases as run-manifest rows (see `congest_telemetry`).
+    #[must_use]
+    pub fn manifest_rows(&self) -> Vec<congest_telemetry::PhaseRow> {
+        self.phases.iter().map(PhaseReport::manifest_row).collect()
+    }
+
+    /// Emits one complete trace span per recorded phase into the global
+    /// telemetry plane (no-op while telemetry is disabled). Span names
+    /// are exactly the recorded phase labels; the phases are laid out
+    /// back-to-back ending now, preserving order and true durations
+    /// (local phases appear as zero-length slices).
+    pub fn trace_phases(&self) {
+        if !congest_telemetry::enabled() {
+            return;
+        }
+        let tele = congest_telemetry::global();
+        let mut start = tele.now_ns().saturating_sub(self.total_wall_ns());
+        for p in &self.phases {
+            tele.complete_span(
+                &p.name,
+                start,
+                p.wall_ns,
+                vec![
+                    ("rounds".to_string(), p.rounds.to_string()),
+                    ("messages".to_string(), p.messages.to_string()),
+                    ("payload_words".to_string(), p.payload_words.to_string()),
+                    ("max_msg_words".to_string(), p.max_msg_words.to_string()),
+                    ("max_node_congestion".to_string(), p.max_node_congestion().to_string()),
+                ],
+            );
+            start += p.wall_ns;
+        }
+    }
+
+    /// Renders a compact per-phase table (used by examples and
+    /// experiments) covering the full CONGEST budget picture: rounds,
+    /// messages, payload words, widest message, per-node congestion,
+    /// and host wall-clock (ms).
     #[must_use]
     pub fn table(&self) -> String {
         use std::fmt::Write as _;
+        const FMT_W: (usize, usize, usize, usize, usize, usize, usize) =
+            (44, 10, 12, 13, 6, 10, 10);
+        let (wn, wr, wm, wp, ww, wc, wt) = FMT_W;
         let mut s = String::new();
-        let _ =
-            writeln!(s, "{:<44} {:>10} {:>12} {:>10}", "phase", "rounds", "messages", "max-cong");
-        for p in &self.phases {
-            let _ = writeln!(
-                s,
-                "{:<44} {:>10} {:>12} {:>10}",
-                p.name,
-                p.rounds,
-                p.messages,
-                p.max_node_congestion()
-            );
-        }
         let _ = writeln!(
             s,
-            "{:<44} {:>10} {:>12} {:>10}",
+            "{:<wn$} {:>wr$} {:>wm$} {:>wp$} {:>ww$} {:>wc$} {:>wt$}",
+            "phase", "rounds", "messages", "payload-words", "max-w", "max-cong", "wall-ms"
+        );
+        let mut row = |name: &str, r: u64, m: u64, p: u64, w: u32, c: u64, ns: u64| {
+            let _ = writeln!(
+                s,
+                "{:<wn$} {:>wr$} {:>wm$} {:>wp$} {:>ww$} {:>wc$} {:>wt$.3}",
+                name,
+                r,
+                m,
+                p,
+                w,
+                c,
+                ns as f64 / 1e6
+            );
+        };
+        for p in &self.phases {
+            row(
+                &p.name,
+                p.rounds,
+                p.messages,
+                p.payload_words,
+                p.max_msg_words,
+                p.max_node_congestion(),
+                p.wall_ns,
+            );
+        }
+        row(
             "TOTAL",
             self.total_rounds(),
             self.total_messages(),
-            self.max_node_congestion()
+            self.total_payload_words(),
+            self.max_msg_words(),
+            self.max_node_congestion(),
+            self.total_wall_ns(),
         );
         s
     }
@@ -214,5 +318,49 @@ mod tests {
         let t = r.table();
         assert!(t.contains("phase-one"));
         assert!(t.contains("TOTAL"));
+    }
+
+    #[test]
+    fn table_covers_the_full_budget_picture() {
+        let mut r = Recorder::new();
+        r.record(
+            "p",
+            PhaseReport {
+                payload_words: 123,
+                max_msg_words: 4,
+                wall_ns: 2_500_000,
+                ..phase(1, 2, vec![2])
+            },
+        );
+        let t = r.table();
+        for col in ["payload-words", "max-w", "wall-ms"] {
+            assert!(t.contains(col), "missing column {col} in:\n{t}");
+        }
+        assert!(t.contains("123"));
+        assert!(t.contains("2.500"), "wall_ns rendered as ms:\n{t}");
+    }
+
+    #[test]
+    fn wall_ns_is_excluded_from_equality() {
+        let a = PhaseReport { wall_ns: 10, ..phase(3, 7, vec![1, 6]) };
+        let b = PhaseReport { wall_ns: 99_999, ..phase(3, 7, vec![1, 6]) };
+        assert_eq!(a, b, "host timing must not break bit-identical comparisons");
+        let c = PhaseReport { rounds: 4, ..a.clone() };
+        assert_ne!(a, c, "simulated quantities still compare");
+        assert_eq!(a.manifest_row().wall_ns, 10, "manifest rows keep the timing");
+    }
+
+    #[test]
+    fn manifest_rows_and_wall_totals() {
+        let mut r = Recorder::new();
+        r.record("a", PhaseReport { wall_ns: 5, ..phase(1, 2, vec![2]) });
+        r.record("b", PhaseReport { wall_ns: 7, ..phase(3, 4, vec![1, 3]) });
+        assert_eq!(r.total_wall_ns(), 12);
+        let rows = r.manifest_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].name, "b");
+        assert_eq!(rows[1].rounds, 3);
+        assert_eq!(rows[1].max_node_congestion, 3);
+        assert_eq!(rows[1].wall_ns, 7);
     }
 }

@@ -1,0 +1,335 @@
+//! Exporters: Chrome trace-event JSON, Prometheus text, run manifests.
+
+use crate::hist::Histogram;
+use crate::json::{obj, Json};
+use crate::registry::Registry;
+use crate::spans::{SpanEvent, SpanKind};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version stamped into every manifest; bump on breaking layout change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Per-phase accounting row as it appears in run manifests. The
+/// simulator's `PhaseReport` converts into this (telemetry cannot
+/// depend on the simulator, so the row is defined here).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Phase label (the `Recorder` name).
+    pub name: String,
+    /// Simulated communication rounds.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload delivered, in machine words.
+    pub payload_words: u64,
+    /// Widest single message, in words.
+    pub max_msg_words: u32,
+    /// Maximum per-node messages sent (congestion).
+    pub max_node_congestion: u64,
+    /// Host wall-clock spent simulating the phase.
+    pub wall_ns: u64,
+}
+
+impl PhaseRow {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("rounds", Json::U64(self.rounds)),
+            ("messages", Json::U64(self.messages)),
+            ("payload_words", Json::U64(self.payload_words)),
+            ("max_msg_words", Json::from(self.max_msg_words)),
+            ("max_node_congestion", Json::U64(self.max_node_congestion)),
+            ("wall_ns", Json::U64(self.wall_ns)),
+        ])
+    }
+}
+
+fn attrs_json(attrs: &[(String, String)]) -> Json {
+    Json::Obj(attrs.iter().map(|(k, v)| (k.clone(), Json::from(v.as_str()))).collect())
+}
+
+/// Renders span events as Chrome trace-event JSON (the object form:
+/// `{"traceEvents": [...]}`), loadable in Perfetto / `chrome://tracing`.
+/// Timestamps are microseconds with fractional nanoseconds preserved.
+#[must_use]
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let out: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            let ts = Json::F64(e.ts_ns as f64 / 1000.0);
+            let mut fields: Vec<(&str, Json)> = vec![
+                ("name", Json::from(e.name.as_str())),
+                (
+                    "ph",
+                    Json::from(match e.kind {
+                        SpanKind::Begin => "B",
+                        SpanKind::End => "E",
+                        SpanKind::Complete => "X",
+                        SpanKind::Instant => "i",
+                    }),
+                ),
+                ("ts", ts),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(e.tid)),
+            ];
+            if e.kind == SpanKind::Complete {
+                fields.push(("dur", Json::F64(e.dur_ns as f64 / 1000.0)));
+            }
+            if e.kind == SpanKind::Instant {
+                fields.push(("s", Json::from("t")));
+            }
+            if !e.attrs.is_empty() {
+                fields.push(("args", attrs_json(&e.attrs)));
+            }
+            obj(fields)
+        })
+        .collect();
+    obj(vec![("traceEvents", Json::Arr(out)), ("displayTimeUnit", Json::from("ns"))]).pretty()
+}
+
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}
+
+/// Renders the registry as a Prometheus-style text dump. Histograms are
+/// exposed summary-style: `_count`, `_sum`, and `{quantile="…"}` rows.
+#[must_use]
+pub fn prometheus(reg: &Registry) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (name, v) in reg.counters() {
+        let name = sanitize_metric_name(&name);
+        let _ = writeln!(s, "# TYPE {name} counter");
+        let _ = writeln!(s, "{name} {v}");
+    }
+    for (name, v) in reg.gauges() {
+        let name = sanitize_metric_name(&name);
+        let _ = writeln!(s, "# TYPE {name} gauge");
+        let _ = writeln!(s, "{name} {v}");
+    }
+    for (name, h) in reg.histograms() {
+        let name = sanitize_metric_name(&name);
+        let _ = writeln!(s, "# TYPE {name} summary");
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+            let _ = writeln!(s, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q));
+        }
+        let _ = writeln!(s, "{name}_sum {}", h.sum());
+        let _ = writeln!(s, "{name}_count {}", h.count());
+    }
+    s
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    obj(vec![
+        ("count", Json::U64(h.count())),
+        ("sum", Json::U64(h.sum())),
+        ("mean", Json::F64(h.mean())),
+        ("p50", Json::U64(h.p50())),
+        ("p99", Json::U64(h.p99())),
+        ("p999", Json::U64(h.p999())),
+        ("max", Json::U64(h.max())),
+    ])
+}
+
+/// Builder for the machine-readable run manifest — the single JSON sink
+/// every artifact (`results/run-*.json`, `BENCH_*.json`) goes through,
+/// so all of them carry [`SCHEMA_VERSION`], a kind tag, a timestamp,
+/// and whatever provenance sections the producer attaches (graph
+/// params, solver knobs, per-phase rows, registry snapshots).
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    fields: Vec<(String, Json)>,
+}
+
+impl Manifest {
+    /// Starts a manifest of the given kind (e.g. `"solver-run"`,
+    /// `"bench-oracle"`), stamped with the schema version and the
+    /// current wall-clock time.
+    #[must_use]
+    pub fn new(kind: &str) -> Self {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        Manifest {
+            fields: vec![
+                ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
+                ("kind".to_string(), Json::from(kind)),
+                ("created_unix_ms".to_string(), Json::U64(unix_ms)),
+            ],
+        }
+    }
+
+    /// Attaches a section (replacing an existing one with the same key).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Attaches the per-phase table under `"phases"`, plus aggregate
+    /// totals under `"totals"`.
+    #[must_use]
+    pub fn phases(self, rows: &[PhaseRow]) -> Self {
+        let totals = obj(vec![
+            ("rounds", Json::U64(rows.iter().map(|r| r.rounds).sum())),
+            ("messages", Json::U64(rows.iter().map(|r| r.messages).sum())),
+            ("payload_words", Json::U64(rows.iter().map(|r| r.payload_words).sum())),
+            ("max_msg_words", Json::from(rows.iter().map(|r| r.max_msg_words).max().unwrap_or(0))),
+            ("wall_ns", Json::U64(rows.iter().map(|r| r.wall_ns).sum())),
+        ]);
+        self.field("phases", Json::Arr(rows.iter().map(PhaseRow::to_json).collect()))
+            .field("totals", totals)
+    }
+
+    /// Attaches a registry snapshot under `"metrics"` (counters, gauges,
+    /// and histogram quantiles).
+    #[must_use]
+    pub fn metrics(self, reg: &Registry) -> Self {
+        let counters =
+            Json::Obj(reg.counters().into_iter().map(|(k, v)| (k, Json::U64(v))).collect());
+        let gauges = Json::Obj(reg.gauges().into_iter().map(|(k, v)| (k, Json::I64(v))).collect());
+        let hists =
+            Json::Obj(reg.histograms().into_iter().map(|(k, h)| (k, histogram_json(&h))).collect());
+        self.field(
+            "metrics",
+            obj(vec![("counters", counters), ("gauges", gauges), ("histograms", hists)]),
+        )
+    }
+
+    /// The manifest as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.fields.clone())
+    }
+
+    /// Writes the manifest (pretty-printed) to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json().pretty())
+    }
+
+    /// Writes the manifest as `dir/run-<unix-ms>-<seq>.json` (the
+    /// sequence number keeps same-millisecond runs distinct within a
+    /// process) and returns the path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_run(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let unix_ms = match self.to_json().get("created_unix_ms") {
+            Some(Json::U64(ms)) => *ms,
+            _ => 0,
+        };
+        let path = dir.as_ref().join(format!("run-{unix_ms}-{seq}.json"));
+        self.write(&path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::spans::SpanRing;
+
+    #[test]
+    fn chrome_trace_parses_and_maps_kinds() {
+        let ring = SpanRing::new(16);
+        let id = ring.start("outer", 1000);
+        ring.complete("phase", 1100, 250, vec![("rounds".into(), "7".into())]);
+        ring.instant("tick", 1200, Vec::new());
+        ring.end(id, 2000, Vec::new());
+        let text = chrome_trace(&ring.snapshot());
+        let v = parse(&text).expect("trace must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        let phs: Vec<&str> =
+            events.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert_eq!(phs, vec!["B", "X", "i", "E"]);
+        let x = &events[1];
+        assert_eq!(x.get("name").unwrap().as_str(), Some("phase"));
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(1.1));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(0.25));
+        assert_eq!(x.get("args").unwrap().get("rounds").unwrap().as_str(), Some("7"));
+    }
+
+    #[test]
+    fn prometheus_renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("ops.total").add(3);
+        reg.gauge("cache-size").set(-2);
+        let h = reg.histogram("lat_ns");
+        h.record(10);
+        h.record(20);
+        let text = prometheus(&reg);
+        assert!(text.contains("# TYPE ops_total counter\nops_total 3\n"));
+        assert!(text.contains("# TYPE cache_size gauge\ncache_size -2\n"));
+        assert!(text.contains("lat_ns{quantile=\"0.5\"} 10"));
+        assert!(text.contains("lat_ns_count 2"));
+    }
+
+    #[test]
+    fn manifest_carries_schema_phases_and_metrics() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        let rows = vec![
+            PhaseRow {
+                name: "a".into(),
+                rounds: 2,
+                messages: 5,
+                wall_ns: 10,
+                ..Default::default()
+            },
+            PhaseRow {
+                name: "b".into(),
+                rounds: 3,
+                messages: 1,
+                wall_ns: 20,
+                ..Default::default()
+            },
+        ];
+        let m = Manifest::new("unit-test")
+            .field("knobs", obj(vec![("h", Json::U64(4))]))
+            .phases(&rows)
+            .metrics(&reg);
+        let v = parse(&m.to_json().pretty()).unwrap();
+        assert_eq!(v.get("schema_version").unwrap().as_f64(), Some(SCHEMA_VERSION as f64));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("unit-test"));
+        assert_eq!(v.get("phases").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("totals").unwrap().get("rounds").unwrap().as_f64(), Some(5.0));
+        assert_eq!(v.get("totals").unwrap().get("wall_ns").unwrap().as_f64(), Some(30.0));
+        assert_eq!(
+            v.get("metrics").unwrap().get("counters").unwrap().get("c").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn write_run_names_are_distinct() {
+        let dir = std::env::temp_dir().join("congest_telemetry_test_manifests");
+        let m = Manifest::new("t");
+        let a = m.write_run(&dir).unwrap();
+        let b = m.write_run(&dir).unwrap();
+        assert_ne!(a, b);
+        let text = std::fs::read_to_string(&a).unwrap();
+        assert!(parse(&text).is_ok());
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+}

@@ -1,0 +1,306 @@
+//! Log-bucketed latency histogram.
+//!
+//! Values (nanoseconds, bytes, …) are binned into power-of-two ranges
+//! split into `2^SUB_BITS` sub-buckets each, HDR-histogram style: bucket
+//! boundaries are exact integers, lookup is a handful of bit operations,
+//! and the whole table is `BUCKET_COUNT` atomic counters — recording is
+//! lock-free and concurrent recorders need no coordination. Two
+//! histograms fed disjoint sample sets and then [`merge`]d are
+//! *bit-identical* to one histogram fed the concatenation (the property
+//! test in `tests/hist_prop.rs` pins this down).
+//!
+//! [`merge`]: Histogram::merge
+//!
+//! # Quantile error bound
+//!
+//! [`Histogram::quantile`] returns the inclusive upper bound of the
+//! bucket holding the rank-⌈q·count⌉ sample. Values below `2^SUB_BITS`
+//! get singleton buckets (exact); above that a bucket spanning
+//! `[(2^SUB_BITS + s)·2^e, …)` is `2^e` wide, at most a `1/2^SUB_BITS`
+//! fraction of its lower bound. Hence for the exact rank-q sample `v`:
+//!
+//! ```text
+//! v ≤ quantile(q) ≤ v · (1 + 2^-SUB_BITS)     (= v · 1.03125)
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` buckets, bounding relative quantile error by
+/// `2^-SUB_BITS` (≈ 3.1%).
+pub const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets covering the full `u64` range.
+pub const BUCKET_COUNT: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// Index of the bucket containing `v`. Monotone in `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros());
+    let exp = msb - u64::from(SUB_BITS);
+    let sub = (v >> exp) - SUB;
+    ((exp + 1) * SUB + sub) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        i
+    } else {
+        let exp = i / SUB - 1;
+        (SUB + i % SUB) << exp
+    }
+}
+
+/// Inclusive upper bound of bucket `i` — what [`Histogram::quantile`]
+/// reports.
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    if i + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        bucket_low(i + 1) - 1
+    }
+}
+
+/// A mergeable, thread-safe, log-bucketed histogram (see the module
+/// docs for the binning scheme and error bound).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; safe to call from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty). Exact, not bucketed.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Folds another histogram's samples into this one. Afterwards this
+    /// histogram is bit-identical to one that recorded both sample sets.
+    pub fn merge(&self, other: &Histogram) {
+        for (b, o) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = o.load(Ordering::Relaxed);
+            if c > 0 {
+                b.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket holding the rank-⌈q·count⌉ sample;
+    /// 0 when empty. `q` is clamped to `[0, 1]`; see the module docs
+    /// for the `(1 + 2^-SUB_BITS)` relative error bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_high(i);
+            }
+        }
+        bucket_high(BUCKET_COUNT - 1)
+    }
+
+    /// Median ([`quantile`](Self::quantile)`(0.50)`).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_high(i), c))
+            })
+            .collect()
+    }
+
+    /// Resets every counter to zero.
+    pub fn clear(&self) {
+        for b in &*self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        // Every bucket's low is the previous bucket's high + 1, and
+        // lookup agrees with the bounds at and around every boundary.
+        for i in 1..BUCKET_COUNT {
+            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1, "bucket {i}");
+        }
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = (bucket_low(i), bucket_high(i));
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 17, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0); // rank clamps to 1 → smallest
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 54);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn quantile_respects_documented_bound() {
+        let h = Histogram::new();
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i * 13 + 7).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let got = h.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            let bound = exact + (exact >> SUB_BITS) + 1;
+            assert!(got <= bound, "q={q}: {got} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..500u64 {
+            let v = v * 997;
+            if v % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.nonzero_buckets(), both.nonzero_buckets());
+        for q in [0.1, 0.5, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = Histogram::new();
+        h.record(12345);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

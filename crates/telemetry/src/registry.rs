@@ -1,0 +1,163 @@
+//! Named metric registry: counters, gauges, histograms.
+//!
+//! The name → handle map is behind a mutex, but that lock is only taken
+//! at *registration* (and export). Hot paths hold an
+//! `Arc<Counter>`/`Arc<Histogram>` handle and update plain atomics —
+//! lock-free, no coordination between recording threads. Maps are
+//! ordered, so exports are deterministic.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (cache sizes, resident counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Ordered name → metric maps; see the module docs for the locking
+/// story.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    /// Cache the handle in hot code; this call locks the name map.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock().expect("registry poisoned");
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock().expect("registry poisoned");
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.hists.lock().expect("registry poisoned");
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// Name-ordered snapshot of all counters.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let m = self.counters.lock().expect("registry poisoned");
+        m.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Name-ordered snapshot of all gauges.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        let m = self.gauges.lock().expect("registry poisoned");
+        m.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Name-ordered handles to all histograms.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        let m = self.hists.lock().expect("registry poisoned");
+        m.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+    }
+
+    /// Zeroes every metric *value*; names and outstanding handles stay
+    /// valid (a cached `Arc<Counter>` keeps counting into the same cell).
+    pub fn clear_values(&self) {
+        for (_, c) in self.counters.lock().expect("registry poisoned").iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for (_, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for (_, h) in self.hists.lock().expect("registry poisoned").iter() {
+            h.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_cleared_in_place() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+        r.gauge("g").set(-3);
+        r.histogram("h").record(9);
+        assert_eq!(r.gauges(), vec![("g".to_string(), -3)]);
+        r.clear_values();
+        assert_eq!(a.get(), 0, "cached handle sees the cleared cell");
+        assert_eq!(r.gauge("g").get(), 0);
+        assert_eq!(r.histogram("h").count(), 0);
+        a.inc();
+        assert_eq!(r.counter("x").get(), 1);
+    }
+
+    #[test]
+    fn snapshots_are_name_ordered() {
+        let r = Registry::new();
+        r.counter("zz").inc();
+        r.counter("aa").inc();
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Structured trace spans in a bounded in-memory ring.
+//!
+//! Instrumentation sites record begin/end pairs, pre-timed complete
+//! spans, or instant events; each event carries a monotonic nanosecond
+//! timestamp, a logical thread id, and `key=value` attributes. The ring
+//! holds the most recent [`DEFAULT_RING_CAPACITY`] events — a run that
+//! overflows it keeps the tail and counts the evictions
+//! ([`SpanRing::dropped`]) instead of growing without bound.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default bound on buffered span events.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Identifies an open span; returned by `span_start`, consumed by
+/// `span_end`. Begin and end events share this id in exports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// What a [`SpanEvent`] marks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Span opened (`ts_ns` = start).
+    Begin,
+    /// Span closed (`ts_ns` = end; matched to its Begin via the id).
+    End,
+    /// Pre-timed span (`ts_ns` = start, `dur_ns` = length).
+    Complete,
+    /// Zero-duration marker.
+    Instant,
+}
+
+/// One record in the trace ring.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Span or marker name. Empty on [`SpanKind::End`] events (the id
+    /// links them to their begin event).
+    pub name: String,
+    /// Event kind.
+    pub kind: SpanKind,
+    /// Monotonic nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Duration, [`SpanKind::Complete`] only (0 otherwise).
+    pub dur_ns: u64,
+    /// Logical id of the recording thread (small dense integers, first
+    /// recording thread = 1).
+    pub tid: u64,
+    /// Id linking Begin/End pairs; 0 for Complete/Instant events.
+    pub id: u64,
+    /// `key=value` annotations.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Logical thread ids: dense, deterministic within a thread, cheap.
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// The bounded event buffer behind [`crate::Telemetry`].
+pub struct SpanRing {
+    capacity: usize,
+    events: Mutex<VecDeque<SpanEvent>>,
+    dropped: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        let mut q = self.events.lock().expect("span ring poisoned");
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(ev);
+    }
+
+    /// Records a begin event and returns the id for its end event.
+    pub fn start(&self, name: &str, ts_ns: u64) -> SpanId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.push(SpanEvent {
+            name: name.to_string(),
+            kind: SpanKind::Begin,
+            ts_ns,
+            dur_ns: 0,
+            tid: current_tid(),
+            id,
+            attrs: Vec::new(),
+        });
+        SpanId(id)
+    }
+
+    /// Records the end event for `id`.
+    pub fn end(&self, id: SpanId, ts_ns: u64, attrs: Vec<(String, String)>) {
+        self.push(SpanEvent {
+            name: String::new(),
+            kind: SpanKind::End,
+            ts_ns,
+            dur_ns: 0,
+            tid: current_tid(),
+            id: id.0,
+            attrs,
+        });
+    }
+
+    /// Records a pre-timed complete span.
+    pub fn complete(&self, name: &str, ts_ns: u64, dur_ns: u64, attrs: Vec<(String, String)>) {
+        self.push(SpanEvent {
+            name: name.to_string(),
+            kind: SpanKind::Complete,
+            ts_ns,
+            dur_ns,
+            tid: current_tid(),
+            id: 0,
+            attrs,
+        });
+    }
+
+    /// Records an instant marker.
+    pub fn instant(&self, name: &str, ts_ns: u64, attrs: Vec<(String, String)>) {
+        self.push(SpanEvent {
+            name: name.to_string(),
+            kind: SpanKind::Instant,
+            ts_ns,
+            dur_ns: 0,
+            tid: current_tid(),
+            id: 0,
+            attrs,
+        });
+    }
+
+    /// Buffered events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        self.events.lock().expect("span ring poisoned").iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Empties the ring (the eviction counter resets too).
+    pub fn clear(&self) {
+        self.events.lock().expect("span ring poisoned").clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let r = SpanRing::new(3);
+        for i in 0..5u64 {
+            r.instant(&format!("e{i}"), i, Vec::new());
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].name, "e2", "oldest events evicted first");
+        assert_eq!(r.dropped(), 2);
+        r.clear();
+        assert!(r.snapshot().is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn begin_end_share_an_id() {
+        let r = SpanRing::new(16);
+        let a = r.start("a", 10);
+        let b = r.start("b", 11);
+        r.end(b, 20, Vec::new());
+        r.end(a, 30, Vec::new());
+        assert_ne!(a, b);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].id, snap[3].id);
+        assert_eq!(snap[1].id, snap[2].id);
+    }
+}

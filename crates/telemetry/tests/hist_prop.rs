@@ -1,0 +1,90 @@
+//! Property tests for the log-bucketed histogram: merging per-thread
+//! histograms must be indistinguishable from one histogram fed the
+//! concatenated samples, and quantiles must stay inside the documented
+//! `(1 + 2^-SUB_BITS)` relative error bound.
+
+use congest_telemetry::hist::SUB_BITS;
+use congest_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Exact rank-⌈q·n⌉ order statistic of `sorted`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+const QS: [f64; 5] = [0.25, 0.5, 0.9, 0.99, 0.999];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Split a sample set across k "thread-local" histograms, merge
+    /// them, and compare against one histogram fed everything: every
+    /// observable (count, sum, max, buckets, quantiles) must match
+    /// exactly.
+    #[test]
+    fn merged_shards_match_concatenation(
+        samples in proptest::collection::vec(0u64..u64::MAX / 2, 1..400),
+        shards in 2usize..6,
+    ) {
+        let combined = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            combined.record(s);
+            parts[i % shards].record(s);
+        }
+        let merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert_eq!(merged.sum(), combined.sum());
+        prop_assert_eq!(merged.max(), combined.max());
+        prop_assert_eq!(merged.nonzero_buckets(), combined.nonzero_buckets());
+        for q in QS {
+            prop_assert_eq!(merged.quantile(q), combined.quantile(q));
+        }
+    }
+
+    /// Reported quantiles bracket the exact order statistic from above
+    /// within the documented bucket-resolution bound.
+    #[test]
+    fn quantile_error_within_documented_bound(
+        samples in proptest::collection::vec(0u64..u64::MAX / 2, 1..400),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.quantile(q);
+            prop_assert!(got >= exact, "q={}: reported {} below exact {}", q, got, exact);
+            // got ≤ exact · (1 + 2^-SUB_BITS), integer-safe form.
+            let slack = (exact >> SUB_BITS) + 1;
+            prop_assert!(
+                got <= exact.saturating_add(slack),
+                "q={}: reported {} exceeds exact {} + slack {}", q, got, exact, slack
+            );
+        }
+    }
+
+    /// Values below the sub-bucket threshold are stored exactly, so
+    /// quantiles over small samples are the true order statistics.
+    #[test]
+    fn small_values_have_exact_quantiles(
+        samples in proptest::collection::vec(0u64..(1u64 << SUB_BITS), 1..200),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            prop_assert_eq!(h.quantile(q), exact_quantile(&sorted, q));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Telemetry end to end: run the solver instrumented, serve queries
+//! through the sharded engine, then export and self-validate the three
+//! artifacts the telemetry plane produces —
+//!
+//! * a Chrome trace-event JSON (`results/trace.json`, loadable in
+//!   Perfetto or `chrome://tracing`) with one `X` span per recorded
+//!   solver phase, named exactly like the `Recorder` phase labels;
+//! * a run manifest (`results/run-*.json`) carrying schema version,
+//!   graph/solver provenance, per-phase rounds / messages / payload
+//!   words / wall-clock, and a metrics snapshot;
+//! * a Prometheus-style text dump of the registry (printed).
+//!
+//! The validation uses the crate's own dependency-free JSON parser, so
+//! this doubles as the CI smoke check for the exporters.
+//!
+//! ```text
+//! cargo run --release --example telemetry_trace
+//! ```
+
+use congest_apsp::Solver;
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_oracle::{EngineConfig, IntoOracle, QueryEngine};
+use congest_telemetry::json::{obj, parse, Json};
+use congest_telemetry::{export, Manifest};
+use std::sync::Arc;
+
+fn main() {
+    congest_telemetry::enable();
+
+    // -------- compute, instrumented --------
+    let n = 48;
+    let g = gnm_connected(n, 3 * n, true, WeightDist::Uniform(0, 100), 2026);
+    let out = Solver::builder(&g).run().expect("legal CONGEST protocol");
+    let phase_names: Vec<String> = out.recorder.phases().iter().map(|p| p.name.clone()).collect();
+    let phase_rows = out.recorder.manifest_rows();
+    let (h, q) = (out.meta.h, out.meta.q.len());
+    let total_rounds = out.recorder.total_rounds();
+    let total_wall_ns = out.recorder.total_wall_ns();
+
+    // -------- serve, instrumented --------
+    let oracle = out.into_oracle(&g);
+    let engine =
+        QueryEngine::new(Arc::new(oracle), EngineConfig { shards: 8, cache_per_shard: 256 });
+    for u in 0..n as u32 {
+        for v in [0u32, (n / 2) as u32, (n - 1) as u32] {
+            let _ = engine.dist(u, v).expect("in range");
+            let _ = engine.path(u, v).expect("in range");
+        }
+        let _ = engine.k_nearest(u, 4).expect("in range");
+    }
+    engine.publish_gauges();
+
+    // -------- export --------
+    let tele = congest_telemetry::global();
+    let trace = export::chrome_trace(&tele.spans());
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write("results/trace.json", &trace).expect("write trace");
+
+    let stats = engine.cache_stats();
+    let manifest = Manifest::new("solver-run")
+        .field(
+            "graph",
+            obj(vec![
+                ("n", Json::from(g.n())),
+                ("m", Json::from(g.m())),
+                ("directed", Json::Bool(g.is_directed())),
+                ("weights", Json::from("uniform 0..100")),
+                ("seed", Json::U64(2026)),
+            ]),
+        )
+        .field(
+            "solver",
+            obj(vec![
+                ("h", Json::from(h)),
+                ("q", Json::from(q)),
+                ("total_rounds", Json::U64(total_rounds)),
+            ]),
+        )
+        .field(
+            "serving",
+            obj(vec![
+                ("cache_hits", Json::U64(stats.hits)),
+                ("cache_misses", Json::U64(stats.misses)),
+                ("cache_hit_rate", Json::F64((stats.hit_rate() * 1000.0).round() / 1000.0)),
+            ]),
+        )
+        .phases(&phase_rows)
+        .metrics(tele.registry());
+    let manifest_path = manifest.write_run("results").expect("write manifest");
+
+    println!("wrote results/trace.json ({} bytes)", trace.len());
+    println!("wrote {}", manifest_path.display());
+
+    // -------- validate the Chrome trace --------
+    let v = parse(&trace).expect("trace must be valid JSON");
+    let events = v.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    let complete_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    // One complete span per recorded phase entry. Names can repeat (a
+    // sub-phase that runs once per iteration records one entry each
+    // time), so compare occurrence counts, not set membership.
+    for name in &phase_names {
+        let expected = phase_names.iter().filter(|p| p == &name).count();
+        let got = complete_names.iter().filter(|&&c| c == name.as_str()).count();
+        assert_eq!(got, expected, "span count mismatch for phase {name:?}");
+    }
+    assert!(
+        events.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("solver.run")),
+        "solver.run span missing"
+    );
+    println!(
+        "trace OK: {} events, one complete span per recorded phase ({} phases)",
+        events.len(),
+        phase_names.len()
+    );
+
+    // -------- validate the run manifest --------
+    let text = std::fs::read_to_string(&manifest_path).expect("read manifest back");
+    let m = parse(&text).expect("manifest must be valid JSON");
+    assert_eq!(
+        m.get("schema_version").and_then(Json::as_f64),
+        Some(congest_telemetry::SCHEMA_VERSION as f64)
+    );
+    assert_eq!(m.get("kind").and_then(Json::as_str), Some("solver-run"));
+    let phases = m.get("phases").and_then(Json::as_arr).expect("phases array");
+    assert_eq!(phases.len(), phase_names.len());
+    for p in phases {
+        for key in ["name", "rounds", "messages", "payload_words", "wall_ns"] {
+            assert!(p.get(key).is_some(), "phase row missing {key}");
+        }
+    }
+    let totals = m.get("totals").expect("totals");
+    assert_eq!(totals.get("rounds").and_then(Json::as_f64), Some(total_rounds as f64));
+    assert!(total_wall_ns > 0, "phases must carry wall-clock");
+    println!(
+        "manifest OK: {} phase rows, totals.rounds = {total_rounds}, wall = {:.3} ms",
+        phases.len(),
+        total_wall_ns as f64 / 1e6
+    );
+
+    // -------- registry, Prometheus-style --------
+    let prom = export::prometheus(tele.registry());
+    let lines: Vec<&str> =
+        prom.lines().filter(|l| l.starts_with("oracle_op") && l.contains("quantile")).collect();
+    assert!(!lines.is_empty(), "op latency histograms must be populated");
+    println!("\nop latency quantiles (ns):");
+    for l in &lines {
+        println!("  {l}");
+    }
+}
