@@ -295,6 +295,44 @@ fn bench_oracle(c: &mut Criterion) {
         engine.cached_paths()
     );
 
+    // -------- batched vs per-call entry points --------
+    // The serving front-end hands the engine a whole frame of requests at
+    // once; `dist_batch` amortizes per-op dispatch and `path_batch` takes
+    // each shard lock once per batch. Measure both against the per-call
+    // loop on the same pair stream.
+    const BATCH: usize = 64;
+    const BATCH_ROUNDS: usize = 2_000;
+    let mut state = 11u64;
+    let frames: Vec<Vec<(NodeId, NodeId)>> =
+        (0..BATCH_ROUNDS).map(|_| (0..BATCH).map(|_| pair(&mut state)).collect()).collect();
+    type FrameFn<'a> = dyn FnMut(&[(NodeId, NodeId)]) + 'a;
+    let time_ns_per_op = |f: &mut FrameFn| {
+        let t0 = Instant::now();
+        for frame in &frames {
+            f(frame);
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / (BATCH_ROUNDS * BATCH) as f64
+    };
+    let dist_percall_ns = time_ns_per_op(&mut |frame| {
+        for &(u, v) in frame {
+            black_box(engine.dist(u, v).expect("in range"));
+        }
+    });
+    let dist_batch_ns = time_ns_per_op(&mut |frame| {
+        black_box(engine.dist_batch(frame));
+    });
+    let path_percall_ns = time_ns_per_op(&mut |frame| {
+        for &(u, v) in frame {
+            black_box(engine.path(u, v).expect("in range"));
+        }
+    });
+    let path_batch_ns = time_ns_per_op(&mut |frame| {
+        black_box(engine.path_batch(frame));
+    });
+    println!(
+        "batched vs per-call ({BATCH}-request frames): dist {dist_percall_ns:.1} -> {dist_batch_ns:.1} ns/op, path {path_percall_ns:.1} -> {path_batch_ns:.1} ns/op"
+    );
+
     // -------- build-from-outcome: the zero-copy compute → serve handoff --------
     // Two variants of the boundary. A *plane-less* outcome (tracking off,
     // or a pre-Step-7 snapshot) pays the reverse-BFS successor derivation;
@@ -419,6 +457,23 @@ fn bench_oracle(c: &mut Criterion) {
                     ("zipf_universe_pairs", Json::from(ZIPF_UNIVERSE)),
                     ("zipf_exponent", Json::F64(ZIPF_S)),
                     ("zipf_cache_hit_rate", round3(zipf_hit_rate)),
+                ]),
+            )
+            .field(
+                "batched",
+                obj(vec![
+                    ("frame_requests", Json::from(BATCH)),
+                    ("frames", Json::from(BATCH_ROUNDS)),
+                    ("dist_per_call_ns", round1(dist_percall_ns)),
+                    ("dist_batch_ns_per_op", round1(dist_batch_ns)),
+                    ("path_per_call_ns", round1(path_percall_ns)),
+                    ("path_batch_ns_per_op", round1(path_batch_ns)),
+                    (
+                        "note",
+                        Json::from(
+                            "dist_batch amortizes per-op dispatch; path_batch takes each shard lock once per frame instead of once per request",
+                        ),
+                    ),
                 ]),
             )
             .field(

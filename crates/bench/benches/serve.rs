@@ -1,0 +1,193 @@
+//! Loopback benchmark of the network serving front-end: round-trip
+//! latency (p50/p99/p999) and queries/sec across a grid of connection
+//! counts × pipelined batch sizes.
+//!
+//! Run with `cargo bench -p congest_bench --bench serve`. Set
+//! `BENCH_SERVE_JSON=path` to additionally write the measured numbers as
+//! JSON (this is how `BENCH_serve.json` at the repo root is produced).
+//!
+//! Each cell of the grid spawns `connections` client threads against one
+//! server on 127.0.0.1; every client pipelines `batch` Dist requests per
+//! frame burst and measures the full round trip (write → all responses
+//! decoded). Batching is the protocol's central lever: one syscall
+//! carries the whole batch each way, so per-request cost drops as the
+//! batch grows while the RTT of the *batch* stays nearly flat.
+
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+use congest_serve::proto::Status;
+use congest_serve::{Client, Server, ServerConfig};
+use congest_telemetry::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 1 << 10; // 1024 nodes
+const CONNECTIONS: &[usize] = &[1, 2, 4];
+const BATCHES: &[usize] = &[1, 16, 64];
+/// Requests answered per (connection, cell) after warmup.
+const REQUESTS_PER_CONN: u64 = 8_000;
+const WARMUP_BATCHES: u64 = 50;
+
+fn next_rng(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+struct Cell {
+    connections: usize,
+    batch: usize,
+    requests: u64,
+    elapsed_s: f64,
+    qps: f64,
+    /// Round-trip of one pipelined batch, ns.
+    rtt: Histogram,
+}
+
+fn run_cell(addr: std::net::SocketAddr, connections: usize, batch: usize) -> Cell {
+    let rtt = Histogram::new();
+    let total = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..connections {
+            let rtt = &rtt;
+            let total = &total;
+            scope.spawn(move || {
+                let mut client = Client::<u64>::connect(addr).expect("connect");
+                let mut x = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+                let local = Histogram::new();
+                let mut sent = 0u64;
+                let mut warmup = WARMUP_BATCHES;
+                while sent < REQUESTS_PER_CONN {
+                    let mut b = client.batch();
+                    for _ in 0..batch {
+                        let r = next_rng(&mut x);
+                        b.dist((r % N as u64) as u32, ((r >> 32) % N as u64) as u32);
+                    }
+                    let sent_now = b.len() as u64;
+                    let start = Instant::now();
+                    let replies = b.send().expect("batch");
+                    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    for r in &replies {
+                        assert!(
+                            matches!(r.status, Status::Ok | Status::Unreachable),
+                            "bench reply errored: {:?}",
+                            r.status
+                        );
+                    }
+                    if warmup > 0 {
+                        warmup -= 1;
+                        continue;
+                    }
+                    local.record(ns);
+                    sent += sent_now;
+                }
+                rtt.merge(&local);
+                total.fetch_add(sent, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let requests = total.load(std::sync::atomic::Ordering::Relaxed);
+    Cell { connections, batch, requests, elapsed_s, qps: requests as f64 / elapsed_s, rtt }
+}
+
+fn main() {
+    // Telemetry on: the server records its per-op histograms and batch
+    // spans while the bench drives it, and the manifest snapshots them.
+    congest_telemetry::enable();
+
+    let g = gnm_connected(N, 4 * N, true, WeightDist::Uniform(1, 100), 2026);
+    let oracle = Arc::new(Oracle::from_dist(&g, apsp_dijkstra(&g)));
+    let engine = Arc::new(QueryEngine::new(oracle, EngineConfig::default()));
+    let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut cells = Vec::new();
+    println!("serve loopback grid: {N} nodes, {} requests/connection per cell", REQUESTS_PER_CONN);
+    println!("conns  batch  qps        batch-RTT p50/p99/p999 (us)   per-req (us)");
+    for &connections in CONNECTIONS {
+        for &batch in BATCHES {
+            let cell = run_cell(addr, connections, batch);
+            let us = |ns: u64| ns as f64 / 1000.0;
+            println!(
+                "{:<6} {:<6} {:<10.0} {:>7.1} / {:>7.1} / {:>7.1}    {:>8.2}",
+                cell.connections,
+                cell.batch,
+                cell.qps,
+                us(cell.rtt.p50()),
+                us(cell.rtt.p99()),
+                us(cell.rtt.p999()),
+                us(cell.rtt.p50()) / cell.batch as f64,
+            );
+            cells.push(cell);
+        }
+    }
+
+    if let Ok(path) = std::env::var("BENCH_SERVE_JSON") {
+        use congest_telemetry::json::{obj, Json};
+        let hist_json = |h: &Histogram| {
+            obj(vec![
+                ("count", Json::U64(h.count())),
+                ("p50", Json::U64(h.p50())),
+                ("p99", Json::U64(h.p99())),
+                ("p999", Json::U64(h.p999())),
+                ("max", Json::U64(h.max())),
+            ])
+        };
+        let server_hist = |name: &str| congest_telemetry::global().registry().histogram(name);
+        let grid: Vec<Json> = cells
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("connections", Json::from(c.connections)),
+                    ("batch", Json::from(c.batch)),
+                    ("requests", Json::U64(c.requests)),
+                    ("elapsed_s", Json::F64((c.elapsed_s * 1000.0).round() / 1000.0)),
+                    ("qps", Json::F64(c.qps.round())),
+                    ("batch_rtt_ns", hist_json(&c.rtt)),
+                    (
+                        "per_request_rtt_p50_ns",
+                        Json::F64((c.rtt.p50() as f64 / c.batch as f64).round()),
+                    ),
+                ])
+            })
+            .collect();
+        congest_telemetry::Manifest::new("bench-serve")
+            .field("benchmark", Json::from("network serving front-end, loopback TCP"))
+            .field(
+                "knobs",
+                obj(vec![
+                    ("n", Json::from(N)),
+                    ("extra_edges", Json::from(4 * N)),
+                    ("graph", Json::from("gnm_connected(n, 4n, uniform 1..100, seed 2026)")),
+                    ("connections", Json::Arr(CONNECTIONS.iter().map(|&c| Json::from(c)).collect())),
+                    ("batch_sizes", Json::Arr(BATCHES.iter().map(|&b| Json::from(b)).collect())),
+                    ("requests_per_connection", Json::U64(REQUESTS_PER_CONN)),
+                    ("warmup_batches", Json::U64(WARMUP_BATCHES)),
+                    ("transport", Json::from("TCP loopback, TCP_NODELAY, one write per batch")),
+                ]),
+            )
+            .field("grid", Json::Arr(grid))
+            .field(
+                "server_op_latency_ns",
+                obj(vec![
+                    ("dist_amortized", hist_json(&server_hist("serve.op.dist_ns"))),
+                    ("batch_frames", hist_json(&server_hist("serve.batch.frames"))),
+                ]),
+            )
+            .field(
+                "note",
+                Json::from(
+                    "batch_rtt_ns is the client-observed round trip of one pipelined batch (write to last response decoded); qps counts individual Dist requests; server dist latency is the per-request amortized share of each batch group",
+                ),
+            )
+            .write(&path)
+            .expect("write BENCH_SERVE_JSON");
+        println!("wrote {path}");
+    }
+
+    server.join();
+}

@@ -112,6 +112,8 @@ struct OpHists {
     dist: Arc<Histogram>,
     path: Arc<Histogram>,
     k_nearest: Arc<Histogram>,
+    dist_batch: Arc<Histogram>,
+    path_batch: Arc<Histogram>,
 }
 
 impl OpHists {
@@ -121,6 +123,8 @@ impl OpHists {
             dist: reg.histogram("oracle.op.dist_ns"),
             path: reg.histogram("oracle.op.path_ns"),
             k_nearest: reg.histogram("oracle.op.k_nearest_ns"),
+            dist_batch: reg.histogram("oracle.op.dist_batch_ns"),
+            path_batch: reg.histogram("oracle.op.path_batch_ns"),
         }
     }
 }
@@ -192,13 +196,17 @@ impl<W: Weight> QueryEngine<W> {
         }
     }
 
-    fn shard(&self, u: NodeId, v: NodeId) -> &Shard {
+    fn shard_index(&self, u: NodeId, v: NodeId) -> u64 {
         // SplitMix64 finalizer over the packed pair: cheap and well mixed.
         let mut z = (u64::from(u) << 32) | u64::from(v);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        &self.shards[(z & self.mask) as usize]
+        z & self.mask
+    }
+
+    fn shard(&self, u: NodeId, v: NodeId) -> &Shard {
+        &self.shards[self.shard_index(u, v) as usize]
     }
 
     /// `δ(u, v)`; `Ok(None)` when `v` is unreachable from `u`.
@@ -259,6 +267,126 @@ impl<W: Weight> QueryEngine<W> {
         let p: Arc<[NodeId]> = walk.into();
         shard.cache.lock().expect("shard cache poisoned").insert((u, v), p.clone());
         Ok(Some(p))
+    }
+
+    /// Answers a whole frame of distance queries in one call: one
+    /// telemetry timestamp and one bounds-checked arena sweep for the
+    /// batch instead of per-call overhead. Results are positional —
+    /// `out[i]` answers `pairs[i]` — and each entry fails independently,
+    /// so one bad id cannot poison its neighbors.
+    ///
+    /// This is the entry point the network serving front-end uses to
+    /// amortize dispatch across a pipelined frame of requests.
+    #[must_use]
+    pub fn dist_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Option<W>, QueryError>> {
+        let t0 = congest_telemetry::enabled().then(Instant::now);
+        let n = self.oracle.n();
+        let out = pairs
+            .iter()
+            .map(|&(u, v)| {
+                for node in [u, v] {
+                    if node as usize >= n {
+                        return Err(QueryError::NodeOutOfRange { node, n });
+                    }
+                }
+                let d = self.oracle.distance(u, v);
+                Ok((!d.is_inf()).then_some(d))
+            })
+            .collect();
+        record_op(&self.op_hists.dist_batch, t0);
+        out
+    }
+
+    /// Answers a whole frame of path queries in one call, amortizing
+    /// cache locking across the batch: requests are grouped by shard, so
+    /// every touched shard's mutex is taken **once** for all its probes
+    /// (and once more for all its inserts) instead of once per request.
+    /// Reconstruction of cache misses happens outside any lock. Results
+    /// are positional: `out[i]` answers `pairs[i]`.
+    ///
+    /// # Panics
+    /// Panics only if a shard mutex was poisoned by a panicking thread.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn path_batch(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<Result<Option<Arc<[NodeId]>>, QueryError>> {
+        let t0 = congest_telemetry::enabled().then(Instant::now);
+        let n = self.oracle.n();
+        let mut out: Vec<Result<Option<Arc<[NodeId]>>, QueryError>> =
+            Vec::with_capacity(pairs.len());
+        // (shard, request index) for every pair that needs a cache probe.
+        let mut pending: Vec<(u64, u32)> = Vec::new();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let bad = [u, v].into_iter().find(|&node| node as usize >= n);
+            if let Some(node) = bad {
+                out.push(Err(QueryError::NodeOutOfRange { node, n }));
+            } else if self.oracle.distance(u, v).is_inf() {
+                out.push(Ok(None));
+            } else {
+                pending.push((self.shard_index(u, v), i as u32));
+                out.push(Ok(None)); // placeholder, overwritten below
+            }
+        }
+        // Group by shard: one lock acquisition serves every probe (and
+        // later every insert) destined for that shard.
+        pending.sort_unstable();
+        let mut misses: Vec<u32> = Vec::new();
+        let mut g = 0;
+        while g < pending.len() {
+            let shard_id = pending[g].0;
+            let end = g + pending[g..].partition_point(|&(s, _)| s == shard_id);
+            let shard = &self.shards[shard_id as usize];
+            let (mut hits, mut shard_misses) = (0u64, 0u64);
+            {
+                let mut cache = shard.cache.lock().expect("shard cache poisoned");
+                for &(_, i) in &pending[g..end] {
+                    let key = pairs[i as usize];
+                    if let Some(p) = cache.get(&key) {
+                        out[i as usize] = Ok(Some(p));
+                        hits += 1;
+                    } else {
+                        misses.push(i);
+                        shard_misses += 1;
+                    }
+                }
+            }
+            shard.hits.fetch_add(hits, Ordering::Relaxed);
+            shard.misses.fetch_add(shard_misses, Ordering::Relaxed);
+            g = end;
+        }
+        // Reconstruct misses with no lock held (the expensive part).
+        let mut walked: Vec<(u64, u32)> = Vec::with_capacity(misses.len());
+        for i in misses {
+            let (u, v) = pairs[i as usize];
+            match self.oracle.try_path(u, v) {
+                Ok(Some(walk)) => {
+                    out[i as usize] = Ok(Some(walk.into()));
+                    walked.push((self.shard_index(u, v), i));
+                }
+                // Finite distance with no walk: the plane lost the pair.
+                Ok(None) => out[i as usize] = Err(QueryError::CorruptSuccessors { u, v }),
+                Err(e) => out[i as usize] = Err(e),
+            }
+        }
+        // Insert the fresh walks, again one lock per touched shard.
+        walked.sort_unstable();
+        let mut g = 0;
+        while g < walked.len() {
+            let shard_id = walked[g].0;
+            let end = g + walked[g..].partition_point(|&(s, _)| s == shard_id);
+            let mut cache =
+                self.shards[shard_id as usize].cache.lock().expect("shard cache poisoned");
+            for &(_, i) in &walked[g..end] {
+                if let Ok(Some(p)) = &out[i as usize] {
+                    cache.insert(pairs[i as usize], p.clone());
+                }
+            }
+            g = end;
+        }
+        record_op(&self.op_hists.path_batch, t0);
+        out
     }
 
     /// The `k` nearest other nodes to `u` (see [`Oracle::k_nearest`]).
@@ -513,6 +641,68 @@ mod tests {
         assert_eq!(get("oracle.cache.hit_rate_bp"), 7500);
         let resident: i64 = (0..2).map(|i| get(&format!("oracle.cache.shard{i}.resident"))).sum();
         assert_eq!(resident, 1);
+    }
+
+    #[test]
+    fn dist_batch_matches_per_call() {
+        let (e, _) = engine(24, 5, EngineConfig::default());
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        for u in 0..24u32 {
+            for v in 0..24u32 {
+                pairs.push((u, v));
+            }
+        }
+        pairs.push((24, 0)); // out of range, mid-batch
+        pairs.push((0, 99));
+        let batch = e.dist_batch(&pairs);
+        assert_eq!(batch.len(), pairs.len());
+        for (&(u, v), got) in pairs.iter().zip(&batch) {
+            assert_eq!(*got, e.dist(u, v), "batch answer for ({u}, {v})");
+        }
+    }
+
+    #[test]
+    fn path_batch_matches_per_call_and_locks_per_shard() {
+        // Each shard's capacity covers the whole pair universe, so the
+        // second batch cannot suffer evictions.
+        let (e, _) = engine(16, 2, EngineConfig { shards: 4, cache_per_shard: 256 });
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..16u32).flat_map(|u| (0..16u32).map(move |v| (u, v))).collect();
+        let batch = e.path_batch(&pairs);
+        for (&(u, v), got) in pairs.iter().zip(&batch) {
+            assert_eq!(*got, e.path(u, v), "batch answer for ({u}, {v})");
+        }
+        // Everything the batch reconstructed is now cached: a second
+        // batch must be all hits.
+        let before = e.cache_stats();
+        let again = e.path_batch(&pairs);
+        assert_eq!(again, batch);
+        let after = e.cache_stats();
+        assert_eq!(after.misses, before.misses, "second batch re-walks nothing");
+        assert_eq!(after.hits - before.hits, pairs.len() as u64);
+    }
+
+    #[test]
+    fn path_batch_mixes_errors_hits_and_unreachable() {
+        use crate::oracle::NO_SUCC;
+        // Forged 2-node snapshot: 0 -> 1 has a finite distance but a
+        // dead-ended plane; 1 -> 0 is unreachable.
+        let dist = vec![0u64, 1, u64::INF, 0].into_boxed_slice();
+        let succ = vec![NO_SUCC; 4].into_boxed_slice();
+        let o = Arc::new(Oracle::from_parts(2, dist, succ));
+        let e = QueryEngine::new(o, EngineConfig::default());
+        let got = e.path_batch(&[(0, 0), (0, 1), (1, 0), (7, 0)]);
+        assert_eq!(got[0], Ok(Some(vec![0u32].into())));
+        assert_eq!(got[1], Err(QueryError::CorruptSuccessors { u: 0, v: 1 }));
+        assert_eq!(got[2], Ok(None));
+        assert_eq!(got[3], Err(QueryError::NodeOutOfRange { node: 7, n: 2 }));
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let (e, _) = engine(8, 4, EngineConfig::default());
+        assert!(e.dist_batch(&[]).is_empty());
+        assert!(e.path_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! `congest-serve` — the serving front-end as a process.
+//!
+//! Subcommands:
+//!
+//! - `make-snapshot <out> [--nodes N] [--edges M] [--seed S] [--max-weight W]`
+//!   builds a random connected graph, solves APSP, and saves the oracle
+//!   snapshot (weight type `u64`).
+//! - `serve <snapshot> [--addr A] [--watch-ms N] [--window N] [--max-conns N]`
+//!   serves the snapshot until SIGTERM/SIGINT, then drains in-flight
+//!   requests, closes the listener, and exits 0 — the contract the CI
+//!   smoke test checks.
+//! - `probe <addr> [--requests N] [--batch B]` connects (with retry, so
+//!   it can race a starting server), pipelines query batches, verifies
+//!   every response, and exits 0 on success.
+
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_oracle::Oracle;
+use congest_serve::proto::Status;
+use congest_serve::{Client, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs SIGTERM (15) and SIGINT (2) handlers that set [`STOP`].
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(15, handler);
+            signal(2, handler);
+        }
+    }
+
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn stopped() -> bool {
+        false
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: congest-serve <command>\n\
+         \n\
+         commands:\n\
+         \x20 make-snapshot <out> [--nodes N] [--edges M] [--seed S] [--max-weight W]\n\
+         \x20 serve <snapshot> [--addr A] [--watch-ms N] [--window N] [--max-conns N]\n\
+         \x20 probe <addr> [--requests N] [--batch B]"
+    );
+    std::process::exit(2)
+}
+
+/// Pulls `--key value` pairs out of `args`; returns (positional, lookup).
+fn parse_flags(args: &[String]) -> (Vec<&str>, impl Fn(&str) -> Option<u64> + '_) {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    let lookup = move |key: &str| -> Option<u64> {
+        let mut i = 0;
+        while i + 1 < args.len() {
+            if args[i] == format!("--{key}") {
+                return args[i + 1].parse().ok();
+            }
+            i += 1;
+        }
+        None
+    };
+    (positional, lookup)
+}
+
+fn flag_str<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.windows(2).find(|w| w[0] == format!("--{key}")).map(|w| w[1].as_str())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
+    let code = match cmd.as_str() {
+        "make-snapshot" => make_snapshot(rest),
+        "serve" => serve(rest),
+        "probe" => probe(rest),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn make_snapshot(args: &[String]) -> i32 {
+    let (pos, flag) = parse_flags(args);
+    let [out] = pos.as_slice() else { usage() };
+    let n = flag("nodes").unwrap_or(256) as usize;
+    let m = flag("edges").unwrap_or(4 * n as u64) as usize;
+    let seed = flag("seed").unwrap_or(7);
+    let max_w = flag("max-weight").unwrap_or(100);
+    let g = gnm_connected(n, m, true, WeightDist::Uniform(1, max_w), seed);
+    let oracle = Oracle::from_dist(&g, apsp_dijkstra(&g));
+    match oracle.save(out) {
+        Ok(()) => {
+            println!("wrote snapshot: {out} ({n} nodes, {m} edges, seed {seed})");
+            0
+        }
+        Err(e) => {
+            eprintln!("snapshot save failed: {e}");
+            1
+        }
+    }
+}
+
+fn serve(args: &[String]) -> i32 {
+    let (pos, flag) = parse_flags(args);
+    let [snapshot] = pos.as_slice() else { usage() };
+    let addr = flag_str(args, "addr").unwrap_or("127.0.0.1:7464");
+    let mut cfg = ServerConfig::default();
+    if let Some(ms) = flag("watch-ms") {
+        cfg.watch_interval = Some(Duration::from_millis(ms));
+    }
+    if let Some(w) = flag("window") {
+        cfg.window = w as usize;
+    }
+    if let Some(c) = flag("max-conns") {
+        cfg.max_connections = c as usize;
+    }
+    let handle = match Server::bind_snapshot::<u64>(addr, *snapshot, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            return 1;
+        }
+    };
+    println!("serving {snapshot} on {} (generation {})", handle.local_addr(), handle.generation());
+    sig::install();
+    while !sig::stopped() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("signal received: draining in-flight requests");
+    handle.shutdown();
+    handle.join();
+    println!("clean shutdown");
+    0
+}
+
+fn probe(args: &[String]) -> i32 {
+    let (pos, flag) = parse_flags(args);
+    let [addr] = pos.as_slice() else { usage() };
+    let requests = flag("requests").unwrap_or(256);
+    let batch_size = flag("batch").unwrap_or(32).max(1);
+
+    // The smoke test starts the server and the probe together; retry the
+    // connect briefly instead of racing.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut client = loop {
+        match Client::<u64>::connect(*addr) {
+            Ok(c) => break c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("could not connect to {addr}: {e}");
+                    return 1;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
+    if client.set_read_timeout(Some(Duration::from_secs(10))).is_err() {
+        eprintln!("could not set read timeout");
+        return 1;
+    }
+    let n = client.n() as u32;
+    if n < 2 {
+        eprintln!("server snapshot has fewer than 2 nodes");
+        return 1;
+    }
+    let gen = match client.ping() {
+        Ok(gen) => gen,
+        Err(e) => {
+            eprintln!("ping failed: {e}");
+            return 1;
+        }
+    };
+
+    let mut answered = 0u64;
+    let mut x = 0x9e37_79b9u64; // cheap deterministic pair stream
+    while answered < requests {
+        let mut batch = client.batch();
+        while (batch.len() as u64) < batch_size && answered + (batch.len() as u64) < requests {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (x >> 33) as u32 % n;
+            let v = (x >> 13) as u32 % n;
+            if batch.len() % 2 == 0 {
+                batch.dist(u, v);
+            } else {
+                batch.path(u, v);
+            }
+        }
+        let count = batch.len() as u64;
+        match batch.send() {
+            Ok(replies) => {
+                for r in &replies {
+                    if !matches!(r.status, Status::Ok | Status::Unreachable) {
+                        eprintln!("request {} answered with {:?}", r.id, r.status);
+                        return 1;
+                    }
+                }
+                answered += count;
+            }
+            Err(e) => {
+                eprintln!("batch failed: {e}");
+                return 1;
+            }
+        }
+    }
+    println!("probe ok: {answered} requests answered (n={n}, generation {gen})");
+    0
+}

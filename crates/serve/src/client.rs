@@ -1,0 +1,371 @@
+//! Blocking client for the serving front-end.
+//!
+//! [`Client`] speaks the batched binary protocol: single-query helpers
+//! ([`dist`](Client::dist), [`path`](Client::path), …) do one round
+//! trip each, while [`batch`](Client::batch) pipelines any mix of
+//! requests into one write and drains all responses with large reads —
+//! the shape the server is optimized for and the one the loopback
+//! bench measures.
+
+use crate::proto::{self, HelloStatus, ProtocolError, Request, ServerHello, Status};
+use congest_graph::NodeId;
+use congest_oracle::PortableWeight;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, unexpected EOF).
+    Io(std::io::Error),
+    /// The server sent bytes that do not parse as the protocol.
+    Protocol(ProtocolError),
+    /// The server refused the connection at the handshake.
+    Refused(HelloStatus),
+    /// The server answered a request with a non-success status
+    /// (backpressure [`Status::Busy`], [`Status::NodeOutOfRange`], …).
+    Server(Status),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Protocol(e) => write!(f, "client protocol error: {e}"),
+            ClientError::Refused(s) => write!(f, "server refused the handshake: {s:?}"),
+            ClientError::Server(s) => write!(f, "server answered with status {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// The decoded body of one response, shaped by the request that earned it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody<W> {
+    /// No body (non-`Ok` statuses, and `Ok` answers to Ping/Reload).
+    None,
+    /// A Dist answer.
+    Dist(W),
+    /// A Path answer (the `u → v` vertex walk).
+    Path(Vec<NodeId>),
+    /// A KNearest answer.
+    KNearest(Vec<(NodeId, W)>),
+}
+
+/// One response from a pipelined batch, in the order requests were added.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply<W> {
+    /// Echoed request id.
+    pub id: u32,
+    /// Outcome.
+    pub status: Status,
+    /// Snapshot generation that answered.
+    pub generation: u64,
+    /// Decoded body (present only on `Ok` query answers).
+    pub body: ReplyBody<W>,
+}
+
+/// A blocking connection to a `congest-serve` server, generic over the
+/// weight type the server must be serving (verified at the handshake).
+pub struct Client<W> {
+    stream: TcpStream,
+    hello: ServerHello,
+    /// Bytes read but not yet consumed as frames.
+    inbuf: Vec<u8>,
+    next_id: u32,
+    _weight: std::marker::PhantomData<W>,
+}
+
+/// What each pending request in a batch expects back, so the body can
+/// be decoded without guessing.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Dist,
+    Path,
+    KNearest,
+    Plain,
+}
+
+/// A pipelined batch under construction; add requests, then
+/// [`send`](Batch::send) them as one write.
+pub struct Batch<'a, W> {
+    client: &'a mut Client<W>,
+    wire: Vec<u8>,
+    expect: Vec<(u32, Expect)>,
+}
+
+impl<W: PortableWeight> Client<W> {
+    /// Connects and performs the handshake.
+    ///
+    /// # Errors
+    /// [`ClientError::Refused`] when the server rejects the handshake
+    /// (version/weight mismatch, at capacity); [`ClientError::Protocol`]
+    /// when the peer is not a congest-serve server at all.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client<W>, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&proto::encode_client_hello(W::TAG))?;
+        let mut reply = [0u8; proto::SERVER_HELLO_LEN];
+        stream.read_exact(&mut reply)?;
+        let hello = proto::decode_server_hello(&reply)?;
+        if hello.status != HelloStatus::Ok {
+            return Err(ClientError::Refused(hello.status));
+        }
+        if hello.weight_tag != W::TAG {
+            return Err(ClientError::Protocol(ProtocolError::WeightTypeMismatch {
+                found: hello.weight_tag,
+                expected: W::TAG,
+            }));
+        }
+        Ok(Client {
+            stream,
+            hello,
+            inbuf: Vec::with_capacity(16 * 1024),
+            next_id: 1, // id 0 is CONNECTION_ID, reserved for the server
+            _weight: std::marker::PhantomData,
+        })
+    }
+
+    /// Node count of the generation that was live at connect time.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.hello.n
+    }
+
+    /// Generation that was live at connect time (responses carry the
+    /// current one).
+    #[must_use]
+    pub fn generation_at_connect(&self) -> u64 {
+        self.hello.generation
+    }
+
+    /// The server's per-batch in-flight window: pipelining more requests
+    /// than this into one batch earns [`Status::Busy`] for the excess.
+    #[must_use]
+    pub fn window(&self) -> u32 {
+        self.hello.window
+    }
+
+    /// Applies a read timeout to subsequent calls (`None` blocks forever).
+    ///
+    /// # Errors
+    /// Propagates the socket option failure.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Starts a pipelined batch.
+    pub fn batch(&mut self) -> Batch<'_, W> {
+        Batch { client: self, wire: Vec::with_capacity(4 * 1024), expect: Vec::new() }
+    }
+
+    /// `δ(u, v)` in one round trip; `Ok(None)` when unreachable.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] on non-success statuses, plus I/O and
+    /// protocol failures.
+    pub fn dist(&mut self, u: NodeId, v: NodeId) -> Result<Option<W>, ClientError> {
+        let mut b = self.batch();
+        b.dist(u, v);
+        let reply = b.send()?.pop().expect("one reply");
+        match (reply.status, reply.body) {
+            (Status::Ok, ReplyBody::Dist(w)) => Ok(Some(w)),
+            (Status::Unreachable, _) => Ok(None),
+            (s, _) => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Shortest `u → v` walk in one round trip; `Ok(None)` when unreachable.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] on non-success statuses, plus I/O and
+    /// protocol failures.
+    pub fn path(&mut self, u: NodeId, v: NodeId) -> Result<Option<Vec<NodeId>>, ClientError> {
+        let mut b = self.batch();
+        b.path(u, v);
+        let reply = b.send()?.pop().expect("one reply");
+        match (reply.status, reply.body) {
+            (Status::Ok, ReplyBody::Path(p)) => Ok(Some(p)),
+            (Status::Unreachable, _) => Ok(None),
+            (s, _) => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// The `k` nearest other nodes to `u`, in one round trip.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] on non-success statuses, plus I/O and
+    /// protocol failures.
+    pub fn k_nearest(&mut self, u: NodeId, k: u32) -> Result<Vec<(NodeId, W)>, ClientError> {
+        let mut b = self.batch();
+        b.k_nearest(u, k);
+        let reply = b.send()?.pop().expect("one reply");
+        match (reply.status, reply.body) {
+            (Status::Ok, ReplyBody::KNearest(items)) => Ok(items),
+            (s, _) => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Round-trip no-op; returns the generation currently serving.
+    ///
+    /// # Errors
+    /// I/O and protocol failures.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        let mut b = self.batch();
+        b.ping();
+        let reply = b.send()?.pop().expect("one reply");
+        match reply.status {
+            Status::Ok => Ok(reply.generation),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Asks the server to reload its snapshot file; returns the new
+    /// generation on success.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`Status::NotSupported`] when the
+    /// server has no snapshot file, [`Status::Internal`] when the reload
+    /// failed (the old generation keeps serving).
+    pub fn reload(&mut self) -> Result<u64, ClientError> {
+        let mut b = self.batch();
+        b.reload();
+        let reply = b.send()?.pop().expect("one reply");
+        match reply.status {
+            Status::Ok => Ok(reply.generation),
+            s => Err(ClientError::Server(s)),
+        }
+    }
+
+    /// Reads one complete frame, growing `inbuf` with large reads.
+    fn read_frame(&mut self) -> Result<Vec<u8>, ClientError> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if let Some((payload, consumed)) =
+                proto::decode_frame(&self.inbuf, self.hello.max_frame_len)?
+            {
+                let payload = payload.to_vec();
+                self.inbuf.drain(..consumed);
+                return Ok(payload);
+            }
+            let k = self.stream.read(&mut scratch)?;
+            if k == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                )));
+            }
+            self.inbuf.extend_from_slice(&scratch[..k]);
+        }
+    }
+}
+
+impl<W: PortableWeight> Batch<'_, W> {
+    fn push(&mut self, expect: Expect, build: impl FnOnce(u32) -> Request) -> u32 {
+        let id = self.client.next_id;
+        self.client.next_id = self.client.next_id.wrapping_add(1).max(1);
+        proto::encode_request(&mut self.wire, &build(id));
+        self.expect.push((id, expect));
+        id
+    }
+
+    /// Queues a Dist request; returns its id.
+    pub fn dist(&mut self, u: NodeId, v: NodeId) -> u32 {
+        self.push(Expect::Dist, |id| Request::Dist { id, u, v })
+    }
+
+    /// Queues a Path request; returns its id.
+    pub fn path(&mut self, u: NodeId, v: NodeId) -> u32 {
+        self.push(Expect::Path, |id| Request::Path { id, u, v })
+    }
+
+    /// Queues a KNearest request; returns its id.
+    pub fn k_nearest(&mut self, u: NodeId, k: u32) -> u32 {
+        self.push(Expect::KNearest, |id| Request::KNearest { id, u, k })
+    }
+
+    /// Queues a Ping; returns its id.
+    pub fn ping(&mut self) -> u32 {
+        self.push(Expect::Plain, |id| Request::Ping { id })
+    }
+
+    /// Queues a Reload; returns its id.
+    pub fn reload(&mut self) -> u32 {
+        self.push(Expect::Plain, |id| Request::Reload { id })
+    }
+
+    /// Number of requests queued so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.expect.len()
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.expect.is_empty()
+    }
+
+    /// Writes every queued request in one syscall and drains exactly one
+    /// response per request, returned in queue order.
+    ///
+    /// # Errors
+    /// I/O failures, or [`ClientError::Protocol`] when a response does
+    /// not parse or answers out of order.
+    pub fn send(self) -> Result<Vec<Reply<W>>, ClientError> {
+        let Batch { client, wire, expect } = self;
+        if expect.is_empty() {
+            return Ok(Vec::new());
+        }
+        client.stream.write_all(&wire)?;
+        let mut replies = Vec::with_capacity(expect.len());
+        for (id, expect) in expect {
+            let payload = client.read_frame()?;
+            let (head, body) = proto::decode_response_head(&payload)?;
+            if head.id != id {
+                // The server answers strictly in request order; a
+                // mismatch means the stream is desynchronized.
+                return Err(ClientError::Protocol(ProtocolError::BadBody(
+                    "response id does not match request order",
+                )));
+            }
+            let body = if head.status == Status::Ok {
+                match expect {
+                    Expect::Dist => ReplyBody::Dist(proto::decode_dist_body::<W>(body)?),
+                    Expect::Path => ReplyBody::Path(proto::decode_path_body(body)?),
+                    Expect::KNearest => {
+                        ReplyBody::KNearest(proto::decode_k_nearest_body::<W>(body)?)
+                    }
+                    Expect::Plain => ReplyBody::None,
+                }
+            } else {
+                ReplyBody::None
+            };
+            replies.push(Reply { id, status: head.status, generation: head.generation, body });
+        }
+        Ok(replies)
+    }
+}

@@ -1,0 +1,123 @@
+//! Network serving front-end for the CONGEST APSP distance oracle:
+//! a thread-per-core TCP server speaking a compact binary protocol with
+//! request batching, per-connection backpressure, and zero-downtime
+//! snapshot swap.
+//!
+//! # Architecture
+//!
+//! - [`Server`] binds a listener, accepts with one thread per core, and
+//!   gives each connection a blocking handler that drains the socket in
+//!   large reads. One `read` syscall typically delivers a whole
+//!   pipelined **batch** of frames; the batch is answered against a
+//!   single snapshot generation (through
+//!   `QueryEngine::{dist_batch, path_batch}`) and written back in one
+//!   `write_all`.
+//! - [`Client`] is the matching blocking client; its [`Client::batch`]
+//!   builder pipelines any mix of requests into one write.
+//! - [`GenerationCell`] is the swap primitive: reloads publish a new
+//!   `(engine, generation)` pair atomically, in-flight batches finish
+//!   on the generation they loaded, and every response names the
+//!   generation that answered it.
+//!
+//! # Wire format
+//!
+//! All integers are little-endian. The handshake is fixed-size; after
+//! it, both directions are length-prefixed frames:
+//!
+//! ```text
+//!   client hello (8 B)                server hello (32 B)
+//!   ┌───────┬─────────┬─────┬──────┐  ┌───────┬─────────┬────────┬─────┬─────┬─────┬────────┬───────────┐
+//!   │ magic │ version │ tag │ flag │  │ magic │ version │ status │ tag │  n  │ gen │ window │ max_frame │
+//!   │ CGSV  │   u16   │ u8  │  u8  │  │ CGSV  │   u16   │   u8   │ u8  │ u64 │ u64 │  u32   │    u32    │
+//!   └───────┴─────────┴─────┴──────┘  └───────┴─────────┴────────┴─────┴─────┴─────┴────────┴───────────┘
+//!
+//!   frame                              pipelined batch = frames back to back
+//!   ┌─────────┬──────────────────┐     ┌────┬─────────┬────┬─────────┬────┬─────────┐
+//!   │ len u32 │ payload (len B)  │     │len₁│payload₁ │len₂│payload₂ │len₃│payload₃ │ → one write
+//!   └─────────┴──────────────────┘     └────┴─────────┴────┴─────────┴────┴─────────┘
+//! ```
+//!
+//! Request payloads (`id` echoes back in the matching response):
+//!
+//! | op | name     | payload layout                          |
+//! |----|----------|-----------------------------------------|
+//! | 1  | Dist     | `id u32, op u8, u u32, v u32`           |
+//! | 2  | Path     | `id u32, op u8, u u32, v u32`           |
+//! | 3  | KNearest | `id u32, op u8, u u32, k u32`           |
+//! | 4  | Ping     | `id u32, op u8`                         |
+//! | 5  | Reload   | `id u32, op u8`                         |
+//!
+//! Response payloads all start with the same head; `Ok` query answers
+//! append a body:
+//!
+//! | status ≠ Ok / Ping / Reload | `id u32, status u8, generation u64`              |
+//! |-----------------------------|--------------------------------------------------|
+//! | Dist `Ok`                   | head + `weight 8 B`                              |
+//! | Path `Ok`                   | head + `count u32, count × node u32`             |
+//! | KNearest `Ok`               | head + `count u32, count × (node u32, weight 8 B)` |
+//!
+//! Weights travel in the snapshot plane's canonical 8-byte encoding
+//! (`PortableWeight`), and the handshake's weight tag guarantees both
+//! sides agree on the type before any frame flows.
+//!
+//! # Backpressure
+//!
+//! Two bounds keep a connection from pinning server memory:
+//!
+//! 1. **In-flight window.** At most [`ServerConfig::window`] requests
+//!    per batch are answered; the excess get [`proto::Status::Busy`]
+//!    responses immediately (resend after draining). The window is
+//!    advertised in the server hello.
+//! 2. **Write timeout.** A peer that pipelines requests but stops
+//!    reading responses trips [`ServerConfig::write_timeout`] and is
+//!    disconnected.
+//!
+//! # Snapshot swap
+//!
+//! A `Reload` control frame (or the snapshot-file mtime watcher, see
+//! [`ServerConfig::watch_interval`]) loads and validates the new
+//! snapshot **off to the side**, then [`GenerationCell::swap`] publishes
+//! it. Handlers take one generation per batch, so a swap never tears a
+//! batch and never drops an in-flight query; the old snapshot is freed
+//! when its last batch finishes. A failed reload leaves the previous
+//! generation serving and answers `Internal`.
+//!
+//! # Example
+//!
+//! See `examples/serve_tcp.rs` for the end-to-end loop; the short
+//! version:
+//!
+//! ```no_run
+//! use congest_serve::{Client, Server, ServerConfig};
+//! use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+//! use congest_graph::generators::{gnm_connected, WeightDist};
+//! use congest_graph::seq::apsp_dijkstra;
+//! use std::sync::Arc;
+//!
+//! let g = gnm_connected(64, 256, true, WeightDist::Uniform(1, 100), 7);
+//! let oracle = Arc::new(Oracle::from_dist(&g, apsp_dijkstra(&g)));
+//! let engine = Arc::new(QueryEngine::new(oracle, EngineConfig::default()));
+//! let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default())?;
+//!
+//! let mut client = Client::<u64>::connect(server.local_addr())?;
+//! let mut batch = client.batch();
+//! batch.dist(0, 63);
+//! batch.path(0, 63);
+//! let replies = batch.send()?;
+//! assert_eq!(replies.len(), 2);
+//! server.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![deny(deprecated)]
+
+pub mod cell;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use cell::{Generation, GenerationCell};
+pub use client::{Batch, Client, ClientError, Reply, ReplyBody};
+pub use proto::{ProtocolError, Status};
+pub use server::{ServeError, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,725 @@
+//! The wire protocol: a compact little-endian binary framing.
+//!
+//! Everything on the wire is length-prefixed after a fixed-size
+//! handshake, so a reader always knows how many bytes to wait for and a
+//! writer can concatenate any number of frames into one syscall (the
+//! batching/pipelining the server and [`Client`](crate::Client) are
+//! built around). See the crate docs for the full wire-format table.
+//!
+//! The decoding functions in this module are **pure** — they take byte
+//! slices and return typed values or a typed [`ProtocolError`], never
+//! panicking and never reading out of bounds — which is what makes the
+//! protocol-hardening fuzz suite (`tests/serve_protocol.rs`) possible:
+//! any byte soup is either `Ok`, "need more bytes", or a typed error.
+
+use congest_graph::NodeId;
+use congest_oracle::PortableWeight;
+
+/// Magic bytes opening both hello messages.
+pub const MAGIC: &[u8; 4] = b"CGSV";
+/// Wire-protocol version spoken by this build.
+pub const PROTO_VERSION: u16 = 1;
+/// Size of the client hello, in bytes.
+pub const CLIENT_HELLO_LEN: usize = 8;
+/// Size of the server hello, in bytes.
+pub const SERVER_HELLO_LEN: usize = 32;
+/// Default cap on a single frame's payload length.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+/// Smallest meaningful request payload: id (4) + opcode (1).
+pub const REQUEST_MIN_LEN: usize = 5;
+/// Smallest response payload: id (4) + status (1) + generation (8).
+pub const RESPONSE_HEAD_LEN: usize = 13;
+/// Request id the server uses for connection-level error responses that
+/// answer no particular request (e.g. an unparseable runt frame).
+/// Clients start their ids at 1, so the value never collides.
+pub const CONNECTION_ID: u32 = 0;
+
+/// A malformed wire artifact, as a typed error (never a panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A frame length prefix exceeding the negotiated cap. The stream
+    /// cannot be trusted past this point; the connection closes.
+    Oversized {
+        /// Length the prefix claimed.
+        len: u32,
+        /// Negotiated maximum.
+        max: u32,
+    },
+    /// A well-framed payload too short to carry even an id + opcode.
+    Runt {
+        /// Payload length found.
+        len: usize,
+    },
+    /// A request opcode this build does not know.
+    UnknownOp {
+        /// Opcode found.
+        op: u8,
+    },
+    /// A known opcode with the wrong argument length.
+    BadArgs {
+        /// The opcode.
+        op: u8,
+        /// Argument bytes found.
+        len: usize,
+    },
+    /// A hello that does not start with [`MAGIC`].
+    BadMagic,
+    /// A hello speaking a protocol version this build does not.
+    UnsupportedVersion {
+        /// Version found.
+        found: u16,
+    },
+    /// Client and server disagree on the weight type being served.
+    WeightTypeMismatch {
+        /// Tag the peer declared.
+        found: u8,
+        /// Tag this side expected.
+        expected: u8,
+    },
+    /// A response carrying a status byte this build does not know.
+    BadStatus {
+        /// Status byte found.
+        status: u8,
+    },
+    /// A response body inconsistent with its own declared sizes or
+    /// carrying an undecodable weight.
+    BadBody(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::Runt { len } => {
+                write!(f, "runt payload of {len} bytes (minimum is {REQUEST_MIN_LEN})")
+            }
+            ProtocolError::UnknownOp { op } => write!(f, "unknown opcode {op}"),
+            ProtocolError::BadArgs { op, len } => {
+                write!(f, "opcode {op} with malformed argument length {len}")
+            }
+            ProtocolError::BadMagic => write!(f, "not a congest-serve peer (bad magic)"),
+            ProtocolError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (this build speaks {PROTO_VERSION})"
+                )
+            }
+            ProtocolError::WeightTypeMismatch { found, expected } => {
+                write!(f, "weight tag {found} does not match expected {expected}")
+            }
+            ProtocolError::BadStatus { status } => write!(f, "unknown response status {status}"),
+            ProtocolError::BadBody(what) => write!(f, "malformed response body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Per-request outcome carried in every response header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The request succeeded; the body carries the answer.
+    Ok = 0,
+    /// Dist/Path on an unreachable pair — a successful answer of "no".
+    Unreachable = 1,
+    /// A node id at or beyond the snapshot's node count.
+    NodeOutOfRange = 2,
+    /// The snapshot's successor plane is damaged for this pair.
+    Corrupt = 3,
+    /// Backpressure: the request fell outside the connection's in-flight
+    /// window. Resend it after draining responses.
+    Busy = 4,
+    /// A well-framed request the server could not make sense of
+    /// (unknown opcode, wrong argument length, runt payload).
+    BadRequest = 5,
+    /// The operation is not available (e.g. snapshot reload on a server
+    /// with no snapshot file configured).
+    NotSupported = 6,
+    /// The server failed internally (e.g. a snapshot reload that did
+    /// not validate); the previous generation keeps serving.
+    Internal = 7,
+    /// The answer would not fit in the negotiated frame cap.
+    TooLarge = 8,
+}
+
+impl Status {
+    /// Decodes a status byte.
+    #[must_use]
+    pub fn from_u8(b: u8) -> Option<Status> {
+        Some(match b {
+            0 => Status::Ok,
+            1 => Status::Unreachable,
+            2 => Status::NodeOutOfRange,
+            3 => Status::Corrupt,
+            4 => Status::Busy,
+            5 => Status::BadRequest,
+            6 => Status::NotSupported,
+            7 => Status::Internal,
+            8 => Status::TooLarge,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a server refused a connection at the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HelloStatus {
+    /// Accepted; frames may flow.
+    Ok = 0,
+    /// The client speaks a protocol version the server does not.
+    BadVersion = 1,
+    /// The client expects a different weight type than the server serves.
+    WeightMismatch = 2,
+    /// The server is at its connection capacity.
+    AtCapacity = 3,
+}
+
+impl HelloStatus {
+    fn from_u8(b: u8) -> Option<HelloStatus> {
+        Some(match b {
+            0 => HelloStatus::Ok,
+            1 => HelloStatus::BadVersion,
+            2 => HelloStatus::WeightMismatch,
+            3 => HelloStatus::AtCapacity,
+            _ => return None,
+        })
+    }
+}
+
+/// The server's half of the handshake: accept/reject plus the constants
+/// a client needs to speak to this server (snapshot size, current
+/// generation, backpressure window, frame cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Accept, or why not.
+    pub status: HelloStatus,
+    /// Weight tag of the snapshot being served.
+    pub weight_tag: u8,
+    /// Node count of the current generation.
+    pub n: u64,
+    /// Current snapshot generation.
+    pub generation: u64,
+    /// Per-batch in-flight window; requests beyond it get [`Status::Busy`].
+    pub window: u32,
+    /// Maximum frame payload length either side may send.
+    pub max_frame_len: u32,
+}
+
+/// Builds the 8-byte client hello for weight tag `weight_tag`.
+#[must_use]
+pub fn encode_client_hello(weight_tag: u8) -> [u8; CLIENT_HELLO_LEN] {
+    let mut b = [0u8; CLIENT_HELLO_LEN];
+    b[0..4].copy_from_slice(MAGIC);
+    b[4..6].copy_from_slice(&PROTO_VERSION.to_le_bytes());
+    b[6] = weight_tag;
+    b
+}
+
+/// Validates a client hello; returns the client's declared weight tag.
+///
+/// # Errors
+/// [`ProtocolError::BadMagic`] / [`ProtocolError::UnsupportedVersion`]
+/// for peers that are not a compatible congest-serve client.
+pub fn decode_client_hello(b: &[u8; CLIENT_HELLO_LEN]) -> Result<u8, ProtocolError> {
+    if &b[0..4] != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    let version = u16::from_le_bytes([b[4], b[5]]);
+    if version != PROTO_VERSION {
+        return Err(ProtocolError::UnsupportedVersion { found: version });
+    }
+    Ok(b[6])
+}
+
+/// Builds the 32-byte server hello.
+#[must_use]
+pub fn encode_server_hello(h: &ServerHello) -> [u8; SERVER_HELLO_LEN] {
+    let mut b = [0u8; SERVER_HELLO_LEN];
+    b[0..4].copy_from_slice(MAGIC);
+    b[4..6].copy_from_slice(&PROTO_VERSION.to_le_bytes());
+    b[6] = h.status as u8;
+    b[7] = h.weight_tag;
+    b[8..16].copy_from_slice(&h.n.to_le_bytes());
+    b[16..24].copy_from_slice(&h.generation.to_le_bytes());
+    b[24..28].copy_from_slice(&h.window.to_le_bytes());
+    b[28..32].copy_from_slice(&h.max_frame_len.to_le_bytes());
+    b
+}
+
+/// Parses a server hello.
+///
+/// # Errors
+/// [`ProtocolError::BadMagic`] / [`ProtocolError::UnsupportedVersion`] /
+/// [`ProtocolError::BadStatus`] when the peer is not a compatible
+/// congest-serve server.
+pub fn decode_server_hello(b: &[u8; SERVER_HELLO_LEN]) -> Result<ServerHello, ProtocolError> {
+    if &b[0..4] != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    let version = u16::from_le_bytes([b[4], b[5]]);
+    if version != PROTO_VERSION {
+        return Err(ProtocolError::UnsupportedVersion { found: version });
+    }
+    let status = HelloStatus::from_u8(b[6]).ok_or(ProtocolError::BadStatus { status: b[6] })?;
+    Ok(ServerHello {
+        status,
+        weight_tag: b[7],
+        n: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+        generation: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+        window: u32::from_le_bytes(b[24..28].try_into().expect("4 bytes")),
+        max_frame_len: u32::from_le_bytes(b[28..32].try_into().expect("4 bytes")),
+    })
+}
+
+/// One query or control operation, as decoded from a request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `δ(u, v)`.
+    Dist {
+        /// Request id (echoed in the response).
+        id: u32,
+        /// Source node.
+        u: NodeId,
+        /// Target node.
+        v: NodeId,
+    },
+    /// Shortest `u → v` vertex walk.
+    Path {
+        /// Request id.
+        id: u32,
+        /// Source node.
+        u: NodeId,
+        /// Target node.
+        v: NodeId,
+    },
+    /// The `k` nearest other nodes to `u`.
+    KNearest {
+        /// Request id.
+        id: u32,
+        /// Center node.
+        u: NodeId,
+        /// How many neighbors.
+        k: u32,
+    },
+    /// Round-trip no-op; the response's generation field doubles as a
+    /// cheap way to observe snapshot swaps.
+    Ping {
+        /// Request id.
+        id: u32,
+    },
+    /// Ask the server to reload its snapshot file and swap generations.
+    Reload {
+        /// Request id.
+        id: u32,
+    },
+}
+
+const OP_DIST: u8 = 1;
+const OP_PATH: u8 = 2;
+const OP_K_NEAREST: u8 = 3;
+const OP_PING: u8 = 4;
+const OP_RELOAD: u8 = 5;
+
+impl Request {
+    /// The request id (echoed by the server in the matching response).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        match *self {
+            Request::Dist { id, .. }
+            | Request::Path { id, .. }
+            | Request::KNearest { id, .. }
+            | Request::Ping { id }
+            | Request::Reload { id } => id,
+        }
+    }
+}
+
+/// Appends `req` to `out` as one length-prefixed frame. Frames are plain
+/// concatenation, so a pipelined batch is just repeated calls followed by
+/// one write.
+pub fn encode_request(out: &mut Vec<u8>, req: &Request) {
+    frame(out, |out| match *req {
+        Request::Dist { id, u, v } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(OP_DIST);
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Request::Path { id, u, v } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(OP_PATH);
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Request::KNearest { id, u, k } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(OP_K_NEAREST);
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        Request::Ping { id } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(OP_PING);
+        }
+        Request::Reload { id } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(OP_RELOAD);
+        }
+    });
+}
+
+/// Tries to split one frame off the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` does not yet hold a complete frame
+/// (read more bytes and retry), or `Ok(Some((payload, consumed)))` with
+/// the payload slice and the total bytes (prefix included) to drop.
+///
+/// # Errors
+/// [`ProtocolError::Oversized`] when the length prefix exceeds
+/// `max_frame_len` — the stream cannot be re-synchronized after that.
+pub fn decode_frame(
+    buf: &[u8],
+    max_frame_len: u32,
+) -> Result<Option<(&[u8], usize)>, ProtocolError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if len > max_frame_len {
+        return Err(ProtocolError::Oversized { len, max: max_frame_len });
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((&buf[4..total], total)))
+}
+
+/// Decodes a request from one frame's payload.
+///
+/// # Errors
+/// [`ProtocolError::Runt`] / [`ProtocolError::UnknownOp`] /
+/// [`ProtocolError::BadArgs`] — all of which a server answers with
+/// [`Status::BadRequest`] while keeping the (still well-framed)
+/// connection alive.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    if payload.len() < REQUEST_MIN_LEN {
+        return Err(ProtocolError::Runt { len: payload.len() });
+    }
+    let id = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let op = payload[4];
+    let args = &payload[REQUEST_MIN_LEN..];
+    let two_u32 = |args: &[u8]| -> Result<(u32, u32), ProtocolError> {
+        if args.len() != 8 {
+            return Err(ProtocolError::BadArgs { op, len: args.len() });
+        }
+        Ok((
+            u32::from_le_bytes(args[0..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(args[4..8].try_into().expect("4 bytes")),
+        ))
+    };
+    match op {
+        OP_DIST => two_u32(args).map(|(u, v)| Request::Dist { id, u, v }),
+        OP_PATH => two_u32(args).map(|(u, v)| Request::Path { id, u, v }),
+        OP_K_NEAREST => two_u32(args).map(|(u, k)| Request::KNearest { id, u, k }),
+        OP_PING | OP_RELOAD => {
+            if !args.is_empty() {
+                return Err(ProtocolError::BadArgs { op, len: args.len() });
+            }
+            Ok(if op == OP_PING { Request::Ping { id } } else { Request::Reload { id } })
+        }
+        op => Err(ProtocolError::UnknownOp { op }),
+    }
+}
+
+/// Runs `f` to fill a frame payload, then patches the length prefix in
+/// front of it — the one writer every encoder goes through.
+fn frame(out: &mut Vec<u8>, f: impl FnOnce(&mut Vec<u8>)) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    f(out);
+    let len = u32::try_from(out.len() - at - 4).expect("frame fits u32");
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn response_head(out: &mut Vec<u8>, id: u32, status: Status, gen: u64) {
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(status as u8);
+    out.extend_from_slice(&gen.to_le_bytes());
+}
+
+/// Appends a body-less response frame (every non-`Ok` status, plus the
+/// `Ok` answers to Ping/Reload).
+pub fn encode_status(out: &mut Vec<u8>, id: u32, status: Status, gen: u64) {
+    frame(out, |out| response_head(out, id, status, gen));
+}
+
+/// Appends an `Ok` Dist response carrying the weight.
+pub fn encode_dist_ok<W: PortableWeight>(out: &mut Vec<u8>, id: u32, gen: u64, w: W) {
+    frame(out, |out| {
+        response_head(out, id, Status::Ok, gen);
+        out.extend_from_slice(&w.encode());
+    });
+}
+
+/// Appends an `Ok` Path response carrying the vertex walk.
+pub fn encode_path_ok(out: &mut Vec<u8>, id: u32, gen: u64, walk: &[NodeId]) {
+    frame(out, |out| {
+        response_head(out, id, Status::Ok, gen);
+        out.extend_from_slice(&u32::try_from(walk.len()).unwrap_or(u32::MAX).to_le_bytes());
+        for &node in walk {
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+    });
+}
+
+/// Appends an `Ok` KNearest response carrying `(node, distance)` pairs.
+pub fn encode_k_nearest_ok<W: PortableWeight>(
+    out: &mut Vec<u8>,
+    id: u32,
+    gen: u64,
+    items: &[(NodeId, W)],
+) {
+    frame(out, |out| {
+        response_head(out, id, Status::Ok, gen);
+        out.extend_from_slice(&u32::try_from(items.len()).unwrap_or(u32::MAX).to_le_bytes());
+        for &(node, w) in items {
+            out.extend_from_slice(&node.to_le_bytes());
+            out.extend_from_slice(&w.encode());
+        }
+    });
+}
+
+/// A decoded response header; the remaining payload is the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// Echoed request id ([`CONNECTION_ID`] for connection-level errors).
+    pub id: u32,
+    /// Outcome.
+    pub status: Status,
+    /// Snapshot generation that answered — the witness the swap tests
+    /// use to prove every answer is exactly right for *some* generation.
+    pub generation: u64,
+}
+
+/// Splits a response payload into its header and body.
+///
+/// # Errors
+/// [`ProtocolError::Runt`] / [`ProtocolError::BadStatus`] on payloads
+/// that are not a response this build understands.
+pub fn decode_response_head(payload: &[u8]) -> Result<(ResponseHead, &[u8]), ProtocolError> {
+    if payload.len() < RESPONSE_HEAD_LEN {
+        return Err(ProtocolError::Runt { len: payload.len() });
+    }
+    let id = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let status =
+        Status::from_u8(payload[4]).ok_or(ProtocolError::BadStatus { status: payload[4] })?;
+    let generation = u64::from_le_bytes(payload[5..13].try_into().expect("8 bytes"));
+    Ok((ResponseHead { id, status, generation }, &payload[RESPONSE_HEAD_LEN..]))
+}
+
+/// Decodes an `Ok` Dist body.
+///
+/// # Errors
+/// [`ProtocolError::BadBody`] unless the body is exactly one valid
+/// 8-byte weight.
+pub fn decode_dist_body<W: PortableWeight>(body: &[u8]) -> Result<W, ProtocolError> {
+    let bytes: [u8; 8] =
+        body.try_into().map_err(|_| ProtocolError::BadBody("dist body must be 8 bytes"))?;
+    W::decode(bytes).ok_or(ProtocolError::BadBody("undecodable weight"))
+}
+
+/// Decodes an `Ok` Path body.
+///
+/// # Errors
+/// [`ProtocolError::BadBody`] when the node count disagrees with the
+/// body length.
+pub fn decode_path_body(body: &[u8]) -> Result<Vec<NodeId>, ProtocolError> {
+    if body.len() < 4 {
+        return Err(ProtocolError::BadBody("path body shorter than its count"));
+    }
+    let count = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+    let rest = &body[4..];
+    if rest.len() != count * 4 {
+        return Err(ProtocolError::BadBody("path length disagrees with body size"));
+    }
+    Ok(rest
+        .chunks_exact(4)
+        .map(|c| NodeId::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// Decodes an `Ok` KNearest body.
+///
+/// # Errors
+/// [`ProtocolError::BadBody`] when the entry count disagrees with the
+/// body length or a weight fails to decode.
+pub fn decode_k_nearest_body<W: PortableWeight>(
+    body: &[u8],
+) -> Result<Vec<(NodeId, W)>, ProtocolError> {
+    if body.len() < 4 {
+        return Err(ProtocolError::BadBody("k-nearest body shorter than its count"));
+    }
+    let count = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+    let rest = &body[4..];
+    if rest.len() != count * 12 {
+        return Err(ProtocolError::BadBody("k-nearest count disagrees with body size"));
+    }
+    rest.chunks_exact(12)
+        .map(|c| {
+            let node = NodeId::from_le_bytes(c[0..4].try_into().expect("4 bytes"));
+            let w = W::decode(c[4..12].try_into().expect("8 bytes"))
+                .ok_or(ProtocolError::BadBody("undecodable weight"))?;
+            Ok((node, w))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips() {
+        let hello = encode_client_hello(7);
+        assert_eq!(decode_client_hello(&hello), Ok(7));
+        let sh = ServerHello {
+            status: HelloStatus::Ok,
+            weight_tag: 1,
+            n: 1024,
+            generation: 3,
+            window: 256,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        };
+        assert_eq!(decode_server_hello(&encode_server_hello(&sh)), Ok(sh));
+    }
+
+    #[test]
+    fn hello_rejections_are_typed() {
+        let mut hello = encode_client_hello(1);
+        hello[0] = b'X';
+        assert_eq!(decode_client_hello(&hello), Err(ProtocolError::BadMagic));
+        let mut hello = encode_client_hello(1);
+        hello[4] = 9;
+        assert_eq!(
+            decode_client_hello(&hello),
+            Err(ProtocolError::UnsupportedVersion { found: 9 })
+        );
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Dist { id: 1, u: 3, v: 9 },
+            Request::Path { id: 2, u: 0, v: u32::MAX },
+            Request::KNearest { id: 3, u: 5, k: 10 },
+            Request::Ping { id: 4 },
+            Request::Reload { id: 5 },
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            encode_request(&mut wire, r);
+        }
+        let mut at = 0;
+        for r in &reqs {
+            let (payload, consumed) =
+                decode_frame(&wire[at..], DEFAULT_MAX_FRAME_LEN).unwrap().expect("complete");
+            assert_eq!(decode_request(payload), Ok(*r));
+            at += consumed;
+        }
+        assert_eq!(at, wire.len());
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        let mut wire = Vec::new();
+        encode_request(&mut wire, &Request::Ping { id: 9 });
+        for cut in 0..wire.len() {
+            assert_eq!(decode_frame(&wire[..cut], DEFAULT_MAX_FRAME_LEN), Ok(None), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_fatal() {
+        let mut wire = (1u32 << 21).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            decode_frame(&wire, DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::Oversized { len: 1 << 21, max: DEFAULT_MAX_FRAME_LEN })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        assert_eq!(decode_request(&[1, 0, 0]), Err(ProtocolError::Runt { len: 3 }));
+        assert_eq!(decode_request(&[1, 0, 0, 0, 99]), Err(ProtocolError::UnknownOp { op: 99 }));
+        assert_eq!(
+            decode_request(&[1, 0, 0, 0, OP_DIST, 5, 5]),
+            Err(ProtocolError::BadArgs { op: OP_DIST, len: 2 })
+        );
+        assert_eq!(
+            decode_request(&[1, 0, 0, 0, OP_PING, 7]),
+            Err(ProtocolError::BadArgs { op: OP_PING, len: 1 })
+        );
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut wire = Vec::new();
+        encode_dist_ok::<u64>(&mut wire, 1, 42, 17);
+        encode_path_ok(&mut wire, 2, 42, &[3, 1, 4, 1, 5]);
+        encode_k_nearest_ok::<u64>(&mut wire, 3, 42, &[(7, 2), (9, 5)]);
+        encode_status(&mut wire, 4, Status::Busy, 42);
+
+        let mut at = 0;
+        let mut next = || {
+            let (payload, consumed) =
+                decode_frame(&wire[at..], DEFAULT_MAX_FRAME_LEN).unwrap().expect("complete");
+            at += consumed;
+            decode_response_head(payload).unwrap()
+        };
+        let (h, body) = { next() };
+        assert_eq!((h.id, h.status, h.generation), (1, Status::Ok, 42));
+        assert_eq!(decode_dist_body::<u64>(body), Ok(17));
+        let (h, body) = { next() };
+        assert_eq!(h.status, Status::Ok);
+        assert_eq!(decode_path_body(body), Ok(vec![3, 1, 4, 1, 5]));
+        let (h, body) = { next() };
+        assert_eq!(decode_k_nearest_body::<u64>(body), Ok(vec![(7, 2), (9, 5)]));
+        assert_eq!(h.id, 3);
+        let (h, body) = { next() };
+        assert_eq!((h.id, h.status), (4, Status::Busy));
+        assert!(body.is_empty());
+        assert_eq!(at, wire.len());
+    }
+
+    #[test]
+    fn bad_bodies_are_typed() {
+        assert!(matches!(decode_dist_body::<u64>(&[1, 2]), Err(ProtocolError::BadBody(_))));
+        assert!(matches!(decode_path_body(&[5, 0, 0, 0, 1]), Err(ProtocolError::BadBody(_))));
+        assert!(matches!(
+            decode_k_nearest_body::<u64>(&[2, 0, 0, 0, 9]),
+            Err(ProtocolError::BadBody(_))
+        ));
+        // F64 NaN payload: structurally sized right, semantically invalid.
+        let nan = f64::NAN.to_bits().to_le_bytes();
+        assert!(matches!(
+            decode_dist_body::<congest_graph::F64>(&nan),
+            Err(ProtocolError::BadBody("undecodable weight"))
+        ));
+    }
+
+    #[test]
+    fn every_status_byte_round_trips_or_rejects() {
+        for b in 0u8..=255 {
+            match Status::from_u8(b) {
+                Some(s) => assert_eq!(s as u8, b),
+                None => assert!(b > 8),
+            }
+        }
+    }
+}

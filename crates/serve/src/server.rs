@@ -1,0 +1,763 @@
+//! The TCP serving front-end.
+//!
+//! Architecture: `acceptors` accept-loop threads share the listening
+//! socket (thread-per-core accept: the default acceptor count is the
+//! machine's parallelism) and hand each accepted connection its own
+//! handler thread. A handler drains the socket in large reads — one
+//! `read` syscall typically delivers a whole pipelined batch of frames —
+//! answers the batch against **one** generation of the oracle, and
+//! writes every response back in one `write_all`. Backpressure is a
+//! bounded per-batch in-flight window: requests beyond
+//! [`ServerConfig::window`] in a single batch are answered
+//! [`Status::Busy`] instead of being buffered without bound, and a peer
+//! that stops reading its responses trips the write timeout and is
+//! disconnected rather than pinning server memory.
+//!
+//! Snapshot swaps go through the [`GenerationCell`]: a `Reload` control
+//! frame (or the snapshot-file mtime watcher) loads and validates the
+//! new snapshot off to the side, then publishes it atomically. Batches
+//! already dispatched keep their generation until they finish — queries
+//! are never dropped or torn by a swap, and every response names the
+//! generation that answered it.
+
+use crate::cell::GenerationCell;
+use crate::proto::{self, HelloStatus, ProtocolError, Request, ServerHello, Status};
+use congest_oracle::{
+    EngineConfig, Oracle, PortableWeight, QueryEngine, QueryError, SnapshotError,
+};
+use congest_telemetry::{Counter, Gauge, Histogram};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Why the server could not start or reload.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, accept, handshake I/O).
+    Io(std::io::Error),
+    /// The snapshot file failed to load or validate.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "serve snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Accept-loop threads sharing the listener; 0 means one per core
+    /// (`std::thread::available_parallelism`).
+    pub acceptors: usize,
+    /// Hard cap on concurrent connections; beyond it, new peers get an
+    /// [`HelloStatus::AtCapacity`] hello and a close.
+    pub max_connections: usize,
+    /// Per-connection, per-batch in-flight window: at most this many
+    /// requests are answered per batch cycle, the rest get
+    /// [`Status::Busy`] responses immediately.
+    pub window: usize,
+    /// Cap on a single frame's payload, bytes (both directions).
+    pub max_frame_len: u32,
+    /// Read-timeout granularity at which idle handlers poll the
+    /// shutdown flag; also bounds how long shutdown waits for them.
+    pub idle_poll: Duration,
+    /// How long a response write may block before the peer is declared
+    /// a dead/slow reader and disconnected.
+    pub write_timeout: Duration,
+    /// Sharding/caching configuration for engines built from reloaded
+    /// snapshots.
+    pub engine: EngineConfig,
+    /// When serving from a snapshot file: poll its mtime at this
+    /// interval and hot-swap on change. `None` disables the watcher
+    /// (`Reload` control frames still work).
+    pub watch_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            acceptors: 0,
+            max_connections: 1024,
+            window: 1024,
+            max_frame_len: proto::DEFAULT_MAX_FRAME_LEN,
+            idle_poll: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(5),
+            engine: EngineConfig::default(),
+            watch_interval: None,
+        }
+    }
+}
+
+/// Construction-cached telemetry handles; recording happens only while
+/// the global plane is enabled (one relaxed load per site otherwise).
+struct Metrics {
+    accepted: Arc<Counter>,
+    rejected_capacity: Arc<Counter>,
+    handshake_rejects: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    busy: Arc<Counter>,
+    swaps: Arc<Counter>,
+    swap_errors: Arc<Counter>,
+    connections: Arc<Gauge>,
+    batch_frames: Arc<Histogram>,
+    op_dist: Arc<Histogram>,
+    op_path: Arc<Histogram>,
+    op_k_nearest: Arc<Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let reg = congest_telemetry::global().registry();
+        Metrics {
+            accepted: reg.counter("serve.conn.accepted"),
+            rejected_capacity: reg.counter("serve.conn.rejected_capacity"),
+            handshake_rejects: reg.counter("serve.conn.handshake_rejects"),
+            protocol_errors: reg.counter("serve.protocol_errors"),
+            busy: reg.counter("serve.busy_responses"),
+            swaps: reg.counter("serve.snapshot_swaps"),
+            swap_errors: reg.counter("serve.snapshot_swap_errors"),
+            connections: reg.gauge("serve.connections"),
+            batch_frames: reg.histogram("serve.batch.frames"),
+            op_dist: reg.histogram("serve.op.dist_ns"),
+            op_path: reg.histogram("serve.op.path_ns"),
+            op_k_nearest: reg.histogram("serve.op.k_nearest_ns"),
+        }
+    }
+}
+
+struct Shared<W> {
+    cell: GenerationCell<W>,
+    cfg: ServerConfig,
+    /// Snapshot file backing `Reload` frames and the mtime watcher.
+    snapshot: Option<PathBuf>,
+    /// Serializes reloads so racing `Reload` frames load the file once.
+    reload_lock: Mutex<Option<SystemTime>>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    metrics: Metrics,
+    /// Live connection count (the authoritative one; the gauge mirrors it).
+    conns: AtomicUsize,
+}
+
+impl<W: PortableWeight> Shared<W> {
+    /// Loads the snapshot file and publishes it as the next generation.
+    fn reload(&self) -> Result<u64, ServeError> {
+        let path = self.snapshot.as_ref().ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                ErrorKind::Unsupported,
+                "server has no snapshot file to reload",
+            ))
+        })?;
+        let mut last = self.reload_lock.lock().expect("reload lock poisoned");
+        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        let oracle = match Oracle::<W>::load(path) {
+            Ok(o) => o,
+            Err(e) => {
+                if congest_telemetry::enabled() {
+                    self.metrics.swap_errors.inc();
+                }
+                return Err(ServeError::Snapshot(e));
+            }
+        };
+        let engine = Arc::new(QueryEngine::new(Arc::new(oracle), self.cfg.engine));
+        let gen = self.cell.swap(engine);
+        *last = mtime;
+        if congest_telemetry::enabled() {
+            self.metrics.swaps.inc();
+        }
+        Ok(gen)
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](ServerHandle::shutdown) (and then
+/// [`join`](ServerHandle::join)) for the graceful drain the CI smoke
+/// test exercises.
+pub struct ServerHandle<W> {
+    shared: Arc<Shared<W>>,
+    acceptors: Vec<std::thread::JoinHandle<()>>,
+    watcher: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+/// Namespace for the server constructors.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` and serves `engine`. `addr` may use port 0 to let
+    /// the OS pick (read it back via [`ServerHandle::local_addr`]).
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the listener cannot be bound.
+    pub fn bind<W: PortableWeight>(
+        addr: impl ToSocketAddrs,
+        engine: Arc<QueryEngine<W>>,
+        cfg: ServerConfig,
+    ) -> Result<ServerHandle<W>, ServeError> {
+        Self::start(addr, engine, None, cfg)
+    }
+
+    /// Loads the snapshot at `path`, binds `addr` and serves it. The
+    /// returned server supports `Reload` control frames, and — when
+    /// [`ServerConfig::watch_interval`] is set — hot-swaps automatically
+    /// whenever the file's mtime changes.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] when the file fails to load or
+    /// validate; [`ServeError::Io`] when the listener cannot be bound.
+    pub fn bind_snapshot<W: PortableWeight>(
+        addr: impl ToSocketAddrs,
+        path: impl Into<PathBuf>,
+        cfg: ServerConfig,
+    ) -> Result<ServerHandle<W>, ServeError> {
+        let path = path.into();
+        let oracle = Oracle::<W>::load(&path).map_err(ServeError::Snapshot)?;
+        let engine = Arc::new(QueryEngine::new(Arc::new(oracle), cfg.engine));
+        Self::start(addr, engine, Some(path), cfg)
+    }
+
+    fn start<W: PortableWeight>(
+        addr: impl ToSocketAddrs,
+        engine: Arc<QueryEngine<W>>,
+        snapshot: Option<PathBuf>,
+        cfg: ServerConfig,
+    ) -> Result<ServerHandle<W>, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let acceptor_count = if cfg.acceptors == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            cfg.acceptors
+        };
+        let shared = Arc::new(Shared {
+            cell: GenerationCell::new(engine),
+            cfg,
+            snapshot,
+            reload_lock: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            addr,
+            metrics: Metrics::new(),
+            conns: AtomicUsize::new(0),
+        });
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let mut acceptors = Vec::with_capacity(acceptor_count);
+        for i in 0..acceptor_count {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-accept-{i}"))
+                    .spawn(move || accept_loop(&listener, &shared, &handlers))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        let watcher = match (shared.cfg.watch_interval, shared.snapshot.is_some()) {
+            (Some(interval), true) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("serve-watch".to_string())
+                        .spawn(move || watch_loop(&shared, interval))
+                        .map_err(ServeError::Io)?,
+                )
+            }
+            _ => None,
+        };
+        Ok(ServerHandle { shared, acceptors, watcher, handlers })
+    }
+}
+
+impl<W: PortableWeight> ServerHandle<W> {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current snapshot generation.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shared.cell.generation()
+    }
+
+    /// Live connection count.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.shared.conns.load(Ordering::SeqCst)
+    }
+
+    /// Publishes a new oracle (wrapped in a fresh engine with the
+    /// server's [`EngineConfig`]) as the next generation; returns its
+    /// number. In-flight batches finish on the generation they loaded.
+    pub fn swap(&self, oracle: Arc<Oracle<W>>) -> u64 {
+        self.swap_engine(Arc::new(QueryEngine::new(oracle, self.shared.cfg.engine)))
+    }
+
+    /// Publishes an already-built engine as the next generation.
+    pub fn swap_engine(&self, engine: Arc<QueryEngine<W>>) -> u64 {
+        let gen = self.shared.cell.swap(engine);
+        if congest_telemetry::enabled() {
+            self.shared.metrics.swaps.inc();
+        }
+        gen
+    }
+
+    /// Reloads the snapshot file (if the server was started with one)
+    /// and swaps it in; returns the new generation.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] when the file fails to load or
+    /// validate — the previous generation keeps serving.
+    pub fn reload(&self) -> Result<u64, ServeError> {
+        self.shared.reload()
+    }
+
+    /// Begins a graceful shutdown: acceptors stop taking connections,
+    /// every handler finishes (and answers) the requests it has already
+    /// read, then closes its connection. Returns immediately; use
+    /// [`join`](ServerHandle::join) to wait for the drain.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Accept loops block in `accept`; poke each one awake with a
+        // throwaway connection so it can observe the flag and exit.
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect_timeout(&self.shared.addr, Duration::from_millis(250));
+        }
+    }
+
+    /// Waits until every acceptor and connection handler has exited.
+    /// Implies [`shutdown`](ServerHandle::shutdown).
+    pub fn join(mut self) {
+        self.shutdown();
+        for a in self.acceptors.drain(..) {
+            let _ = a.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop<W: PortableWeight>(
+    listener: &TcpListener,
+    shared: &Arc<Shared<W>>,
+    handlers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // briefly instead of spinning the core.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up poke (or a late client); just drop it
+        }
+        let prev = shared.conns.fetch_add(1, Ordering::SeqCst);
+        if prev >= shared.cfg.max_connections {
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+            if congest_telemetry::enabled() {
+                shared.metrics.rejected_capacity.inc();
+            }
+            let hello = proto::encode_server_hello(&ServerHello {
+                status: HelloStatus::AtCapacity,
+                weight_tag: W::TAG,
+                n: 0,
+                generation: shared.cell.generation(),
+                window: 0,
+                max_frame_len: 0,
+            });
+            let mut stream = stream;
+            let _ = stream.write_all(&hello);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        if congest_telemetry::enabled() {
+            shared.metrics.accepted.inc();
+            shared.metrics.connections.set((prev + 1) as i64);
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new().name("serve-conn".to_string()).spawn(move || {
+            handle_connection(stream, &conn_shared);
+            let now = conn_shared.conns.fetch_sub(1, Ordering::SeqCst) - 1;
+            if congest_telemetry::enabled() {
+                conn_shared.metrics.connections.set(now as i64);
+            }
+        });
+        match spawned {
+            Ok(handle) => {
+                let mut list = handlers.lock().expect("handler list poisoned");
+                // Opportunistically reap finished handlers so a
+                // long-running server's list stays bounded.
+                list.retain(|h| !h.is_finished());
+                list.push(handle);
+            }
+            Err(_) => {
+                shared.conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn watch_loop<W: PortableWeight>(shared: &Arc<Shared<W>>, interval: Duration) {
+    let path = shared.snapshot.as_ref().expect("watcher requires a snapshot path");
+    // Baseline: the mtime of the snapshot generation 1 was loaded from.
+    *shared.reload_lock.lock().expect("reload lock poisoned") =
+        std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Sleep `interval` in short steps so shutdown is observed quickly
+        // even with a long watch interval.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = (interval - slept).min(Duration::from_millis(50));
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let Ok(mtime) = std::fs::metadata(path).and_then(|m| m.modified()) else {
+            continue; // file momentarily absent (mid-rewrite): keep serving
+        };
+        let changed = *shared.reload_lock.lock().expect("reload lock poisoned") != Some(mtime);
+        if changed {
+            // A half-written file fails validation and is retried on the
+            // next tick; the previous generation keeps serving throughout.
+            let _ = shared.reload();
+        }
+    }
+}
+
+/// Reads with a poll-granularity timeout until `buf` is full; gives up
+/// on shutdown, EOF, `deadline`, or a hard I/O error.
+fn read_exact_polling<W: PortableWeight>(
+    stream: &mut TcpStream,
+    shared: &Shared<W>,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> bool {
+    let mut at = 0;
+    while at < buf.len() {
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => return false,
+            Ok(k) => at += k,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn handle_connection<W: PortableWeight>(mut stream: TcpStream, shared: &Shared<W>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.idle_poll));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+
+    // ---- handshake ----
+    let mut hello = [0u8; proto::CLIENT_HELLO_LEN];
+    if !read_exact_polling(&mut stream, shared, &mut hello, Instant::now() + Duration::from_secs(5))
+    {
+        return;
+    }
+    let status = match proto::decode_client_hello(&hello) {
+        Ok(tag) if tag == W::TAG => HelloStatus::Ok,
+        Ok(_) => HelloStatus::WeightMismatch,
+        Err(ProtocolError::UnsupportedVersion { .. }) => HelloStatus::BadVersion,
+        Err(_) => {
+            // Not our protocol at all: close without feeding bytes to
+            // whatever peer this is.
+            if congest_telemetry::enabled() {
+                shared.metrics.handshake_rejects.inc();
+            }
+            return;
+        }
+    };
+    let (n, generation) = {
+        let current = shared.cell.load();
+        (u64::try_from(current.engine.oracle().n()).unwrap_or(u64::MAX), current.number)
+    };
+    let reply = proto::encode_server_hello(&ServerHello {
+        status,
+        weight_tag: W::TAG,
+        n,
+        generation,
+        window: u32::try_from(shared.cfg.window).unwrap_or(u32::MAX),
+        max_frame_len: shared.cfg.max_frame_len,
+    });
+    if stream.write_all(&reply).is_err() {
+        return;
+    }
+    if status != HelloStatus::Ok {
+        if congest_telemetry::enabled() {
+            shared.metrics.handshake_rejects.inc();
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+
+    // ---- batch loop ----
+    let mut inbuf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut outbuf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut scratch = [0u8; 64 * 1024];
+    let mut draining = false;
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => draining = true,
+            Ok(k) => inbuf.extend_from_slice(&scratch[..k]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    draining = true; // answer what is buffered, then close
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+
+        // Split every complete frame out of the buffer.
+        let mut requests: Vec<Result<Request, (u32, Status)>> = Vec::new();
+        let mut consumed = 0;
+        let mut fatal = false;
+        loop {
+            match proto::decode_frame(&inbuf[consumed..], shared.cfg.max_frame_len) {
+                Ok(None) => break,
+                Ok(Some((payload, used))) => {
+                    match proto::decode_request(payload) {
+                        Ok(req) => requests.push(Ok(req)),
+                        Err(e) => {
+                            // Well-framed but senseless: answer BadRequest
+                            // (with the request's id when one is present)
+                            // and keep the connection — framing is intact.
+                            if congest_telemetry::enabled() {
+                                shared.metrics.protocol_errors.inc();
+                            }
+                            let id = if payload.len() >= 4 {
+                                u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"))
+                            } else {
+                                proto::CONNECTION_ID
+                            };
+                            debug_assert!(matches!(
+                                e,
+                                ProtocolError::Runt { .. }
+                                    | ProtocolError::UnknownOp { .. }
+                                    | ProtocolError::BadArgs { .. }
+                            ));
+                            requests.push(Err((id, Status::BadRequest)));
+                        }
+                    }
+                    consumed += used;
+                }
+                Err(_) => {
+                    // Oversized frame: the stream cannot be re-synced.
+                    // Answer everything decoded so far plus one
+                    // connection-level error, then close.
+                    if congest_telemetry::enabled() {
+                        shared.metrics.protocol_errors.inc();
+                    }
+                    requests.push(Err((proto::CONNECTION_ID, Status::BadRequest)));
+                    fatal = true;
+                    break;
+                }
+            }
+        }
+        inbuf.drain(..consumed);
+
+        if !requests.is_empty() {
+            outbuf.clear();
+            answer_batch(shared, &requests, &mut outbuf);
+            if stream.write_all(&outbuf).is_err() {
+                return; // slow/dead reader tripped the write timeout
+            }
+        }
+        if fatal || (draining && inbuf.len() < 4) {
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// Answers one batch of decoded requests against a single snapshot
+/// generation, encoding responses in arrival order. Dist and Path
+/// requests inside the window are dispatched through the engine's batch
+/// entry points, so shard locks are taken once per batch.
+fn answer_batch<W: PortableWeight>(
+    shared: &Shared<W>,
+    requests: &[Result<Request, (u32, Status)>],
+    out: &mut Vec<u8>,
+) {
+    let telemetry = congest_telemetry::enabled();
+    let t0 = telemetry.then(Instant::now);
+    let generation = shared.cell.load();
+    let (engine, gen) = (&generation.engine, generation.number);
+    let window = shared.cfg.window;
+
+    // Group the in-window dist/path requests for the batch entry points.
+    let mut dist_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut path_pairs: Vec<(u32, u32)> = Vec::new();
+    for req in requests.iter().take(window).flatten() {
+        match *req {
+            Request::Dist { u, v, .. } => dist_pairs.push((u, v)),
+            Request::Path { u, v, .. } => path_pairs.push((u, v)),
+            _ => {}
+        }
+    }
+    let dist_t0 = telemetry.then(Instant::now);
+    let dists = engine.dist_batch(&dist_pairs);
+    let dist_ns = per_op_ns(dist_t0, dists.len());
+    let path_t0 = telemetry.then(Instant::now);
+    let paths = engine.path_batch(&path_pairs);
+    let path_ns = per_op_ns(path_t0, paths.len());
+
+    let (mut di, mut pi) = (0, 0);
+    let mut busy = 0u64;
+    for (i, req) in requests.iter().enumerate() {
+        let req = match req {
+            Ok(req) => req,
+            Err((id, status)) => {
+                proto::encode_status(out, *id, *status, gen);
+                continue;
+            }
+        };
+        if i >= window {
+            // Backpressure: out-of-window requests are refused *now*
+            // instead of queueing unboundedly behind a slow batch.
+            busy += 1;
+            proto::encode_status(out, req.id(), Status::Busy, gen);
+            continue;
+        }
+        let frame_cap = out.len();
+        match *req {
+            Request::Dist { id, .. } => {
+                let r = &dists[di];
+                di += 1;
+                match r {
+                    Ok(Some(w)) => proto::encode_dist_ok(out, id, gen, *w),
+                    Ok(None) => proto::encode_status(out, id, Status::Unreachable, gen),
+                    Err(e) => proto::encode_status(out, id, query_status(e), gen),
+                }
+                if let Some(ns) = dist_ns {
+                    shared.metrics.op_dist.record(ns);
+                }
+            }
+            Request::Path { id, .. } => {
+                let r = &paths[pi];
+                pi += 1;
+                match r {
+                    Ok(Some(p)) => {
+                        proto::encode_path_ok(out, id, gen, p);
+                        if out.len() - frame_cap - 4 > shared.cfg.max_frame_len as usize {
+                            out.truncate(frame_cap);
+                            proto::encode_status(out, id, Status::TooLarge, gen);
+                        }
+                    }
+                    Ok(None) => proto::encode_status(out, id, Status::Unreachable, gen),
+                    Err(e) => proto::encode_status(out, id, query_status(e), gen),
+                }
+                if let Some(ns) = path_ns {
+                    shared.metrics.op_path.record(ns);
+                }
+            }
+            Request::KNearest { id, u, k } => {
+                let op_t0 = telemetry.then(Instant::now);
+                match engine.k_nearest(u, k as usize) {
+                    Ok(items) => {
+                        proto::encode_k_nearest_ok(out, id, gen, &items);
+                        if out.len() - frame_cap - 4 > shared.cfg.max_frame_len as usize {
+                            out.truncate(frame_cap);
+                            proto::encode_status(out, id, Status::TooLarge, gen);
+                        }
+                    }
+                    Err(e) => proto::encode_status(out, id, query_status(&e), gen),
+                }
+                if let Some(ns) = per_op_ns(op_t0, 1) {
+                    shared.metrics.op_k_nearest.record(ns);
+                }
+            }
+            Request::Ping { id } => proto::encode_status(out, id, Status::Ok, gen),
+            Request::Reload { id } => match shared.reload() {
+                Ok(new_gen) => proto::encode_status(out, id, Status::Ok, new_gen),
+                Err(ServeError::Io(e)) if e.kind() == ErrorKind::Unsupported => {
+                    proto::encode_status(out, id, Status::NotSupported, gen);
+                }
+                Err(_) => proto::encode_status(out, id, Status::Internal, gen),
+            },
+        }
+    }
+    if busy > 0 && telemetry {
+        shared.metrics.busy.add(busy);
+    }
+    if let Some(t0) = t0 {
+        let tele = congest_telemetry::global();
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.metrics.batch_frames.record(requests.len() as u64);
+        tele.complete_span(
+            "serve.batch",
+            tele.now_ns().saturating_sub(ns),
+            ns,
+            vec![
+                ("frames".to_string(), requests.len().to_string()),
+                ("generation".to_string(), gen.to_string()),
+                ("bytes_out".to_string(), out.len().to_string()),
+            ],
+        );
+    }
+}
+
+/// Amortized per-op share of a batch group's wall time; `None` while
+/// telemetry is disabled or the group was empty.
+fn per_op_ns(t0: Option<Instant>, ops: usize) -> Option<u64> {
+    let t0 = t0?;
+    if ops == 0 {
+        return None;
+    }
+    Some(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX) / ops as u64)
+}
+
+fn query_status(e: &QueryError) -> Status {
+    match e {
+        QueryError::NodeOutOfRange { .. } => Status::NodeOutOfRange,
+        QueryError::CorruptSuccessors { .. } => Status::Corrupt,
+    }
+}

@@ -24,4 +24,5 @@ pub use congest_apsp as apsp;
 pub use congest_derand as derand;
 pub use congest_graph as graph;
 pub use congest_oracle as oracle;
+pub use congest_serve as serve;
 pub use congest_sim as sim;

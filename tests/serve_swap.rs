@@ -1,0 +1,165 @@
+//! Snapshot-swap differential test: client threads hammer a live server
+//! while the main thread swaps generations in a loop. The contract under
+//! test is exact: **zero** queries are dropped or errored across every
+//! swap, and every single answer is exactly correct for the generation
+//! the response claims to have been answered by (each generation has a
+//! different weight function, so a torn read would be caught).
+
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::{DistMatrix, Graph, Weight};
+use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+use congest_serve::proto::Status;
+use congest_serve::{Client, ReplyBody, Server, ServerConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 24;
+const VARIANTS: usize = 3;
+const SWAPS: u64 = 30;
+const CLIENTS: usize = 4;
+
+/// One generation variant: its ground-truth matrix plus an edge-weight
+/// lookup for validating returned walks.
+struct Variant {
+    dist: DistMatrix<u64>,
+    edge: HashMap<(u32, u32), u64>,
+    engine: Arc<QueryEngine<u64>>,
+}
+
+fn variant(seed: u64) -> Variant {
+    // Same topology class, different weights per seed: two generations
+    // never agree on all distances, so a reply checked against the wrong
+    // generation's matrix fails loudly.
+    let g: Graph<u64> = gnm_connected(N, 3 * N, true, WeightDist::Uniform(1, 97), seed);
+    let dist = apsp_dijkstra(&g);
+    let mut edge = HashMap::new();
+    for e in g.edges() {
+        let w = edge.entry((e.from, e.to)).or_insert(e.weight);
+        *w = (*w).min(e.weight);
+        if !g.is_directed() {
+            let w = edge.entry((e.to, e.from)).or_insert(e.weight);
+            *w = (*w).min(e.weight);
+        }
+    }
+    let engine = Arc::new(QueryEngine::new(
+        Arc::new(Oracle::from_dist(&g, dist.clone())),
+        EngineConfig::default(),
+    ));
+    Variant { dist, edge, engine }
+}
+
+/// Generation `g` serves variant `(g - 1) % VARIANTS`.
+fn variant_for(generation: u64) -> usize {
+    ((generation - 1) % VARIANTS as u64) as usize
+}
+
+#[test]
+fn swapping_under_load_never_drops_or_corrupts_a_query() {
+    let variants: Vec<Variant> = (0..VARIANTS as u64).map(|s| variant(1000 + s)).collect();
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&variants[0].engine),
+        ServerConfig { idle_poll: Duration::from_millis(2), ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let variants = Arc::new(variants);
+
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            let variants = Arc::clone(&variants);
+            scope.spawn(move || {
+                let mut client = Client::<u64>::connect(addr).expect("connect");
+                client.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+                let mut x = 0xD1B5_4A32u64.wrapping_mul(t as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // One pipelined batch of mixed dist/path requests.
+                    let mut batch = client.batch();
+                    let mut pairs = Vec::new();
+                    for _ in 0..24 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let u = ((x >> 33) % N as u64) as u32;
+                        let v = ((x >> 13) % N as u64) as u32;
+                        if x.is_multiple_of(3) {
+                            batch.path(u, v);
+                        } else {
+                            batch.dist(u, v);
+                        }
+                        pairs.push((u, v));
+                    }
+                    let replies = batch.send().expect("a swap must never error a batch");
+                    assert_eq!(replies.len(), pairs.len(), "a swap must never drop a reply");
+                    for (reply, &(u, v)) in replies.iter().zip(&pairs) {
+                        let var = &variants[variant_for(reply.generation)];
+                        let want = var.dist.get(u as usize, v as usize);
+                        match (&reply.status, &reply.body) {
+                            (Status::Ok, ReplyBody::Dist(w)) => {
+                                assert_eq!(
+                                    *w, want,
+                                    "dist({u},{v}) wrong for generation {}",
+                                    reply.generation
+                                );
+                            }
+                            (Status::Ok, ReplyBody::Path(p)) => {
+                                // The walk must be a real u→v walk in THIS
+                                // generation's graph whose weight equals
+                                // THIS generation's distance.
+                                assert_eq!(p.first(), Some(&u));
+                                assert_eq!(p.last(), Some(&v));
+                                let mut total = 0u64;
+                                for step in p.windows(2) {
+                                    total += *var
+                                        .edge
+                                        .get(&(step[0], step[1]))
+                                        .unwrap_or_else(|| panic!(
+                                            "path for generation {} uses edge ({},{}) absent from that generation",
+                                            reply.generation, step[0], step[1]
+                                        ));
+                                }
+                                assert_eq!(
+                                    total, want,
+                                    "path({u},{v}) weight wrong for generation {}",
+                                    reply.generation
+                                );
+                            }
+                            (Status::Unreachable, _) => {
+                                assert_eq!(want, u64::INF);
+                            }
+                            (s, b) => panic!("query errored under swap: {s:?} {b:?}"),
+                        }
+                        local += 1;
+                    }
+                }
+                answered.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+
+        // Swap generations while the clients hammer.
+        for g in 2..=(SWAPS + 1) {
+            std::thread::sleep(Duration::from_millis(3));
+            let next = &variants[variant_for(g)];
+            let published = handle.swap_engine(Arc::clone(&next.engine));
+            assert_eq!(published, g);
+        }
+        // Let a little more traffic land on the final generation.
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let total = answered.load(Ordering::Relaxed);
+    assert!(
+        total > SWAPS * CLIENTS as u64,
+        "expected sustained traffic across the swaps, saw only {total} answers"
+    );
+    assert_eq!(handle.generation(), SWAPS + 1);
+    handle.join();
+}
