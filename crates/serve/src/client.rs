@@ -87,6 +87,11 @@ pub struct Reply<W> {
     pub body: ReplyBody<W>,
 }
 
+/// Read timeout [`Client::connect`] applies around the handshake, so a
+/// server that accepts but never says hello yields a timeout error
+/// instead of blocking the client forever.
+pub const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// A blocking connection to a `congest-serve` server, generic over the
 /// weight type the server must be serving (verified at the handshake).
 pub struct Client<W> {
@@ -117,18 +122,39 @@ pub struct Batch<'a, W> {
 }
 
 impl<W: PortableWeight> Client<W> {
-    /// Connects and performs the handshake.
+    /// Connects and performs the handshake, bounding the hello exchange
+    /// by [`DEFAULT_HANDSHAKE_TIMEOUT`].
     ///
     /// # Errors
     /// [`ClientError::Refused`] when the server rejects the handshake
     /// (version/weight mismatch, at capacity); [`ClientError::Protocol`]
-    /// when the peer is not a congest-serve server at all.
+    /// when the peer is not a congest-serve server at all;
+    /// [`ClientError::Io`] when the server stays silent past the
+    /// handshake timeout.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client<W>, ClientError> {
+        Self::connect_with_timeout(addr, DEFAULT_HANDSHAKE_TIMEOUT)
+    }
+
+    /// [`connect`](Client::connect) with an explicit (nonzero) handshake
+    /// timeout. Subsequent calls block without a timeout until
+    /// [`set_read_timeout`](Client::set_read_timeout) says otherwise.
+    ///
+    /// # Errors
+    /// As [`connect`](Client::connect).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        handshake_timeout: Duration,
+    ) -> Result<Client<W>, ClientError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        // The hello read happens before the caller gets a handle to
+        // configure timeouts on, so bound it here: a server that
+        // accepts and goes silent must not hang the client.
+        stream.set_read_timeout(Some(handshake_timeout))?;
         stream.write_all(&proto::encode_client_hello(W::TAG))?;
         let mut reply = [0u8; proto::SERVER_HELLO_LEN];
         stream.read_exact(&mut reply)?;
+        stream.set_read_timeout(None)?;
         let hello = proto::decode_server_hello(&reply)?;
         if hello.status != HelloStatus::Ok {
             return Err(ClientError::Refused(hello.status));

@@ -118,6 +118,6 @@ pub mod proto;
 pub mod server;
 
 pub use cell::{Generation, GenerationCell};
-pub use client::{Batch, Client, ClientError, Reply, ReplyBody};
+pub use client::{Batch, Client, ClientError, Reply, ReplyBody, DEFAULT_HANDSHAKE_TIMEOUT};
 pub use proto::{ProtocolError, Status};
 pub use server::{ServeError, Server, ServerConfig, ServerHandle};

@@ -81,8 +81,9 @@ pub struct ServerConfig {
     pub window: usize,
     /// Cap on a single frame's payload, bytes (both directions).
     pub max_frame_len: u32,
-    /// Read-timeout granularity at which idle handlers poll the
-    /// shutdown flag; also bounds how long shutdown waits for them.
+    /// Granularity at which idle handlers (via their read timeout) and
+    /// acceptors (via nonblocking `accept`) poll the shutdown flag;
+    /// also bounds how long shutdown waits for them.
     pub idle_poll: Duration,
     /// How long a response write may block before the peer is declared
     /// a dead/slow reader and disconnected.
@@ -246,6 +247,11 @@ impl Server {
         cfg: ServerConfig,
     ) -> Result<ServerHandle<W>, ServeError> {
         let listener = TcpListener::bind(addr)?;
+        // Nonblocking accept: the loops poll the shutdown flag between
+        // `WouldBlock`s, so shutdown never depends on a wake-up
+        // connection getting through. Set before cloning — the clones
+        // share the flag.
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let acceptor_count = if cfg.acceptors == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -342,14 +348,9 @@ impl<W: PortableWeight> ServerHandle<W> {
     /// read, then closes its connection. Returns immediately; use
     /// [`join`](ServerHandle::join) to wait for the drain.
     pub fn shutdown(&self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Accept loops block in `accept`; poke each one awake with a
-        // throwaway connection so it can observe the flag and exit.
-        for _ in 0..self.acceptors.len() {
-            let _ = TcpStream::connect_timeout(&self.shared.addr, Duration::from_millis(250));
-        }
+        // The listener is nonblocking, so every acceptor observes the
+        // flag within one idle_poll tick — no wake-up traffic needed.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
     }
 
     /// Waits until every acceptor and connection handler has exited.
@@ -375,12 +376,18 @@ fn accept_loop<W: PortableWeight>(
     handlers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 ) {
     loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Nonblocking listener, nothing pending: sleep one poll
+                // tick and re-check the shutdown flag.
+                std::thread::sleep(shared.cfg.idle_poll);
+                continue;
+            }
             Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
                 // Transient accept failure (e.g. fd exhaustion): back off
                 // briefly instead of spinning the core.
                 std::thread::sleep(Duration::from_millis(5));
@@ -388,7 +395,13 @@ fn accept_loop<W: PortableWeight>(
             }
         };
         if shared.shutdown.load(Ordering::SeqCst) {
-            return; // the wake-up poke (or a late client); just drop it
+            return; // a late client; just drop it
+        }
+        // Handlers pace reads with socket timeouts, which need a
+        // blocking stream; some platforms inherit the listener's
+        // nonblocking flag across accept.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
         }
         let prev = shared.conns.fetch_add(1, Ordering::SeqCst);
         if prev >= shared.cfg.max_connections {
@@ -610,7 +623,13 @@ fn handle_connection<W: PortableWeight>(mut stream: TcpStream, shared: &Shared<W
                 return; // slow/dead reader tripped the write timeout
             }
         }
-        if fatal || (draining && inbuf.len() < 4) {
+        // The decode pass above split out every complete frame, so once
+        // `draining` is set any leftover bytes are a partial frame that
+        // will never be answered: after EOF no more bytes are coming,
+        // and the shutdown drain only answers requests already read.
+        // Waiting for the buffer to empty instead would spin forever on
+        // a truncated frame (EOF re-reads Ok(0) in a tight loop).
+        if fatal || draining {
             let _ = stream.flush();
             let _ = stream.shutdown(Shutdown::Both);
             return;

@@ -17,9 +17,9 @@ use congest_serve::proto::{
 use congest_serve::{Client, ClientError, Server, ServerConfig, ServerHandle};
 use proptest::prelude::*;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------- fuzz
 
@@ -147,6 +147,77 @@ fn read_response(s: &mut TcpStream) -> (proto::ResponseHead, Vec<u8>) {
         s.read_exact(&mut byte).expect("server must answer, not hang");
         buf.push(byte[0]);
     }
+}
+
+/// Joins `handle` on a helper thread and asserts the drain completes
+/// within `secs` — the graceful-shutdown regressions this suite guards
+/// against all present as `join()` hanging forever.
+fn join_within(handle: ServerHandle<u64>, secs: u64) {
+    let joiner = std::thread::spawn(move || handle.join());
+    let t0 = Instant::now();
+    while !joiner.is_finished() {
+        assert!(t0.elapsed() < Duration::from_secs(secs), "join() did not return within {secs}s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    joiner.join().expect("join thread panicked");
+}
+
+#[test]
+fn truncated_frame_then_eof_frees_the_connection() {
+    let handle = spawn_server();
+    let mut s = raw_conn(&handle);
+    // A length prefix promising 64 bytes that never arrive, then EOF.
+    s.write_all(&64u32.to_le_bytes()).unwrap();
+    s.write_all(&[0u8; 8]).unwrap();
+    drop(s);
+    // The handler must treat EOF with an incomplete frame as terminal —
+    // not spin re-reading EOF waiting for bytes that can never come.
+    let t0 = Instant::now();
+    while handle.connections() > 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "handler leaked after a truncated frame + close"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    join_within(handle, 10);
+}
+
+#[test]
+fn shutdown_drains_a_connection_holding_a_partial_frame() {
+    let handle = spawn_server();
+    let mut s = raw_conn(&handle);
+    s.write_all(&64u32.to_le_bytes()).unwrap();
+    s.write_all(&[0u8; 8]).unwrap();
+    // Give the handler a moment to buffer the partial frame, then drain
+    // with the socket still open: shutdown answers only requests already
+    // fully read, so the incomplete frame must not stall the drain.
+    std::thread::sleep(Duration::from_millis(30));
+    join_within(handle, 10);
+    drop(s);
+}
+
+#[test]
+fn client_handshake_times_out_against_a_silent_server() {
+    // A "server" that accepts and never writes its hello.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let silent = std::thread::spawn(move || {
+        let conn = listener.accept();
+        std::thread::sleep(Duration::from_millis(500));
+        drop(conn);
+    });
+    let t0 = Instant::now();
+    match Client::<u64>::connect_with_timeout(addr, Duration::from_millis(100)) {
+        Err(ClientError::Io(e)) => assert!(
+            matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "expected a handshake timeout, got {e:?}"
+        ),
+        Err(e) => panic!("expected a handshake timeout, got {e:?}"),
+        Ok(_) => panic!("expected a handshake timeout, got an accepted connection"),
+    }
+    assert!(t0.elapsed() < Duration::from_secs(5), "connect did not respect the timeout");
+    silent.join().unwrap();
 }
 
 #[test]
