@@ -16,11 +16,13 @@
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 use congest_oracle::{EngineConfig, Oracle, QueryEngine};
+use congest_serve::chaos::{ChaosProxy, ChaosSpec};
+use congest_serve::client::{ResilienceStats, ResilientClient, RetryPolicy};
 use congest_serve::proto::Status;
 use congest_serve::{Client, Server, ServerConfig};
 use congest_telemetry::Histogram;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const N: usize = 1 << 10; // 1024 nodes
 const CONNECTIONS: &[usize] = &[1, 2, 4];
@@ -28,6 +30,8 @@ const BATCHES: &[usize] = &[1, 16, 64];
 /// Requests answered per (connection, cell) after warmup.
 const REQUESTS_PER_CONN: u64 = 8_000;
 const WARMUP_BATCHES: u64 = 50;
+/// Operations per chaos tier (each op is one resilient Dist round trip).
+const CHAOS_OPS: u64 = 500;
 
 fn next_rng(state: &mut u64) -> u64 {
     *state ^= *state << 13;
@@ -94,6 +98,52 @@ fn run_cell(addr: std::net::SocketAddr, connections: usize, batch: usize) -> Cel
     Cell { connections, batch, requests, elapsed_s, qps: requests as f64 / elapsed_s, rtt }
 }
 
+/// One tier of the chaos sweep: the resilient client driven through a
+/// seeded chaos proxy at a given fault intensity, measuring what
+/// resilience costs (latency inflation, retries, reconnects) as the
+/// fault rate climbs.
+struct ChaosTier {
+    label: &'static str,
+    spec: ChaosSpec,
+    ok: u64,
+    exhausted: u64,
+    stats: ResilienceStats,
+    /// Full resilient-op round trip (including retries/backoff), ns.
+    op_rtt: Histogram,
+    elapsed_s: f64,
+}
+
+fn run_chaos_tier(addr: std::net::SocketAddr, label: &'static str, spec: ChaosSpec) -> ChaosTier {
+    let proxy = ChaosProxy::start(addr, spec).expect("chaos proxy");
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        base: Duration::from_micros(500),
+        cap: Duration::from_millis(5),
+        op_deadline: Duration::from_secs(5),
+        jitter_seed: 0xBE7C_4A05,
+    };
+    let mut client = ResilientClient::<u64>::new(proxy.local_addr(), policy);
+    let op_rtt = Histogram::new();
+    let mut x = 0xC4A0_5BADu64 | 1;
+    let (mut ok, mut exhausted) = (0u64, 0u64);
+    let t0 = Instant::now();
+    for _ in 0..CHAOS_OPS {
+        let r = next_rng(&mut x);
+        let start = Instant::now();
+        let outcome = client.dist((r % N as u64) as u32, ((r >> 32) % N as u64) as u32);
+        op_rtt.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        match outcome {
+            Ok(_) => ok += 1,
+            Err(_) => exhausted += 1,
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let stats = client.stats();
+    drop(client);
+    proxy.join();
+    ChaosTier { label, spec, ok, exhausted, stats, op_rtt, elapsed_s }
+}
+
 fn main() {
     // Telemetry on: the server records its per-op histograms and batch
     // spans while the bench drives it, and the manifest snapshots them.
@@ -124,6 +174,47 @@ fn main() {
             );
             cells.push(cell);
         }
+    }
+
+    // Chaos sweep: the resilient client's latency/recovery curve vs
+    // fault rate, through a deterministic chaos proxy.
+    let tiers = [
+        ("none", ChaosSpec::seeded(0x000C_4A05)),
+        (
+            "low",
+            ChaosSpec::seeded(0x000C_4A05)
+                .delays(2_000, Duration::from_micros(200))
+                .segmentation(5_000)
+                .truncation(300)
+                .resets(300),
+        ),
+        (
+            "high",
+            ChaosSpec::seeded(0x000C_4A05)
+                .delays(5_000, Duration::from_micros(200))
+                .segmentation(20_000)
+                .truncation(2_000)
+                .resets(2_000),
+        ),
+    ];
+    println!();
+    println!("chaos sweep: {CHAOS_OPS} resilient Dist ops per tier, one op per round trip");
+    println!("tier   ok     exh    retries reconn  op-RTT p50/p99 (us)");
+    let mut chaos_tiers = Vec::new();
+    for (label, spec) in tiers {
+        let tier = run_chaos_tier(addr, label, spec);
+        let us = |ns: u64| ns as f64 / 1000.0;
+        println!(
+            "{:<6} {:<6} {:<6} {:<7} {:<7} {:>8.1} / {:>8.1}",
+            tier.label,
+            tier.ok,
+            tier.exhausted,
+            tier.stats.retries,
+            tier.stats.reconnects,
+            us(tier.op_rtt.p50()),
+            us(tier.op_rtt.p99()),
+        );
+        chaos_tiers.push(tier);
     }
 
     if let Ok(path) = std::env::var("BENCH_SERVE_JSON") {
@@ -171,6 +262,55 @@ fn main() {
                 ]),
             )
             .field("grid", Json::Arr(grid))
+            .field(
+                "chaos",
+                obj(vec![
+                    (
+                        "policy",
+                        obj(vec![
+                            ("max_attempts", Json::U64(16)),
+                            ("base_us", Json::U64(500)),
+                            ("cap_ms", Json::U64(5)),
+                            ("op_deadline_s", Json::U64(5)),
+                        ]),
+                    ),
+                    ("ops_per_tier", Json::U64(CHAOS_OPS)),
+                    (
+                        "tiers",
+                        Json::Arr(
+                            chaos_tiers
+                                .iter()
+                                .map(|t| {
+                                    obj(vec![
+                                        ("tier", Json::from(t.label)),
+                                        ("delay_ppm", Json::from(t.spec.delay_ppm as usize)),
+                                        ("segment_ppm", Json::from(t.spec.segment_ppm as usize)),
+                                        ("truncate_ppm", Json::from(t.spec.truncate_ppm as usize)),
+                                        ("reset_ppm", Json::from(t.spec.reset_ppm as usize)),
+                                        ("ok", Json::U64(t.ok)),
+                                        ("exhausted", Json::U64(t.exhausted)),
+                                        ("retries", Json::U64(t.stats.retries)),
+                                        ("reconnects", Json::U64(t.stats.reconnects)),
+                                        (
+                                            "ops_per_s",
+                                            Json::F64(
+                                                ((t.ok + t.exhausted) as f64 / t.elapsed_s).round(),
+                                            ),
+                                        ),
+                                        ("op_rtt_ns", hist_json(&t.op_rtt)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "note",
+                        Json::from(
+                            "resilient-client recovery curve: per-byte fault rates (ppm) through a deterministic chaos proxy; op_rtt_ns includes retries, reconnects, and backoff; exhausted counts ops that ended in RetriesExhausted",
+                        ),
+                    ),
+                ]),
+            )
             .field(
                 "server_op_latency_ns",
                 obj(vec![

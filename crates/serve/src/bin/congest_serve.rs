@@ -12,6 +12,10 @@
 //! - `probe <addr> [--requests N] [--batch B]` connects (with retry, so
 //!   it can race a starting server), pipelines query batches, verifies
 //!   every response, and exits 0 on success.
+//! - `health <addr>` sends one `Health` op and prints the server's
+//!   self-report (generation, uptime, connections, shed counts, swap
+//!   history); exits 0 when the server answers, 1 otherwise — fit for a
+//!   liveness probe.
 
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
@@ -63,7 +67,8 @@ fn usage() -> ! {
          commands:\n\
          \x20 make-snapshot <out> [--nodes N] [--edges M] [--seed S] [--max-weight W]\n\
          \x20 serve <snapshot> [--addr A] [--watch-ms N] [--window N] [--max-conns N]\n\
-         \x20 probe <addr> [--requests N] [--batch B]"
+         \x20 probe <addr> [--requests N] [--batch B]\n\
+         \x20 health <addr>"
     );
     std::process::exit(2)
 }
@@ -105,6 +110,7 @@ fn main() {
         "make-snapshot" => make_snapshot(rest),
         "serve" => serve(rest),
         "probe" => probe(rest),
+        "health" => health(rest),
         _ => usage(),
     };
     std::process::exit(code);
@@ -162,6 +168,41 @@ fn serve(args: &[String]) -> i32 {
     handle.join();
     println!("clean shutdown");
     0
+}
+
+fn health(args: &[String]) -> i32 {
+    let (pos, _flag) = parse_flags(args);
+    let [addr] = pos.as_slice() else { usage() };
+    let mut client = match Client::<u64>::connect(*addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("could not connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    if client.set_read_timeout(Some(Duration::from_secs(5))).is_err() {
+        eprintln!("could not set read timeout");
+        return 1;
+    }
+    match client.health() {
+        Ok((gen, h)) => {
+            println!("generation:      {gen}");
+            println!("uptime:          {:.3}s", h.uptime_ms as f64 / 1000.0);
+            println!("connections:     {}/{}", h.connections, h.max_connections);
+            println!("shed busy:       {}", h.shed_busy);
+            println!("shed overloaded: {}", h.shed_overloaded);
+            println!("snapshot swaps:  {} ok, {} failed", h.swaps, h.swap_errors);
+            match h.last_swap_error {
+                Some(e) => println!("last swap error: {e}"),
+                None => println!("last swap error: none"),
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("health probe failed: {e}");
+            1
+        }
+    }
 }
 
 fn probe(args: &[String]) -> i32 {

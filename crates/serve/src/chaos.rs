@@ -1,0 +1,624 @@
+//! Deterministic network chaos: a seeded in-process TCP proxy that
+//! injects faults between a client and a server on a reproducible
+//! schedule.
+//!
+//! This is the serving-path sibling of `congest_sim::fault`: where the
+//! simulator's fault plane hashes `(seed, channel, round, msg)` at the
+//! message-delivery boundary, the chaos proxy hashes
+//! `(seed, connection, direction, byte_offset)` at the TCP byte
+//! boundary. Every fault decision is a pure splitmix64 function of those
+//! coordinates — no RNG state, no wall clock — so a chaotic run is
+//! exactly reproducible from its [`ChaosSpec`], independent of read
+//! chunking, thread scheduling, or how many pump threads the proxy runs.
+//!
+//! Fault classes (each with an independent parts-per-million rate):
+//!
+//! * **Delay** — forwarding pauses for a deterministic duration before
+//!   the faulted byte (models congestion/jitter; surfaces client
+//!   deadline handling).
+//! * **Bit flip** — one bit of the faulted byte is inverted (models
+//!   payload corruption; surfaces decoder hardening: the peer must
+//!   answer with a typed error or close, never serve a wrong answer —
+//!   corruption inside a length prefix is the nastiest case and occurs
+//!   naturally since offsets are uniform).
+//! * **Segmentation** — the faulted byte is written in its own `write`
+//!   syscall with `TCP_NODELAY`, producing pathological 1-byte TCP
+//!   segments that split frames (and length prefixes) at arbitrary
+//!   points (surfaces partial-read handling).
+//! * **Truncation** — bytes before the faulted offset are delivered,
+//!   then the connection closes (models a mid-frame FIN; surfaces
+//!   partial-frame drain logic).
+//! * **Reset** — the connection closes immediately, discarding even the
+//!   bytes buffered in the current chunk (models an RST / dying peer;
+//!   surfaces reconnect logic).
+//!
+//! The proxy records every decision that took effect as a
+//! [`TraceEvent`]; [`ChaosProxy::trace`] returns them in canonical
+//! `(conn, direction, offset)` order, and the determinism suite asserts
+//! the trace is byte-identical across runs and chunkings.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// splitmix64 finalizer — the same stateless mixing core
+/// `congest_sim::fault` uses (kept as a local copy so the serving crate
+/// stays independent of the simulator).
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mixes a salted seed with the decision coordinates.
+#[inline]
+fn mix(seed: u64, conn: u64, dir: u64, offset: u64) -> u64 {
+    splitmix(splitmix(splitmix(seed ^ conn).wrapping_add(dir)).wrapping_add(offset))
+}
+
+/// `true` with probability `ppm / 1_000_000` under the hash `h`.
+#[inline]
+fn hits(h: u64, ppm: u32) -> bool {
+    ppm > 0 && h % 1_000_000 < u64::from(ppm)
+}
+
+const DELAY_SALT: u64 = 0xDE1A_55B1_7C29_E04F;
+const FLIP_SALT: u64 = 0xB1F1_0D3E_92A7_64C5;
+const SEGMENT_SALT: u64 = 0x5E61_4EA8_0F3D_B927;
+const TRUNCATE_SALT: u64 = 0x7210_CA7E_D45B_318D;
+const RESET_SALT: u64 = 0x2E5E_7D90_63FA_8B41;
+
+/// Which way a faulted byte was travelling through the proxy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Bytes from the client toward the server (requests).
+    ClientToServer,
+    /// Bytes from the server toward the client (responses).
+    ServerToClient,
+}
+
+/// One fault decision that applies to a specific byte offset.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChaosFault {
+    /// Forwarding pauses for `ns` nanoseconds before this byte.
+    Delay {
+        /// Deterministic pause length.
+        ns: u64,
+    },
+    /// Bit `bit` (0–7) of this byte is inverted before delivery.
+    BitFlip {
+        /// Which bit flips.
+        bit: u8,
+    },
+    /// This byte is delivered in its own 1-byte `write` syscall.
+    Segment,
+    /// Bytes before this offset are delivered, then the connection
+    /// closes (the byte at this offset and everything after is lost).
+    Truncate,
+    /// The connection closes immediately; bytes at and after this
+    /// offset — plus anything still buffered — are lost.
+    Reset,
+}
+
+/// A seeded chaos model: independent parts-per-million rates per fault
+/// class, applied per byte of each proxied direction. `Copy` by design,
+/// mirroring `congest_sim::FaultSpec`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Root seed of every fault decision.
+    pub seed: u64,
+    /// Per-byte delay probability, in parts per million.
+    pub delay_ppm: u32,
+    /// Upper bound on one injected delay, nanoseconds (the actual pause
+    /// is hash-derived in `1..=max_delay_ns`); clamped to at least 1.
+    pub max_delay_ns: u64,
+    /// Per-byte bit-flip probability, in parts per million.
+    pub bitflip_ppm: u32,
+    /// Per-byte 1-byte-segment probability, in parts per million.
+    pub segment_ppm: u32,
+    /// Per-byte truncation probability, in parts per million.
+    pub truncate_ppm: u32,
+    /// Per-byte connection-reset probability, in parts per million.
+    pub reset_ppm: u32,
+}
+
+impl ChaosSpec {
+    /// A spec with every rate zero (injects nothing until a rate is set).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        ChaosSpec {
+            seed,
+            delay_ppm: 0,
+            max_delay_ns: 1_000_000,
+            bitflip_ppm: 0,
+            segment_ppm: 0,
+            truncate_ppm: 0,
+            reset_ppm: 0,
+        }
+    }
+
+    /// Sets the per-byte delay rate and the per-delay upper bound.
+    #[must_use]
+    pub fn delays(mut self, ppm: u32, max: Duration) -> Self {
+        self.delay_ppm = ppm;
+        self.max_delay_ns = u64::try_from(max.as_nanos()).unwrap_or(u64::MAX).max(1);
+        self
+    }
+
+    /// Sets the per-byte bit-flip rate.
+    #[must_use]
+    pub fn bitflips(mut self, ppm: u32) -> Self {
+        self.bitflip_ppm = ppm;
+        self
+    }
+
+    /// Sets the per-byte pathological-segmentation rate.
+    #[must_use]
+    pub fn segmentation(mut self, ppm: u32) -> Self {
+        self.segment_ppm = ppm;
+        self
+    }
+
+    /// Sets the per-byte truncation rate.
+    #[must_use]
+    pub fn truncation(mut self, ppm: u32) -> Self {
+        self.truncate_ppm = ppm;
+        self
+    }
+
+    /// Sets the per-byte connection-reset rate.
+    #[must_use]
+    pub fn resets(mut self, ppm: u32) -> Self {
+        self.reset_ppm = ppm;
+        self
+    }
+
+    /// A spec with the same rates under an independent seed.
+    #[must_use]
+    pub fn reseeded(self, salt: u64) -> Self {
+        ChaosSpec { seed: splitmix(self.seed ^ salt), ..self }
+    }
+
+    /// `true` iff any rate is non-zero. An all-zero spec forwards bytes
+    /// untouched (the proxy becomes a plain TCP relay).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.delay_ppm > 0
+            || self.bitflip_ppm > 0
+            || self.segment_ppm > 0
+            || self.truncate_ppm > 0
+            || self.reset_ppm > 0
+    }
+
+    /// The fate of the byte at `offset` of direction `dir` on connection
+    /// `conn` — a **pure function** of its arguments, which is the whole
+    /// determinism contract: the proxy's behavior cannot depend on read
+    /// chunking or thread scheduling because every decision is made per
+    /// byte offset.
+    ///
+    /// At most one fault applies per byte; classes are checked in fixed
+    /// severity order (reset, truncate, delay, bit flip, segment).
+    #[must_use]
+    pub fn fault_at(&self, conn: u64, dir: Direction, offset: u64) -> Option<ChaosFault> {
+        let d = dir as u64;
+        if hits(mix(self.seed ^ RESET_SALT, conn, d, offset), self.reset_ppm) {
+            return Some(ChaosFault::Reset);
+        }
+        if hits(mix(self.seed ^ TRUNCATE_SALT, conn, d, offset), self.truncate_ppm) {
+            return Some(ChaosFault::Truncate);
+        }
+        let dh = mix(self.seed ^ DELAY_SALT, conn, d, offset);
+        if hits(dh, self.delay_ppm) {
+            return Some(ChaosFault::Delay { ns: 1 + splitmix(dh) % self.max_delay_ns.max(1) });
+        }
+        let fh = mix(self.seed ^ FLIP_SALT, conn, d, offset);
+        if hits(fh, self.bitflip_ppm) {
+            return Some(ChaosFault::BitFlip { bit: (splitmix(fh) % 8) as u8 });
+        }
+        if hits(mix(self.seed ^ SEGMENT_SALT, conn, d, offset), self.segment_ppm) {
+            return Some(ChaosFault::Segment);
+        }
+        None
+    }
+
+    /// The full fault schedule for the first `len` bytes of one
+    /// direction of one connection: every decision that would take
+    /// effect, in offset order, stopping after a terminal fault
+    /// (truncate/reset) because no byte past it is ever forwarded.
+    ///
+    /// This is what a live proxy's [`trace`](ChaosProxy::trace) for that
+    /// stream must equal — the determinism suite diffs the two.
+    #[must_use]
+    pub fn schedule(&self, conn: u64, dir: Direction, len: u64) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for offset in 0..len {
+            if let Some(fault) = self.fault_at(conn, dir, offset) {
+                events.push(TraceEvent { conn, dir, offset, fault });
+                if matches!(fault, ChaosFault::Truncate | ChaosFault::Reset) {
+                    break;
+                }
+            }
+        }
+        events
+    }
+}
+
+/// One fault that took effect, as recorded by a live proxy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceEvent {
+    /// Connection index (0-based, in accept order).
+    pub conn: u64,
+    /// Direction the faulted byte was travelling.
+    pub dir: Direction,
+    /// Byte offset within that direction's stream.
+    pub offset: u64,
+    /// What happened.
+    pub fault: ChaosFault,
+}
+
+struct ProxyShared {
+    spec: ChaosSpec,
+    upstream: SocketAddr,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    trace: Mutex<Vec<TraceEvent>>,
+    idle_poll: Duration,
+    pumps: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A running chaos proxy: accepts on its own loopback port and relays
+/// every connection to `upstream`, applying the [`ChaosSpec`] to both
+/// directions. Point a client at [`local_addr`](ChaosProxy::local_addr)
+/// instead of the server and the whole serving path runs under chaos.
+///
+/// Connections are numbered in accept order, so a test that connects
+/// sequentially gets reproducible per-connection fault schedules.
+pub struct ChaosProxy {
+    shared: Arc<ProxyShared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds a fresh loopback port and starts relaying to `upstream`.
+    ///
+    /// # Errors
+    /// Propagates listener bind/configure failures.
+    pub fn start(upstream: SocketAddr, spec: ChaosSpec) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            spec,
+            upstream,
+            addr,
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            trace: Mutex::new(Vec::new()),
+            idle_poll: Duration::from_millis(5),
+            pumps: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("chaos-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(ChaosProxy { shared, acceptor: Some(acceptor) })
+    }
+
+    /// The proxy's listening address (connect clients here).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Number of connections accepted so far.
+    #[must_use]
+    pub fn connections(&self) -> u64 {
+        self.shared.next_conn.load(Ordering::SeqCst)
+    }
+
+    /// Every fault that has taken effect, in canonical
+    /// `(conn, direction, offset)` order — independent of the thread
+    /// interleaving that recorded it.
+    #[must_use]
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        let mut t = self.shared.trace.lock().expect("chaos trace poisoned").clone();
+        t.sort_unstable();
+        t
+    }
+
+    /// Asks the acceptor and every pump to stop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops the proxy and waits for every thread; returns the final
+    /// fault trace in canonical order.
+    pub fn join(mut self) -> Vec<TraceEvent> {
+        self.shutdown();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let pumps = std::mem::take(&mut *self.shared.pumps.lock().expect("pump list poisoned"));
+        for p in pumps {
+            let _ = p.join();
+        }
+        self.trace()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.idle_poll);
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        let conn = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        // The accepted stream may inherit the listener's nonblocking
+        // flag; pumps pace themselves with read timeouts instead.
+        if client.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let Ok(server) = TcpStream::connect(shared.upstream) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        // NODELAY on both legs so injected 1-byte segments actually hit
+        // the wire as separate reads on the far side.
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        let up = spawn_pump(shared, conn, Direction::ClientToServer, client, server);
+        let down = spawn_pump(shared, conn, Direction::ServerToClient, server2, client2);
+        let mut pumps = shared.pumps.lock().expect("pump list poisoned");
+        pumps.retain(|p| !p.is_finished());
+        pumps.extend([up, down].into_iter().flatten());
+    }
+}
+
+fn spawn_pump(
+    shared: &Arc<ProxyShared>,
+    conn: u64,
+    dir: Direction,
+    src: TcpStream,
+    dst: TcpStream,
+) -> Option<std::thread::JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("chaos-pump-{conn}"))
+        .spawn(move || pump(&shared, conn, dir, src, dst))
+        .ok()
+}
+
+/// Relays one direction of one connection byte-by-byte under the spec.
+/// Exits on EOF, peer error, terminal fault, or proxy shutdown; always
+/// leaves both streams shut down so the opposite pump exits too (no
+/// half-open connections leak past a fault).
+fn pump(shared: &ProxyShared, conn: u64, dir: Direction, mut src: TcpStream, mut dst: TcpStream) {
+    let _ = src.set_read_timeout(Some(shared.idle_poll));
+    let spec = &shared.spec;
+    let mut offset = 0u64;
+    let mut scratch = [0u8; 16 * 1024];
+    let record = |event: TraceEvent| {
+        shared.trace.lock().expect("chaos trace poisoned").push(event);
+    };
+    let close_both = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    loop {
+        let k = match src.read(&mut scratch) {
+            Ok(0) => {
+                // Clean EOF: propagate the half-close downstream.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(k) => k,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    close_both(&src, &dst);
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                close_both(&src, &dst);
+                return;
+            }
+        };
+        let chunk = &mut scratch[..k];
+        // Scan the chunk byte-by-byte: contiguous unfaulted runs are
+        // forwarded in one write; each faulted byte is handled at its
+        // exact offset so behavior is independent of how the OS chunked
+        // the stream into reads.
+        let mut run_start = 0usize;
+        let mut i = 0usize;
+        while i < k {
+            let Some(fault) = spec.fault_at(conn, dir, offset + i as u64) else {
+                i += 1;
+                continue;
+            };
+            let at = offset + i as u64;
+            match fault {
+                ChaosFault::Reset => {
+                    // Even the bytes already scanned in this chunk are
+                    // discarded — an RST loses buffered data.
+                    record(TraceEvent { conn, dir, offset: at, fault });
+                    close_both(&src, &dst);
+                    return;
+                }
+                ChaosFault::Truncate => {
+                    // The prefix is delivered, then the stream dies.
+                    record(TraceEvent { conn, dir, offset: at, fault });
+                    let _ = dst.write_all(&chunk[run_start..i]);
+                    let _ = dst.flush();
+                    close_both(&src, &dst);
+                    return;
+                }
+                ChaosFault::Delay { ns } => {
+                    record(TraceEvent { conn, dir, offset: at, fault });
+                    if dst.write_all(&chunk[run_start..i]).is_err() {
+                        close_both(&src, &dst);
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_nanos(ns));
+                    run_start = i;
+                    i += 1;
+                }
+                ChaosFault::BitFlip { bit } => {
+                    record(TraceEvent { conn, dir, offset: at, fault });
+                    chunk[i] ^= 1 << bit;
+                    i += 1;
+                }
+                ChaosFault::Segment => {
+                    record(TraceEvent { conn, dir, offset: at, fault });
+                    if dst.write_all(&chunk[run_start..i]).is_err()
+                        || dst.write_all(&chunk[i..=i]).is_err()
+                        || dst.flush().is_err()
+                    {
+                        close_both(&src, &dst);
+                        return;
+                    }
+                    i += 1;
+                    run_start = i;
+                }
+            }
+        }
+        if dst.write_all(&chunk[run_start..k]).is_err() {
+            close_both(&src, &dst);
+            return;
+        }
+        offset += k as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions() {
+        let spec = ChaosSpec::seeded(42)
+            .delays(50_000, Duration::from_micros(10))
+            .bitflips(50_000)
+            .segmentation(50_000)
+            .truncation(10_000)
+            .resets(10_000);
+        for offset in 0..2_000 {
+            let a = spec.fault_at(3, Direction::ClientToServer, offset);
+            let b = spec.fault_at(3, Direction::ClientToServer, offset);
+            assert_eq!(a, b, "decision must not depend on evaluation order");
+        }
+    }
+
+    #[test]
+    fn directions_and_connections_are_independent() {
+        let spec = ChaosSpec::seeded(7).bitflips(500_000);
+        let differs_dir = (0..256).any(|o| {
+            spec.fault_at(0, Direction::ClientToServer, o)
+                != spec.fault_at(0, Direction::ServerToClient, o)
+        });
+        let differs_conn = (0..256).any(|o| {
+            spec.fault_at(0, Direction::ClientToServer, o)
+                != spec.fault_at(1, Direction::ClientToServer, o)
+        });
+        assert!(differs_dir, "directions must draw independent schedules");
+        assert!(differs_conn, "connections must draw independent schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let spec = ChaosSpec::seeded(9).bitflips(250_000);
+        let hits = (0..4_000u64)
+            .filter(|&o| spec.fault_at(0, Direction::ServerToClient, o).is_some())
+            .count();
+        let rate = hits as f64 / 4_000.0;
+        assert!((0.2..0.3).contains(&rate), "flip rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn zero_spec_is_inert() {
+        let spec = ChaosSpec::seeded(123);
+        assert!(!spec.is_active());
+        for o in 0..4_000 {
+            assert_eq!(spec.fault_at(0, Direction::ClientToServer, o), None);
+        }
+        assert!(spec.schedule(0, Direction::ClientToServer, 4_000).is_empty());
+    }
+
+    #[test]
+    fn schedule_stops_at_terminal_faults() {
+        let spec = ChaosSpec::seeded(5).resets(20_000).truncation(20_000).bitflips(100_000);
+        let events = spec.schedule(2, Direction::ClientToServer, 1 << 16);
+        assert!(!events.is_empty(), "2% terminal rates must hit within 64 KiB");
+        for e in &events[..events.len() - 1] {
+            assert!(
+                !matches!(e.fault, ChaosFault::Truncate | ChaosFault::Reset),
+                "terminal fault not at end of schedule: {events:?}"
+            );
+        }
+        assert!(matches!(
+            events.last().expect("nonempty").fault,
+            ChaosFault::Truncate | ChaosFault::Reset
+        ));
+    }
+
+    #[test]
+    fn reseeded_changes_decisions() {
+        let a = ChaosSpec::seeded(1).bitflips(500_000);
+        let b = a.reseeded(1);
+        let differs = (0..256).any(|o| {
+            a.fault_at(0, Direction::ClientToServer, o)
+                != b.fault_at(0, Direction::ClientToServer, o)
+        });
+        assert!(differs, "reseeding must produce an independent schedule");
+    }
+
+    #[test]
+    fn inert_proxy_relays_bytes_exactly() {
+        // Echo upstream: whatever arrives is written straight back.
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let up_addr = upstream.local_addr().expect("addr");
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().expect("accept");
+            let mut buf = [0u8; 1024];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(k) => {
+                        if s.write_all(&buf[..k]).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+        let proxy = ChaosProxy::start(up_addr, ChaosSpec::seeded(0)).expect("proxy");
+        let mut c = TcpStream::connect(proxy.local_addr()).expect("connect");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        c.write_all(&payload).expect("write");
+        let mut back = vec![0u8; payload.len()];
+        c.read_exact(&mut back).expect("read");
+        assert_eq!(back, payload, "an inert spec must relay bytes untouched");
+        drop(c);
+        assert!(proxy.join().is_empty(), "an inert spec must record no faults");
+        echo.join().expect("echo thread");
+    }
+}

@@ -46,6 +46,7 @@
 //! | 3  | KNearest | `id u32, op u8, u u32, k u32`           |
 //! | 4  | Ping     | `id u32, op u8`                         |
 //! | 5  | Reload   | `id u32, op u8`                         |
+//! | 6  | Health   | `id u32, op u8`                         |
 //!
 //! Response payloads all start with the same head; `Ok` query answers
 //! append a body:
@@ -55,6 +56,7 @@
 //! | Dist `Ok`                   | head + `weight 8 B`                              |
 //! | Path `Ok`                   | head + `count u32, count × node u32`             |
 //! | KNearest `Ok`               | head + `count u32, count × (node u32, weight 8 B)` |
+//! | Health `Ok`                 | head + `uptime_ms u64, conns u32, max_conns u32, shed_busy u64, shed_overloaded u64, swaps u64, swap_errors u64, err_len u32, err utf-8` |
 //!
 //! Weights travel in the snapshot plane's canonical 8-byte encoding
 //! (`PortableWeight`), and the handshake's weight tag guarantees both
@@ -71,6 +73,64 @@
 //! 2. **Write timeout.** A peer that pipelines requests but stops
 //!    reading responses trips [`ServerConfig::write_timeout`] and is
 //!    disconnected.
+//!
+//! # Robustness
+//!
+//! The serving path carries its own fault plane, mirroring the
+//! simulator's deterministic `congest_sim::fault` philosophy at the TCP
+//! boundary.
+//!
+//! **Error taxonomy.** Every failure a caller can see is typed, and
+//! every type is classified retryable or terminal:
+//!
+//! | class | members | retryable? |
+//! |-------|---------|------------|
+//! | shedding statuses | [`Status::Busy`] (per-connection window), [`Status::Overloaded`] (global in-flight budget) | yes — resend after backoff |
+//! | transport | [`ClientError::Io`], [`ClientError::Protocol`] (stream desync) | yes — reconnect and replay |
+//! | capacity hello | `HelloStatus::AtCapacity` refusal | yes — reconnect later |
+//! | semantic statuses | `BadRequest`, `NodeOutOfRange`, `Unreachable`, `TooLarge`, `NotSupported`, `Corrupt`, `Internal` | no — the answer for this request |
+//! | handshake verdicts | `BadVersion`, `WeightMismatch` | no — a config error, retrying cannot help |
+//!
+//! [`ClientError::is_retryable`] and [`Status::is_retryable`] encode
+//! the table; [`ClientError::RetriesExhausted`] is what a retryable
+//! failure becomes once the budget runs out, and carries the full
+//! attempt trace ([`client::Attempt`]) for post-mortems.
+//!
+//! **Idempotence and replay.** Every protocol op except `Reload` is
+//! read-only, so replaying it after an ambiguous failure (sent the
+//! request, connection died before the response) is always safe.
+//! [`ResilientClient`] exploits this: it retries Dist/Path/KNearest/
+//! Ping/Health freely and deliberately does not expose Reload — the one
+//! state-changing op must go through the plain [`Client`] where the
+//! caller owns at-most-once semantics.
+//!
+//! **Deadline semantics.** [`client::RetryPolicy::op_deadline`] bounds
+//! the **whole** operation — connect, handshake, every attempt, every
+//! backoff sleep. Backoff between attempts is decorrelated jitter
+//! (`base..prev×3`, capped), a pure function of
+//! `(jitter_seed, attempt)` so tests replay schedules exactly. On the
+//! server, [`ServerConfig::frame_deadline`] bounds how long a partial
+//! frame may sit unfinished (slow-loris reclamation) and
+//! [`ServerConfig::write_timeout`] bounds a dead reader.
+//!
+//! **Overload shedding.** [`ServerConfig::max_inflight`] is a global
+//! budget across all connections; query ops beyond it are answered
+//! [`Status::Overloaded`] immediately — shed, never queued — while
+//! control ops (Ping/Reload/Health) bypass the budget so the server
+//! stays observable under load. The `Health` op reports uptime, live
+//! connections, both shed counters, swap counts, and the last
+//! snapshot-swap error.
+//!
+//! **Chaos testing.** [`chaos::ChaosProxy`] is a deterministic
+//! in-process TCP proxy: faults (delays, resets, truncations, 1-byte
+//! write segmentation, payload bit-flips) are pure functions of
+//! `(seed, conn, direction, byte_offset)` via the same splitmix mix the
+//! simulator's fault plane uses, so a failing seed replays exactly —
+//! independent of OS read chunking and thread scheduling. Point a
+//! [`ResilientClient`] through a proxy with a [`chaos::ChaosSpec`] and
+//! assert the differential contract: never a wrong answer for the
+//! claimed generation, never a hang past the deadline (see
+//! `tests/serve_chaos.rs` for the grid harness).
 //!
 //! # Snapshot swap
 //!
@@ -113,11 +173,16 @@
 #![deny(deprecated)]
 
 pub mod cell;
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod server;
 
 pub use cell::{Generation, GenerationCell};
-pub use client::{Batch, Client, ClientError, Reply, ReplyBody, DEFAULT_HANDSHAKE_TIMEOUT};
-pub use proto::{ProtocolError, Status};
+pub use chaos::{ChaosProxy, ChaosSpec};
+pub use client::{
+    Batch, Client, ClientError, Reply, ReplyBody, ResilienceStats, ResilientClient, ResilientOp,
+    RetryPolicy, DEFAULT_HANDSHAKE_TIMEOUT,
+};
+pub use proto::{HealthReport, ProtocolError, Status};
 pub use server::{ServeError, Server, ServerConfig, ServerHandle};

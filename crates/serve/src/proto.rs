@@ -143,6 +143,11 @@ pub enum Status {
     Internal = 7,
     /// The answer would not fit in the negotiated frame cap.
     TooLarge = 8,
+    /// Load shedding: the server's **global** in-flight request budget
+    /// ([`ServerConfig::max_inflight`](crate::ServerConfig::max_inflight))
+    /// is exhausted. The request was refused immediately rather than
+    /// queued; resend after backing off.
+    Overloaded = 9,
 }
 
 impl Status {
@@ -159,8 +164,21 @@ impl Status {
             6 => Status::NotSupported,
             7 => Status::Internal,
             8 => Status::TooLarge,
+            9 => Status::Overloaded,
             _ => return None,
         })
+    }
+
+    /// `true` for statuses that signal *shedding* rather than a verdict:
+    /// the identical request is safe and sensible to resend after
+    /// draining/backing off ([`Status::Busy`], [`Status::Overloaded`]).
+    /// Everything else is a terminal answer for this request.
+    ///
+    /// [`ResilientClient`](crate::ResilientClient) re-drives exactly the
+    /// requests whose status is retryable and treats the rest as final.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Status::Busy | Status::Overloaded)
     }
 }
 
@@ -316,6 +334,12 @@ pub enum Request {
         /// Request id.
         id: u32,
     },
+    /// Ask for the server's health report (generation, uptime, live
+    /// connections, shed counts, last snapshot-swap error).
+    Health {
+        /// Request id.
+        id: u32,
+    },
 }
 
 const OP_DIST: u8 = 1;
@@ -323,6 +347,7 @@ const OP_PATH: u8 = 2;
 const OP_K_NEAREST: u8 = 3;
 const OP_PING: u8 = 4;
 const OP_RELOAD: u8 = 5;
+const OP_HEALTH: u8 = 6;
 
 impl Request {
     /// The request id (echoed by the server in the matching response).
@@ -333,8 +358,18 @@ impl Request {
             | Request::Path { id, .. }
             | Request::KNearest { id, .. }
             | Request::Ping { id }
-            | Request::Reload { id } => id,
+            | Request::Reload { id }
+            | Request::Health { id } => id,
         }
+    }
+
+    /// Whether this is a query op (Dist/Path/KNearest), which counts
+    /// against the server's global in-flight budget. Control ops
+    /// (Ping/Reload/Health) are exempt, so the server stays observable
+    /// while shedding load.
+    #[must_use]
+    pub fn is_query(&self) -> bool {
+        matches!(self, Request::Dist { .. } | Request::Path { .. } | Request::KNearest { .. })
     }
 }
 
@@ -368,6 +403,10 @@ pub fn encode_request(out: &mut Vec<u8>, req: &Request) {
         Request::Reload { id } => {
             out.extend_from_slice(&id.to_le_bytes());
             out.push(OP_RELOAD);
+        }
+        Request::Health { id } => {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(OP_HEALTH);
         }
     });
 }
@@ -426,11 +465,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         OP_DIST => two_u32(args).map(|(u, v)| Request::Dist { id, u, v }),
         OP_PATH => two_u32(args).map(|(u, v)| Request::Path { id, u, v }),
         OP_K_NEAREST => two_u32(args).map(|(u, k)| Request::KNearest { id, u, k }),
-        OP_PING | OP_RELOAD => {
+        OP_PING | OP_RELOAD | OP_HEALTH => {
             if !args.is_empty() {
                 return Err(ProtocolError::BadArgs { op, len: args.len() });
             }
-            Ok(if op == OP_PING { Request::Ping { id } } else { Request::Reload { id } })
+            Ok(match op {
+                OP_PING => Request::Ping { id },
+                OP_RELOAD => Request::Reload { id },
+                _ => Request::Health { id },
+            })
         }
         op => Err(ProtocolError::UnknownOp { op }),
     }
@@ -475,6 +518,88 @@ pub fn encode_path_ok(out: &mut Vec<u8>, id: u32, gen: u64, walk: &[NodeId]) {
             out.extend_from_slice(&node.to_le_bytes());
         }
     });
+}
+
+/// The server's self-description, answered to a [`Request::Health`]
+/// probe. The response head's `generation` field names the serving
+/// generation; the body carries the liveness and shedding picture:
+///
+/// ```text
+///   uptime_ms u64, connections u32, max_connections u32,
+///   shed_busy u64, shed_overloaded u64, swaps u64, swap_errors u64,
+///   err_len u32, err_len × utf-8 bytes (last snapshot-swap error)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections currently live (including the probing one).
+    pub connections: u32,
+    /// The connection cap beyond which hellos get
+    /// [`HelloStatus::AtCapacity`].
+    pub max_connections: u32,
+    /// Requests shed with [`Status::Busy`] (per-connection window)
+    /// since start.
+    pub shed_busy: u64,
+    /// Requests shed with [`Status::Overloaded`] (global in-flight
+    /// budget) since start.
+    pub shed_overloaded: u64,
+    /// Successful snapshot swaps since start.
+    pub swaps: u64,
+    /// Failed snapshot reload attempts since start.
+    pub swap_errors: u64,
+    /// Human-readable description of the most recent snapshot-swap
+    /// failure; `None` when every reload so far validated.
+    pub last_swap_error: Option<String>,
+}
+
+/// Fixed-size portion of a health body, before the error string.
+const HEALTH_FIXED_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+
+/// Appends an `Ok` Health response carrying the report.
+pub fn encode_health_ok(out: &mut Vec<u8>, id: u32, gen: u64, h: &HealthReport) {
+    frame(out, |out| {
+        response_head(out, id, Status::Ok, gen);
+        out.extend_from_slice(&h.uptime_ms.to_le_bytes());
+        out.extend_from_slice(&h.connections.to_le_bytes());
+        out.extend_from_slice(&h.max_connections.to_le_bytes());
+        out.extend_from_slice(&h.shed_busy.to_le_bytes());
+        out.extend_from_slice(&h.shed_overloaded.to_le_bytes());
+        out.extend_from_slice(&h.swaps.to_le_bytes());
+        out.extend_from_slice(&h.swap_errors.to_le_bytes());
+        let err = h.last_swap_error.as_deref().unwrap_or("");
+        out.extend_from_slice(&u32::try_from(err.len()).unwrap_or(u32::MAX).to_le_bytes());
+        out.extend_from_slice(err.as_bytes());
+    });
+}
+
+/// Decodes an `Ok` Health body.
+///
+/// # Errors
+/// [`ProtocolError::BadBody`] when the body disagrees with its own
+/// declared sizes or the error string is not UTF-8.
+pub fn decode_health_body(body: &[u8]) -> Result<HealthReport, ProtocolError> {
+    if body.len() < HEALTH_FIXED_LEN {
+        return Err(ProtocolError::BadBody("health body shorter than its fixed head"));
+    }
+    let u64_at = |at: usize| u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"));
+    let u32_at = |at: usize| u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes"));
+    let err_len = u32_at(HEALTH_FIXED_LEN - 4) as usize;
+    if body.len() != HEALTH_FIXED_LEN + err_len {
+        return Err(ProtocolError::BadBody("health error length disagrees with body size"));
+    }
+    let err = std::str::from_utf8(&body[HEALTH_FIXED_LEN..])
+        .map_err(|_| ProtocolError::BadBody("health error string is not utf-8"))?;
+    Ok(HealthReport {
+        uptime_ms: u64_at(0),
+        connections: u32_at(8),
+        max_connections: u32_at(12),
+        shed_busy: u64_at(16),
+        shed_overloaded: u64_at(24),
+        swaps: u64_at(32),
+        swap_errors: u64_at(40),
+        last_swap_error: if err.is_empty() { None } else { Some(err.to_string()) },
+    })
 }
 
 /// Appends an `Ok` KNearest response carrying `(node, distance)` pairs.
@@ -619,6 +744,7 @@ mod tests {
             Request::KNearest { id: 3, u: 5, k: 10 },
             Request::Ping { id: 4 },
             Request::Reload { id: 5 },
+            Request::Health { id: 6 },
         ];
         let mut wire = Vec::new();
         for r in &reqs {
@@ -718,8 +844,57 @@ mod tests {
         for b in 0u8..=255 {
             match Status::from_u8(b) {
                 Some(s) => assert_eq!(s as u8, b),
-                None => assert!(b > 8),
+                None => assert!(b > 9),
             }
         }
+    }
+
+    #[test]
+    fn only_shedding_statuses_are_retryable() {
+        for b in 0u8..=9 {
+            let s = Status::from_u8(b).expect("known status");
+            assert_eq!(s.is_retryable(), matches!(s, Status::Busy | Status::Overloaded));
+        }
+    }
+
+    #[test]
+    fn health_round_trips() {
+        for report in [
+            HealthReport::default(),
+            HealthReport {
+                uptime_ms: 123_456,
+                connections: 3,
+                max_connections: 1024,
+                shed_busy: 17,
+                shed_overloaded: 40,
+                swaps: 5,
+                swap_errors: 2,
+                last_swap_error: Some("checksum mismatch".to_string()),
+            },
+        ] {
+            let mut wire = Vec::new();
+            encode_health_ok(&mut wire, 9, 4, &report);
+            let (payload, consumed) =
+                decode_frame(&wire, DEFAULT_MAX_FRAME_LEN).unwrap().expect("complete");
+            assert_eq!(consumed, wire.len());
+            let (head, body) = decode_response_head(payload).unwrap();
+            assert_eq!((head.id, head.status, head.generation), (9, Status::Ok, 4));
+            assert_eq!(decode_health_body(body), Ok(report));
+        }
+    }
+
+    #[test]
+    fn bad_health_bodies_are_typed() {
+        assert!(matches!(decode_health_body(&[0; 10]), Err(ProtocolError::BadBody(_))));
+        // Fixed head claims a 9-byte error string but carries none.
+        let mut body = vec![0u8; HEALTH_FIXED_LEN];
+        body[HEALTH_FIXED_LEN - 4] = 9;
+        assert!(matches!(decode_health_body(&body), Err(ProtocolError::BadBody(_))));
+        // Non-UTF-8 error bytes.
+        let mut body = vec![0u8; HEALTH_FIXED_LEN + 2];
+        body[HEALTH_FIXED_LEN - 4] = 2;
+        body[HEALTH_FIXED_LEN] = 0xFF;
+        body[HEALTH_FIXED_LEN + 1] = 0xFE;
+        assert!(matches!(decode_health_body(&body), Err(ProtocolError::BadBody(_))));
     }
 }

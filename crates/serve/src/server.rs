@@ -21,15 +21,15 @@
 //! generation that answered it.
 
 use crate::cell::GenerationCell;
-use crate::proto::{self, HelloStatus, ProtocolError, Request, ServerHello, Status};
+use crate::proto::{self, HealthReport, HelloStatus, ProtocolError, Request, ServerHello, Status};
 use congest_oracle::{
     EngineConfig, Oracle, PortableWeight, QueryEngine, QueryError, SnapshotError,
 };
 use congest_telemetry::{Counter, Gauge, Histogram};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
@@ -88,6 +88,18 @@ pub struct ServerConfig {
     /// How long a response write may block before the peer is declared
     /// a dead/slow reader and disconnected.
     pub write_timeout: Duration,
+    /// Global cap on query requests being answered concurrently across
+    /// **all** connections. Requests beyond it are shed immediately with
+    /// [`Status::Overloaded`] — never queued — so a traffic spike
+    /// degrades into fast typed refusals instead of unbounded memory
+    /// growth and collapse. Control ops (Ping/Reload/Health) are exempt,
+    /// so the server stays observable while shedding.
+    pub max_inflight: usize,
+    /// Slow-loris guard: once a connection holds a **partial** frame, the
+    /// rest of that frame must arrive within this deadline or the
+    /// connection is reclaimed. A peer trickling one byte per poll can
+    /// therefore pin a handler for at most `frame_deadline`, not forever.
+    pub frame_deadline: Duration,
     /// Sharding/caching configuration for engines built from reloaded
     /// snapshots.
     pub engine: EngineConfig,
@@ -106,6 +118,8 @@ impl Default for ServerConfig {
             max_frame_len: proto::DEFAULT_MAX_FRAME_LEN,
             idle_poll: Duration::from_millis(25),
             write_timeout: Duration::from_secs(5),
+            max_inflight: 16 * 1024,
+            frame_deadline: Duration::from_secs(10),
             engine: EngineConfig::default(),
             watch_interval: None,
         }
@@ -120,6 +134,8 @@ struct Metrics {
     handshake_rejects: Arc<Counter>,
     protocol_errors: Arc<Counter>,
     busy: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    loris_reclaimed: Arc<Counter>,
     swaps: Arc<Counter>,
     swap_errors: Arc<Counter>,
     connections: Arc<Gauge>,
@@ -138,6 +154,8 @@ impl Metrics {
             handshake_rejects: reg.counter("serve.conn.handshake_rejects"),
             protocol_errors: reg.counter("serve.protocol_errors"),
             busy: reg.counter("serve.busy_responses"),
+            overloaded: reg.counter("serve.overloaded_responses"),
+            loris_reclaimed: reg.counter("serve.conn.loris_reclaimed"),
             swaps: reg.counter("serve.snapshot_swaps"),
             swap_errors: reg.counter("serve.snapshot_swap_errors"),
             connections: reg.gauge("serve.connections"),
@@ -149,18 +167,73 @@ impl Metrics {
     }
 }
 
+/// What the watcher compares to decide whether the snapshot file
+/// changed: mtime **plus** a cheap content fingerprint (file length and
+/// FNV-1a over the leading block), so a rewrite that lands within the
+/// filesystem's mtime granularity — same second, different bytes — still
+/// triggers a reload. The leading block covers the snapshot header and
+/// the start of the distance arena, which differ whenever the graph,
+/// weights, or shape differ.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct SnapshotStamp {
+    mtime: Option<SystemTime>,
+    len: u64,
+    fnv: u64,
+}
+
+/// Bytes of the file's leading block folded into the fingerprint.
+const STAMP_BLOCK: usize = 4096;
+
+fn stamp_snapshot(path: &Path) -> Option<SnapshotStamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    let mtime = meta.modified().ok();
+    let mut file = std::fs::File::open(path).ok()?;
+    let mut block = [0u8; STAMP_BLOCK];
+    let mut read = 0;
+    while read < STAMP_BLOCK {
+        match file.read(&mut block[read..]) {
+            Ok(0) => break,
+            Ok(k) => read += k,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    let mut fnv = 0xCBF2_9CE4_8422_2325u64;
+    for &b in &block[..read] {
+        fnv = (fnv ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Some(SnapshotStamp { mtime, len: meta.len(), fnv })
+}
+
 struct Shared<W> {
     cell: GenerationCell<W>,
     cfg: ServerConfig,
     /// Snapshot file backing `Reload` frames and the mtime watcher.
     snapshot: Option<PathBuf>,
-    /// Serializes reloads so racing `Reload` frames load the file once.
-    reload_lock: Mutex<Option<SystemTime>>,
+    /// Serializes reloads so racing `Reload` frames load the file once;
+    /// holds the stamp of the file the current generation came from.
+    reload_lock: Mutex<Option<SnapshotStamp>>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     metrics: Metrics,
     /// Live connection count (the authoritative one; the gauge mirrors it).
     conns: AtomicUsize,
+    /// When the server started (health reports uptime against it).
+    started: Instant,
+    /// Query requests currently being answered, across all connections —
+    /// the global budget [`ServerConfig::max_inflight`] caps.
+    inflight: AtomicUsize,
+    /// Requests shed with `Busy` since start (authoritative, independent
+    /// of whether the telemetry plane is enabled).
+    shed_busy: AtomicU64,
+    /// Requests shed with `Overloaded` since start.
+    shed_overloaded: AtomicU64,
+    /// Successful snapshot swaps since start.
+    swaps: AtomicU64,
+    /// Failed snapshot reloads since start.
+    swap_errors: AtomicU64,
+    /// Human-readable description of the most recent reload failure.
+    last_swap_error: Mutex<Option<String>>,
 }
 
 impl<W: PortableWeight> Shared<W> {
@@ -173,23 +246,67 @@ impl<W: PortableWeight> Shared<W> {
             ))
         })?;
         let mut last = self.reload_lock.lock().expect("reload lock poisoned");
-        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        let stamp = stamp_snapshot(path);
         let oracle = match Oracle::<W>::load(path) {
             Ok(o) => o,
             Err(e) => {
-                if congest_telemetry::enabled() {
-                    self.metrics.swap_errors.inc();
-                }
-                return Err(ServeError::Snapshot(e));
+                let err = ServeError::Snapshot(e);
+                self.note_swap_error(&err);
+                return Err(err);
             }
         };
         let engine = Arc::new(QueryEngine::new(Arc::new(oracle), self.cfg.engine));
         let gen = self.cell.swap(engine);
-        *last = mtime;
+        *last = stamp;
+        self.note_swap();
+        Ok(gen)
+    }
+
+    fn note_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::SeqCst);
         if congest_telemetry::enabled() {
             self.metrics.swaps.inc();
         }
-        Ok(gen)
+    }
+
+    fn note_swap_error(&self, e: &ServeError) {
+        self.swap_errors.fetch_add(1, Ordering::SeqCst);
+        *self.last_swap_error.lock().expect("swap error lock poisoned") = Some(e.to_string());
+        if congest_telemetry::enabled() {
+            self.metrics.swap_errors.inc();
+        }
+    }
+
+    /// Takes up to `want` permits from the global in-flight budget;
+    /// returns how many were granted. Never blocks, never queues — what
+    /// the budget cannot cover is shed by the caller.
+    fn acquire_inflight(&self, want: usize) -> usize {
+        let mut granted = 0;
+        let _ = self.inflight.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+            granted = want.min(self.cfg.max_inflight.saturating_sub(cur));
+            Some(cur + granted)
+        });
+        granted
+    }
+
+    fn release_inflight(&self, granted: usize) {
+        if granted > 0 {
+            self.inflight.fetch_sub(granted, Ordering::SeqCst);
+        }
+    }
+
+    /// Assembles the health report a `Health` op answers with.
+    fn health_report(&self) -> HealthReport {
+        HealthReport {
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            connections: u32::try_from(self.conns.load(Ordering::SeqCst)).unwrap_or(u32::MAX),
+            max_connections: u32::try_from(self.cfg.max_connections).unwrap_or(u32::MAX),
+            shed_busy: self.shed_busy.load(Ordering::SeqCst),
+            shed_overloaded: self.shed_overloaded.load(Ordering::SeqCst),
+            swaps: self.swaps.load(Ordering::SeqCst),
+            swap_errors: self.swap_errors.load(Ordering::SeqCst),
+            last_swap_error: self.last_swap_error.lock().expect("swap error lock poisoned").clone(),
+        }
     }
 }
 
@@ -267,6 +384,13 @@ impl Server {
             addr,
             metrics: Metrics::new(),
             conns: AtomicUsize::new(0),
+            started: Instant::now(),
+            inflight: AtomicUsize::new(0),
+            shed_busy: AtomicU64::new(0),
+            shed_overloaded: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            swap_errors: AtomicU64::new(0),
+            last_swap_error: Mutex::new(None),
         });
         let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -327,10 +451,14 @@ impl<W: PortableWeight> ServerHandle<W> {
     /// Publishes an already-built engine as the next generation.
     pub fn swap_engine(&self, engine: Arc<QueryEngine<W>>) -> u64 {
         let gen = self.shared.cell.swap(engine);
-        if congest_telemetry::enabled() {
-            self.shared.metrics.swaps.inc();
-        }
+        self.shared.note_swap();
         gen
+    }
+
+    /// The health report a `Health` protocol op would answer with.
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        self.shared.health_report()
     }
 
     /// Reloads the snapshot file (if the server was started with one)
@@ -451,9 +579,8 @@ fn accept_loop<W: PortableWeight>(
 
 fn watch_loop<W: PortableWeight>(shared: &Arc<Shared<W>>, interval: Duration) {
     let path = shared.snapshot.as_ref().expect("watcher requires a snapshot path");
-    // Baseline: the mtime of the snapshot generation 1 was loaded from.
-    *shared.reload_lock.lock().expect("reload lock poisoned") =
-        std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    // Baseline: the stamp of the snapshot generation 1 was loaded from.
+    *shared.reload_lock.lock().expect("reload lock poisoned") = stamp_snapshot(path);
     while !shared.shutdown.load(Ordering::SeqCst) {
         // Sleep `interval` in short steps so shutdown is observed quickly
         // even with a long watch interval.
@@ -466,10 +593,14 @@ fn watch_loop<W: PortableWeight>(shared: &Arc<Shared<W>>, interval: Duration) {
             std::thread::sleep(step);
             slept += step;
         }
-        let Ok(mtime) = std::fs::metadata(path).and_then(|m| m.modified()) else {
+        let Some(stamp) = stamp_snapshot(path) else {
             continue; // file momentarily absent (mid-rewrite): keep serving
         };
-        let changed = *shared.reload_lock.lock().expect("reload lock poisoned") != Some(mtime);
+        // Compare mtime AND the content fingerprint: a rewrite that lands
+        // within the filesystem's mtime granularity still changes the
+        // length or the FNV of the leading block, so same-mtime rewrites
+        // are not missed.
+        let changed = *shared.reload_lock.lock().expect("reload lock poisoned") != Some(stamp);
         if changed {
             // A half-written file fails validation and is retried on the
             // next tick; the previous generation keeps serving throughout.
@@ -555,6 +686,10 @@ fn handle_connection<W: PortableWeight>(mut stream: TcpStream, shared: &Shared<W
     let mut outbuf: Vec<u8> = Vec::with_capacity(64 * 1024);
     let mut scratch = [0u8; 64 * 1024];
     let mut draining = false;
+    // Slow-loris guard: when the buffer first holds a partial frame, the
+    // clock starts; the frame must complete before `frame_deadline` or
+    // the connection is reclaimed.
+    let mut partial_since: Option<Instant> = None;
     loop {
         match stream.read(&mut scratch) {
             Ok(0) => draining = true,
@@ -616,6 +751,21 @@ fn handle_connection<W: PortableWeight>(mut stream: TcpStream, shared: &Shared<W
         }
         inbuf.drain(..consumed);
 
+        // Leftover bytes are a partial frame. A peer trickling one byte
+        // per poll would otherwise pin this handler forever; give the
+        // frame `frame_deadline` to complete, then reclaim.
+        if inbuf.is_empty() {
+            partial_since = None;
+        } else {
+            let since = *partial_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= shared.cfg.frame_deadline {
+                if congest_telemetry::enabled() {
+                    shared.metrics.loris_reclaimed.inc();
+                }
+                fatal = true;
+            }
+        }
+
         if !requests.is_empty() {
             outbuf.clear();
             answer_batch(shared, &requests, &mut outbuf);
@@ -652,13 +802,34 @@ fn answer_batch<W: PortableWeight>(
     let (engine, gen) = (&generation.engine, generation.number);
     let window = shared.cfg.window;
 
-    // Group the in-window dist/path requests for the batch entry points.
+    // Take permits for the window's query ops from the global in-flight
+    // budget. What the budget cannot cover is shed right here with
+    // `Overloaded` — never queued — so a fleet-wide spike degrades into
+    // fast typed refusals. Control ops (Ping/Reload/Health) bypass the
+    // budget: the server stays observable while shedding.
+    let query_ops = requests.iter().take(window).flatten().filter(|req| req.is_query()).count();
+    let granted = shared.acquire_inflight(query_ops);
+
+    // Group the in-window, budget-granted dist/path requests for the
+    // batch entry points.
     let mut dist_pairs: Vec<(u32, u32)> = Vec::new();
     let mut path_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut qseen = 0usize;
     for req in requests.iter().take(window).flatten() {
         match *req {
-            Request::Dist { u, v, .. } => dist_pairs.push((u, v)),
-            Request::Path { u, v, .. } => path_pairs.push((u, v)),
+            Request::Dist { u, v, .. } => {
+                if qseen < granted {
+                    dist_pairs.push((u, v));
+                }
+                qseen += 1;
+            }
+            Request::Path { u, v, .. } => {
+                if qseen < granted {
+                    path_pairs.push((u, v));
+                }
+                qseen += 1;
+            }
+            Request::KNearest { .. } => qseen += 1,
             _ => {}
         }
     }
@@ -670,7 +841,9 @@ fn answer_batch<W: PortableWeight>(
     let path_ns = per_op_ns(path_t0, paths.len());
 
     let (mut di, mut pi) = (0, 0);
+    let mut qi = 0usize;
     let mut busy = 0u64;
+    let mut overloaded = 0u64;
     for (i, req) in requests.iter().enumerate() {
         let req = match req {
             Ok(req) => req,
@@ -685,6 +858,16 @@ fn answer_batch<W: PortableWeight>(
             busy += 1;
             proto::encode_status(out, req.id(), Status::Busy, gen);
             continue;
+        }
+        if req.is_query() {
+            let granted_here = qi < granted;
+            qi += 1;
+            if !granted_here {
+                // The global in-flight budget is spent: shed, don't queue.
+                overloaded += 1;
+                proto::encode_status(out, req.id(), Status::Overloaded, gen);
+                continue;
+            }
         }
         let frame_cap = out.len();
         match *req {
@@ -735,6 +918,9 @@ fn answer_batch<W: PortableWeight>(
                 }
             }
             Request::Ping { id } => proto::encode_status(out, id, Status::Ok, gen),
+            Request::Health { id } => {
+                proto::encode_health_ok(out, id, gen, &shared.health_report());
+            }
             Request::Reload { id } => match shared.reload() {
                 Ok(new_gen) => proto::encode_status(out, id, Status::Ok, new_gen),
                 Err(ServeError::Io(e)) if e.kind() == ErrorKind::Unsupported => {
@@ -744,8 +930,18 @@ fn answer_batch<W: PortableWeight>(
             },
         }
     }
-    if busy > 0 && telemetry {
-        shared.metrics.busy.add(busy);
+    shared.release_inflight(granted);
+    if busy > 0 {
+        shared.shed_busy.fetch_add(busy, Ordering::SeqCst);
+        if telemetry {
+            shared.metrics.busy.add(busy);
+        }
+    }
+    if overloaded > 0 {
+        shared.shed_overloaded.fetch_add(overloaded, Ordering::SeqCst);
+        if telemetry {
+            shared.metrics.overloaded.add(overloaded);
+        }
     }
     if let Some(t0) = t0 {
         let tele = congest_telemetry::global();
