@@ -15,7 +15,10 @@ use congest_apsp::{ApspMeta, ApspOutcome};
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 use congest_graph::{NodeId, NO_SUCC};
-use congest_oracle::{successor_derivations, EngineConfig, IntoOracle, Oracle, QueryEngine};
+use congest_oracle::{
+    successor_derivations, EngineConfig, IntoOracle, Oracle, PagedConfig, PagedOracle, QueryEngine,
+    V2Config,
+};
 use congest_sim::Recorder;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -182,7 +185,7 @@ struct ThroughputPoint {
 
 fn bench_oracle(c: &mut Criterion) {
     let (g, dist, engine) = build_engine(4096);
-    let oracle = Arc::clone(engine.oracle());
+    let oracle = Arc::clone(engine.oracle().expect("bench engine is eager"));
 
     // -------- single-operation latencies --------
     let mut group = c.benchmark_group("oracle-ops");
@@ -385,6 +388,81 @@ fn bench_oracle(c: &mut Criterion) {
     // -------- snapshot size, for the record --------
     let snapshot_bytes = oracle.to_bytes().len();
 
+    // -------- paged backend: resident budget vs hit rate --------
+    // The out-of-core question: how much of the blocked v2 snapshot must
+    // stay resident before the paged backend serves a skewed workload at
+    // a useful hit rate? Save the same oracle as v2, then sweep resident
+    // budgets from 1/16 of the file up to the whole file, driving the
+    // Zipf path/dist mix through a fresh `PagedOracle` per point (fresh
+    // so each point's hit/miss counters are uncontaminated). The engine's
+    // own path cache is disabled — the curve measures the paging layer,
+    // not the LRU in front of it.
+    const PAGED_BLOCK_ROWS: u32 = 16;
+    const PAGED_QUERIES: u64 = 100_000;
+    let v2_path =
+        std::env::temp_dir().join(format!("bench_oracle_paged_{}.snap", std::process::id()));
+    oracle
+        .save_v2(&v2_path, &V2Config { block_rows: PAGED_BLOCK_ROWS, ..V2Config::default() })
+        .expect("save v2 snapshot");
+    let v2_file_bytes = std::fs::metadata(&v2_path).expect("v2 metadata").len() as usize;
+    let ztotal = *cum.last().expect("nonempty cdf");
+    struct PagedPoint {
+        budget_bytes: usize,
+        resident_bytes: usize,
+        hit_rate: f64,
+        evictions: u64,
+        qps: f64,
+    }
+    let paged_points: Vec<PagedPoint> = [(1usize, 16usize), (1, 8), (1, 4), (1, 2), (1, 1)]
+        .iter()
+        .map(|&(num, den)| {
+            let budget_bytes = v2_file_bytes * num / den;
+            let paged = Arc::new(
+                PagedOracle::<u64>::open(&v2_path, PagedConfig { resident_bytes: budget_bytes })
+                    .expect("open paged"),
+            );
+            let pengine = QueryEngine::new_paged(
+                Arc::clone(&paged),
+                EngineConfig { shards: 64, cache_per_shard: 0 },
+            );
+            let mut state = 0xC0FF_EE00 ^ ((num as u64) << 8) ^ den as u64;
+            let mut checksum = 0u64;
+            let start = Instant::now();
+            for i in 0..PAGED_QUERIES {
+                let u01 = next_rng(&mut state) as f64 / u64::MAX as f64 * ztotal;
+                let rank = cum.partition_point(|&c| c < u01);
+                let (a, b) = zipf_route(rank.min(ZIPF_UNIVERSE - 1));
+                if i % PATH_EVERY == 0 {
+                    if let Some(p) = pengine.path(a, b).expect("in range") {
+                        checksum ^= p.len() as u64;
+                    }
+                } else if let Some(d) = pengine.dist(a, b).expect("in range") {
+                    checksum ^= d;
+                }
+            }
+            let qps = PAGED_QUERIES as f64 / start.elapsed().as_secs_f64();
+            black_box(checksum);
+            let s = paged.stats();
+            let hit_rate = s.hits as f64 / (s.hits + s.misses).max(1) as f64;
+            println!(
+                "paged {num}/{den} budget ({:.1} MiB): {:.1}% block hit rate, {} evictions, {:.1} MiB resident, {:.2} M queries/sec",
+                budget_bytes as f64 / (1 << 20) as f64,
+                hit_rate * 100.0,
+                s.evictions,
+                s.resident_bytes as f64 / (1 << 20) as f64,
+                qps / 1e6,
+            );
+            PagedPoint {
+                budget_bytes,
+                resident_bytes: s.resident_bytes,
+                hit_rate,
+                evictions: s.evictions,
+                qps,
+            }
+        })
+        .collect();
+    std::fs::remove_file(&v2_path).ok();
+
     if let Ok(path) = std::env::var("BENCH_ORACLE_JSON") {
         use congest_telemetry::json::{obj, Json};
         let median = |suffix: &str| -> f64 {
@@ -490,6 +568,37 @@ fn bench_oracle(c: &mut Criterion) {
                         "note",
                         Json::from(
                             "arena (and any Step-7 successor plane) moves from ApspOutcome into Oracle; supplied-plane time is the validation sweep only, zero reverse-BFS",
+                        ),
+                    ),
+                ]),
+            )
+            .field(
+                "paged",
+                obj(vec![
+                    ("v2_file_bytes", Json::from(v2_file_bytes)),
+                    ("block_rows", Json::U64(u64::from(PAGED_BLOCK_ROWS))),
+                    ("queries_per_point", Json::U64(PAGED_QUERIES)),
+                    (
+                        "workload",
+                        Json::from(
+                            "zipf(s=1.0) routes, 7:1 dist:path, engine path cache disabled",
+                        ),
+                    ),
+                    (
+                        "resident_budget_curve",
+                        Json::Arr(
+                            paged_points
+                                .iter()
+                                .map(|p| {
+                                    obj(vec![
+                                        ("budget_bytes", Json::from(p.budget_bytes)),
+                                        ("resident_bytes", Json::from(p.resident_bytes)),
+                                        ("block_hit_rate", round3(p.hit_rate)),
+                                        ("evictions", Json::U64(p.evictions)),
+                                        ("queries_per_sec", Json::F64(p.qps.round())),
+                                    ])
+                                })
+                                .collect(),
                         ),
                     ),
                 ]),

@@ -10,6 +10,7 @@
 
 use crate::lru::LruCache;
 use crate::oracle::Oracle;
+use crate::paged::PagedOracle;
 use congest_graph::{NodeId, Weight};
 use congest_telemetry::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +54,15 @@ pub enum QueryError {
         /// Walk target.
         v: NodeId,
     },
+    /// A paged backend could not materialize a snapshot block: the read
+    /// failed or the block's checksum did not match. `block` is the
+    /// block's position in the v2 index (dist blocks first, then
+    /// successor blocks), so the message names exactly which region of
+    /// the file is damaged. Eager backends never return this.
+    BlockUnavailable {
+        /// Index position of the unreadable block.
+        block: u32,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -63,6 +73,9 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::CorruptSuccessors { u, v } => {
                 write!(f, "corrupt successor matrix: walk {u} -> {v} dead-ends or cycles")
+            }
+            QueryError::BlockUnavailable { block } => {
+                write!(f, "snapshot block {block} unavailable: read or checksum failure")
             }
         }
     }
@@ -138,6 +151,48 @@ fn record_op(hist: &Histogram, t0: Option<Instant>) {
     }
 }
 
+/// The snapshot the engine reads from: fully resident in RAM (eager) or
+/// paged in block-by-block from a v2 file under a byte budget. The
+/// eager arm never fails once node ids are bounds-checked; the paged arm
+/// can additionally surface [`QueryError::BlockUnavailable`].
+enum Backend<W> {
+    Eager(Arc<Oracle<W>>),
+    Paged(Arc<PagedOracle<W>>),
+}
+
+impl<W: Weight> Backend<W> {
+    fn n(&self) -> usize {
+        match self {
+            Backend::Eager(o) => o.n(),
+            Backend::Paged(p) => p.n(),
+        }
+    }
+
+    /// Caller must have bounds-checked `u` and `v`.
+    fn distance(&self, u: NodeId, v: NodeId) -> Result<W, QueryError> {
+        match self {
+            Backend::Eager(o) => Ok(o.distance(u, v)),
+            Backend::Paged(p) => p.distance(u, v),
+        }
+    }
+
+    /// Caller must have bounds-checked `u` and `v`.
+    fn try_path(&self, u: NodeId, v: NodeId) -> Result<Option<Vec<NodeId>>, QueryError> {
+        match self {
+            Backend::Eager(o) => o.try_path(u, v),
+            Backend::Paged(p) => p.try_path(u, v),
+        }
+    }
+
+    /// Caller must have bounds-checked `u`.
+    fn k_nearest(&self, u: NodeId, k: usize) -> Result<Vec<(NodeId, W)>, QueryError> {
+        match self {
+            Backend::Eager(o) => Ok(o.k_nearest(u, k)),
+            Backend::Paged(p) => p.k_nearest(u, k),
+        }
+    }
+}
+
 /// Sharded concurrent query server over an immutable oracle snapshot.
 ///
 /// Cheap to share: clone the `Arc<QueryEngine>` (or just `&`-borrow it)
@@ -150,20 +205,17 @@ fn record_op(hist: &Histogram, t0: Option<Instant>) {
 /// state into gauges. Disabled, the only cost per op is one relaxed
 /// atomic load.
 pub struct QueryEngine<W> {
-    oracle: Arc<Oracle<W>>,
+    backend: Backend<W>,
     shards: Box<[Shard]>,
     mask: u64,
     op_hists: OpHists,
 }
 
 impl<W: Weight> QueryEngine<W> {
-    /// Builds an engine serving `oracle` with the given sharding/caching
-    /// configuration.
-    #[must_use]
-    pub fn new(oracle: Arc<Oracle<W>>, cfg: EngineConfig) -> Self {
+    fn with_backend(backend: Backend<W>, cfg: EngineConfig) -> Self {
         let shards = cfg.shards.max(1).next_power_of_two();
         QueryEngine {
-            oracle,
+            backend,
             shards: (0..shards)
                 .map(|_| Shard {
                     cache: Mutex::new(LruCache::new(cfg.cache_per_shard)),
@@ -176,10 +228,47 @@ impl<W: Weight> QueryEngine<W> {
         }
     }
 
-    /// The snapshot being served.
+    /// Builds an engine serving a fully-resident `oracle` with the given
+    /// sharding/caching configuration.
     #[must_use]
-    pub fn oracle(&self) -> &Arc<Oracle<W>> {
-        &self.oracle
+    pub fn new(oracle: Arc<Oracle<W>>, cfg: EngineConfig) -> Self {
+        Self::with_backend(Backend::Eager(oracle), cfg)
+    }
+
+    /// Builds an engine serving a lazily-paged v2 snapshot
+    /// ([`PagedOracle::open`]) with the given sharding/caching
+    /// configuration. Query semantics are identical to the eager path —
+    /// same answers, bit for bit — plus the possibility of
+    /// [`QueryError::BlockUnavailable`] when the file goes bad under us.
+    #[must_use]
+    pub fn new_paged(paged: Arc<PagedOracle<W>>, cfg: EngineConfig) -> Self {
+        Self::with_backend(Backend::Paged(paged), cfg)
+    }
+
+    /// Number of nodes in the snapshot being served, whichever backend
+    /// holds it.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.backend.n()
+    }
+
+    /// The fully-resident snapshot being served, or `None` for a paged
+    /// backend.
+    #[must_use]
+    pub fn oracle(&self) -> Option<&Arc<Oracle<W>>> {
+        match &self.backend {
+            Backend::Eager(o) => Some(o),
+            Backend::Paged(_) => None,
+        }
+    }
+
+    /// The paged backend being served, or `None` for an eager one.
+    #[must_use]
+    pub fn paged(&self) -> Option<&Arc<PagedOracle<W>>> {
+        match &self.backend {
+            Backend::Paged(p) => Some(p),
+            Backend::Eager(_) => None,
+        }
     }
 
     /// Number of cache shards.
@@ -189,10 +278,11 @@ impl<W: Weight> QueryEngine<W> {
     }
 
     fn check(&self, node: NodeId) -> Result<(), QueryError> {
-        if (node as usize) < self.oracle.n() {
+        let n = self.backend.n();
+        if (node as usize) < n {
             Ok(())
         } else {
-            Err(QueryError::NodeOutOfRange { node, n: self.oracle.n() })
+            Err(QueryError::NodeOutOfRange { node, n })
         }
     }
 
@@ -225,7 +315,7 @@ impl<W: Weight> QueryEngine<W> {
     fn dist_impl(&self, u: NodeId, v: NodeId) -> Result<Option<W>, QueryError> {
         self.check(u)?;
         self.check(v)?;
-        let d = self.oracle.distance(u, v);
+        let d = self.backend.distance(u, v)?;
         Ok((!d.is_inf()).then_some(d))
     }
 
@@ -252,7 +342,7 @@ impl<W: Weight> QueryEngine<W> {
     fn path_impl(&self, u: NodeId, v: NodeId) -> Result<Option<Arc<[NodeId]>>, QueryError> {
         self.check(u)?;
         self.check(v)?;
-        if self.oracle.distance(u, v).is_inf() {
+        if self.backend.distance(u, v)?.is_inf() {
             return Ok(None);
         }
         let shard = self.shard(u, v);
@@ -263,7 +353,7 @@ impl<W: Weight> QueryEngine<W> {
         shard.misses.fetch_add(1, Ordering::Relaxed);
         // The distance is finite, so a `None` walk means the plane lost
         // the pair — corrupt, not unreachable.
-        let walk = self.oracle.try_path(u, v)?.ok_or(QueryError::CorruptSuccessors { u, v })?;
+        let walk = self.backend.try_path(u, v)?.ok_or(QueryError::CorruptSuccessors { u, v })?;
         let p: Arc<[NodeId]> = walk.into();
         shard.cache.lock().expect("shard cache poisoned").insert((u, v), p.clone());
         Ok(Some(p))
@@ -280,7 +370,7 @@ impl<W: Weight> QueryEngine<W> {
     #[must_use]
     pub fn dist_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Option<W>, QueryError>> {
         let t0 = congest_telemetry::enabled().then(Instant::now);
-        let n = self.oracle.n();
+        let n = self.backend.n();
         let out = pairs
             .iter()
             .map(|&(u, v)| {
@@ -289,7 +379,7 @@ impl<W: Weight> QueryEngine<W> {
                         return Err(QueryError::NodeOutOfRange { node, n });
                     }
                 }
-                let d = self.oracle.distance(u, v);
+                let d = self.backend.distance(u, v)?;
                 Ok((!d.is_inf()).then_some(d))
             })
             .collect();
@@ -313,7 +403,7 @@ impl<W: Weight> QueryEngine<W> {
         pairs: &[(NodeId, NodeId)],
     ) -> Vec<Result<Option<Arc<[NodeId]>>, QueryError>> {
         let t0 = congest_telemetry::enabled().then(Instant::now);
-        let n = self.oracle.n();
+        let n = self.backend.n();
         let mut out: Vec<Result<Option<Arc<[NodeId]>>, QueryError>> =
             Vec::with_capacity(pairs.len());
         // (shard, request index) for every pair that needs a cache probe.
@@ -322,11 +412,15 @@ impl<W: Weight> QueryEngine<W> {
             let bad = [u, v].into_iter().find(|&node| node as usize >= n);
             if let Some(node) = bad {
                 out.push(Err(QueryError::NodeOutOfRange { node, n }));
-            } else if self.oracle.distance(u, v).is_inf() {
-                out.push(Ok(None));
-            } else {
-                pending.push((self.shard_index(u, v), i as u32));
-                out.push(Ok(None)); // placeholder, overwritten below
+                continue;
+            }
+            match self.backend.distance(u, v) {
+                Err(e) => out.push(Err(e)),
+                Ok(d) if d.is_inf() => out.push(Ok(None)),
+                Ok(_) => {
+                    pending.push((self.shard_index(u, v), i as u32));
+                    out.push(Ok(None)); // placeholder, overwritten below
+                }
             }
         }
         // Group by shard: one lock acquisition serves every probe (and
@@ -360,7 +454,7 @@ impl<W: Weight> QueryEngine<W> {
         let mut walked: Vec<(u64, u32)> = Vec::with_capacity(misses.len());
         for i in misses {
             let (u, v) = pairs[i as usize];
-            match self.oracle.try_path(u, v) {
+            match self.backend.try_path(u, v) {
                 Ok(Some(walk)) => {
                     out[i as usize] = Ok(Some(walk.into()));
                     walked.push((self.shard_index(u, v), i));
@@ -398,9 +492,9 @@ impl<W: Weight> QueryEngine<W> {
     pub fn k_nearest(&self, u: NodeId, k: usize) -> Result<Vec<(NodeId, W)>, QueryError> {
         let t0 = congest_telemetry::enabled().then(Instant::now);
         self.check(u).inspect_err(|_| record_op(&self.op_hists.k_nearest, t0))?;
-        let r = self.oracle.k_nearest(u, k);
+        let r = self.backend.k_nearest(u, k);
         record_op(&self.op_hists.k_nearest, t0);
-        Ok(r)
+        r
     }
 
     /// Total number of paths currently resident across all shard caches.

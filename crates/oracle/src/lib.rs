@@ -16,14 +16,24 @@
 //!   derivation, witnessed by [`successor_derivations`]; the derivation
 //!   survives only as the fallback for plane-less outcomes and old
 //!   snapshots.
-//! * snapshot persistence — a versioned, checksummed binary format
+//! * snapshot persistence — a versioned, checksummed binary format with no
+//!   external dependencies; malformed input is always a [`SnapshotError`],
+//!   never a panic. Two formats share one loader: the monolithic v1
 //!   ([`Oracle::save`] / [`Oracle::load`] / [`Oracle::to_bytes`] /
-//!   [`Oracle::from_bytes`]) with no external dependencies; malformed input
-//!   is always a [`SnapshotError`], never a panic.
-//! * [`QueryEngine`] — a sharded read-mostly server: lock-free distance and
-//!   k-nearest reads over the `Arc`'d snapshot, plus a per-shard LRU path
-//!   cache so concurrent workers answering hot routes never contend on a
-//!   single lock.
+//!   [`Oracle::from_bytes`]) and the blocked, per-block-checksummed v2
+//!   ([`Oracle::save_v2`] with [`V2Config`]), which can drop the successor
+//!   plane on disk and embed the graph instead. Saves are atomic: temp
+//!   file + fsync + rename, so a crashed writer can never leave a torn
+//!   snapshot where a watcher might load it.
+//! * [`PagedOracle`] — the out-of-core backend: opens a v2 snapshot,
+//!   validates only header + index eagerly, and pages blocks in lazily
+//!   under a byte budget ([`PagedConfig`]) with per-block checksum
+//!   verification on first touch — serving snapshots larger than RAM.
+//! * [`QueryEngine`] — a sharded read-mostly server over **either**
+//!   backend ([`QueryEngine::new`] eager / [`QueryEngine::new_paged`]):
+//!   lock-free distance and k-nearest reads over the `Arc`'d snapshot,
+//!   plus a per-shard LRU path cache so concurrent workers answering hot
+//!   routes never contend on a single lock.
 //!
 //! ## Quickstart: compute → snapshot → serve
 //!
@@ -64,10 +74,14 @@
 #![deny(deprecated)]
 
 mod engine;
+mod format_v2;
 mod lru;
 pub mod oracle;
+mod paged;
 mod snapshot;
 
 pub use engine::{CacheStats, EngineConfig, QueryEngine, QueryError};
+pub use format_v2::V2Config;
 pub use oracle::{successor_derivations, IntoOracle, Oracle, NO_SUCC};
-pub use snapshot::{PortableWeight, SnapshotError, MAGIC, VERSION};
+pub use paged::{PagedConfig, PagedOracle, PagedStats};
+pub use snapshot::{PortableWeight, SnapshotError, MAGIC, VERSION, VERSION_V2};

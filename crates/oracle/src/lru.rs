@@ -40,9 +40,51 @@ impl<K: Eq + Hash + Copy, V: Clone> LruCache<K, V> {
         }
     }
 
+    /// Creates a cache with no entry-count limit. Eviction is the
+    /// caller's job via [`pop_lru`](LruCache::pop_lru) — the shape the
+    /// paged oracle's byte-budgeted page cache needs, where entries have
+    /// wildly different sizes and a count cap is meaningless.
+    pub fn unbounded() -> Self {
+        LruCache { cap: usize::MAX, map: HashMap::new(), slots: Vec::new(), head: NIL, tail: NIL }
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Removes and returns the least-recently-used entry, or `None` when
+    /// the cache is empty. Lets callers run their own eviction policy
+    /// (e.g. a byte budget) on top of the recency order.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let i = self.tail;
+        self.unlink(i);
+        self.map.remove(&self.slots[i as usize].key);
+        let last = u32::try_from(self.slots.len() - 1).expect("cache capacity exceeds u32");
+        let slot = self.slots.swap_remove(i as usize);
+        if i != last {
+            // The former last slot moved into position `i`: re-point its
+            // map entry and its neighbors' (or the head/tail) links.
+            let (key, prev, next) = {
+                let s = &self.slots[i as usize];
+                (s.key, s.prev, s.next)
+            };
+            self.map.insert(key, i);
+            if prev != NIL {
+                self.slots[prev as usize].next = i;
+            } else if self.head == last {
+                self.head = i;
+            }
+            if next != NIL {
+                self.slots[next as usize].prev = i;
+            } else if self.tail == last {
+                self.tail = i;
+            }
+        }
+        Some((slot.key, slot.val))
     }
 
     /// Looks up `key`, promoting it to most-recently-used on a hit.
@@ -163,6 +205,45 @@ mod tests {
         c.insert(2, 20);
         assert_eq!(c.get(&1), None);
         assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn pop_lru_returns_oldest_first() {
+        let mut c: LruCache<u32, u32> = LruCache::unbounded();
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.get(&1), Some(10)); // promote 1: order is now 2, 3, 1
+        assert_eq!(c.pop_lru(), Some((2, 20)));
+        assert_eq!(c.pop_lru(), Some((3, 30)));
+        assert_eq!(c.get(&1), Some(10), "survivor still resolves after swaps");
+        assert_eq!(c.pop_lru(), Some((1, 10)));
+        assert_eq!(c.pop_lru(), None);
+        assert_eq!(c.len(), 0);
+        // Cache stays usable after draining.
+        c.insert(4, 40);
+        assert_eq!(c.get(&4), Some(40));
+    }
+
+    #[test]
+    fn pop_lru_interleaved_with_inserts() {
+        let mut c: LruCache<u64, u64> = LruCache::unbounded();
+        for i in 0..100u64 {
+            c.insert(i, i * 2);
+            if i % 3 == 0 {
+                let (k, v) = c.pop_lru().unwrap();
+                assert_eq!(v, k * 2);
+            }
+        }
+        let mut drained = Vec::new();
+        while let Some((k, _)) = c.pop_lru() {
+            drained.push(k);
+        }
+        assert!(!drained.is_empty());
+        let mut sorted = drained.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), drained.len(), "no key drained twice");
     }
 
     #[test]

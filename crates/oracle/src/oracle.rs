@@ -56,6 +56,14 @@ pub fn successor_derivations() -> u64 {
     DERIVATIONS.load(Ordering::Relaxed)
 }
 
+/// Ticks the derivation counter from the other derivation sites: a v2
+/// snapshot loaded without its successor plane (one tick per load) and
+/// the paged backend's on-demand per-target derivation (one tick per
+/// derived column).
+pub(crate) fn tick_derivation() {
+    DERIVATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A compact distance + successor oracle over a fixed graph snapshot.
 ///
 /// Built once from an APSP solution ([`Oracle::from_outcome`] /
@@ -298,28 +306,8 @@ impl<W: Weight> Oracle<W> {
                 return Err(QueryError::NodeOutOfRange { node, n: self.n });
             }
         }
-        if u == v {
-            return Ok(Some(vec![u]));
-        }
         let col = &self.succ[v as usize * self.n..(v as usize + 1) * self.n];
-        if col[u as usize] == NO_SUCC {
-            return Ok(None);
-        }
-        let mut walk = Vec::new();
-        let mut cur = u;
-        walk.push(cur);
-        while cur != v {
-            let nxt = col[cur as usize];
-            // Budget: a simple path visits at most n vertices. A plane
-            // that dead-ends (NO_SUCC mid-walk), cycles, or wanders past
-            // the budget can only come from a corrupt snapshot.
-            if nxt == NO_SUCC || nxt as usize >= self.n || walk.len() >= self.n {
-                return Err(QueryError::CorruptSuccessors { u, v });
-            }
-            walk.push(nxt);
-            cur = nxt;
-        }
-        Ok(Some(walk))
+        walk_succ_column(self.n, col, u, v)
     }
 
     /// The `k` nearest *other* nodes to `u` (finite distances only), sorted
@@ -332,27 +320,70 @@ impl<W: Weight> Oracle<W> {
     /// Panics if `u` is out of range.
     #[must_use]
     pub fn k_nearest(&self, u: NodeId, k: usize) -> Vec<(NodeId, W)> {
-        // At most n-1 other nodes can ever be returned; clamp before
-        // allocating so an absurd caller-supplied k cannot OOM the server.
-        let k = k.min(self.n.saturating_sub(1));
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut heap: BinaryHeap<(W, NodeId)> = BinaryHeap::with_capacity(k + 1);
-        for (v, &d) in self.distance_row(u).iter().enumerate() {
-            if v == u as usize || d.is_inf() {
-                continue;
-            }
-            let cand = (d, v as NodeId);
-            if heap.len() < k {
-                heap.push(cand);
-            } else if cand < *heap.peek().expect("heap is non-empty at capacity") {
-                heap.pop();
-                heap.push(cand);
-            }
-        }
-        heap.into_sorted_vec().into_iter().map(|(d, v)| (v, d)).collect()
+        assert!((u as usize) < self.n, "node out of range");
+        k_nearest_in_row(u, self.distance_row(u), k)
     }
+}
+
+/// The `k` smallest `(distance, node)` pairs in `u`'s distance row,
+/// excluding `u` itself and unreachable targets — the shared kernel under
+/// [`Oracle::k_nearest`] and the paged backend's row-block variant.
+/// O(n log k) via a bounded max-heap.
+pub(crate) fn k_nearest_in_row<W: Weight>(u: NodeId, row: &[W], k: usize) -> Vec<(NodeId, W)> {
+    // At most n-1 other nodes can ever be returned; clamp before
+    // allocating so an absurd caller-supplied k cannot OOM the server.
+    let k = k.min(row.len().saturating_sub(1));
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<(W, NodeId)> = BinaryHeap::with_capacity(k + 1);
+    for (v, &d) in row.iter().enumerate() {
+        if v == u as usize || d.is_inf() {
+            continue;
+        }
+        let cand = (d, v as NodeId);
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("heap is non-empty at capacity") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    heap.into_sorted_vec().into_iter().map(|(d, v)| (v, d)).collect()
+}
+
+/// Walks target `v`'s successor column from `u`: the shared panic-free
+/// path-reconstruction kernel under [`Oracle::try_path`] and the paged
+/// backend. `col[u]` is the next hop from `u` toward `v` (`NO_SUCC` when
+/// unreachable); the walk budget is `n` vertices, which every valid plane
+/// satisfies since successor chains strictly descend in hop level.
+pub(crate) fn walk_succ_column(
+    n: usize,
+    col: &[NodeId],
+    u: NodeId,
+    v: NodeId,
+) -> Result<Option<Vec<NodeId>>, QueryError> {
+    if u == v {
+        return Ok(Some(vec![u]));
+    }
+    if col[u as usize] == NO_SUCC {
+        return Ok(None);
+    }
+    let mut walk = Vec::new();
+    let mut cur = u;
+    walk.push(cur);
+    while cur != v {
+        let nxt = col[cur as usize];
+        // Budget: a simple path visits at most n vertices. A plane
+        // that dead-ends (NO_SUCC mid-walk), cycles, or wanders past
+        // the budget can only come from a corrupt snapshot.
+        if nxt == NO_SUCC || nxt as usize >= n || walk.len() >= n {
+            return Err(QueryError::CorruptSuccessors { u, v });
+        }
+        walk.push(nxt);
+        cur = nxt;
+    }
+    Ok(Some(walk))
 }
 
 /// One-line compute → serve handoff: `solver.run()?.into_oracle(&g)`.
@@ -381,7 +412,27 @@ impl<W: Weight> IntoOracle<W> for ApspOutcome<W> {
 /// strictly decrease in hop level (see module docs).
 fn derive_target<W: Weight>(g: &Graph<W>, dist: &[W], v: NodeId, col: &mut [NodeId]) {
     let n = g.n();
-    let dv = dist; // full arena; δ(u, v) = dv[u*n + v]
+    // δ(u, v) = dist[u*n + v]: gather target v's strided column once so
+    // the shared dense-column kernel serves this path, the v2 eager
+    // loader and the paged backend alike.
+    let dcol: Vec<W> = (0..n).map(|u| dist[u * n + v as usize]).collect();
+    if let Err(u) = derive_target_from_col(g, &dcol, v, col) {
+        panic!("distance matrix inconsistent with graph at ({u}, {v})");
+    }
+}
+
+/// [`derive_target`] over a dense distance column (`dcol[u]` = δ(u, v)),
+/// panic-free: `Err(u)` names a node whose finite distance the graph's
+/// shortest-path DAG cannot realize (or vice versa) — the matrix does not
+/// belong to this graph. Used directly by the untrusted-input loaders,
+/// where a forged snapshot must surface a typed error, never a panic.
+pub(crate) fn derive_target_from_col<W: Weight>(
+    g: &Graph<W>,
+    dcol: &[W],
+    v: NodeId,
+    col: &mut [NodeId],
+) -> Result<(), NodeId> {
+    let n = g.n();
     let mut done = vec![false; n];
     let mut queue: Vec<NodeId> = Vec::with_capacity(n);
     done[v as usize] = true;
@@ -390,13 +441,13 @@ fn derive_target<W: Weight>(g: &Graph<W>, dist: &[W], v: NodeId, col: &mut [Node
     while head < queue.len() {
         let w = queue[head];
         head += 1;
-        let dw = dv[w as usize * n + v as usize];
+        let dw = dcol[w as usize];
         let (srcs, wts) = g.in_row(w);
         for (&u, &wt) in srcs.iter().zip(wts) {
             if done[u as usize] {
                 continue;
             }
-            let du = dv[u as usize * n + v as usize];
+            let du = dcol[u as usize];
             if !du.is_inf() && du == wt.plus(dw) {
                 done[u as usize] = true;
                 col[u as usize] = w;
@@ -410,13 +461,11 @@ fn derive_target<W: Weight>(g: &Graph<W>, dist: &[W], v: NodeId, col: &mut [Node
         if u == v as usize {
             continue;
         }
-        let reachable = !dv[u * n + v as usize].is_inf();
-        assert_eq!(
-            reachable,
-            col[u] != NO_SUCC,
-            "distance matrix inconsistent with graph at ({u}, {v})"
-        );
+        if dcol[u].is_inf() == (col[u] != NO_SUCC) {
+            return Err(u as NodeId);
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,14 +1,19 @@
-//! Versioned binary snapshot format for [`Oracle`] — compute once, serve
+//! Versioned binary snapshot formats for [`Oracle`] — compute once, serve
 //! forever.
 //!
-//! No external dependencies (the build is offline): the format is a small
-//! hand-rolled little-endian layout with a magic tag, a format version, a
-//! weight-type tag and an FNV-1a trailer checksum:
+//! No external dependencies (the build is offline): both formats are small
+//! hand-rolled little-endian layouts built on FNV-1a 64 checksums. Two
+//! versions coexist:
+//!
+//! ## Format v1 — monolithic (the eager path)
+//!
+//! One contiguous image, one trailing checksum. [`Oracle::load`] /
+//! [`Oracle::from_bytes`] read it fully into RAM:
 //!
 //! ```text
 //! offset  size      field
 //! 0       8         magic  b"CGSTORCL"
-//! 8       2         format version (u16 LE), currently 1
+//! 8       2         format version (u16 LE) = 1
 //! 10      1         weight-type tag (PortableWeight::TAG)
 //! 11      1         flags (reserved, 0)
 //! 12      8         n (u64 LE)
@@ -17,19 +22,74 @@
 //! end-8   8         FNV-1a 64 checksum of every preceding byte (u64 LE)
 //! ```
 //!
+//! ## Format v2 — blocked (the out-of-core path)
+//!
+//! The arenas are cut into fixed-size blocks of whole rows, each with its
+//! own checksum, indexed from the tail of the file so a reader can
+//! validate the header + index eagerly and page blocks lazily (the
+//! [`PagedOracle`](crate::PagedOracle) backend). Written front-to-back
+//! with no seeks, so [`Oracle::save_v2_to`] streams to any `Write`:
+//!
+//! ```text
+//! offset  size      field
+//! 0       8         magic  b"CGSTORCL"
+//! 8       2         format version (u16 LE) = 2
+//! 10      1         weight-type tag (PortableWeight::TAG)
+//! 11      1         flags: bit0 = successor plane on disk,
+//!                          bit1 = graph section on disk (≥ one set)
+//! 12      8         n (u64 LE)
+//! 20      4         block_rows (u32 LE): rows per block
+//! 24      8         FNV-1a 64 of header bytes 0..24
+//! 32      ...       B dist blocks, block b = rows [b·br, min(n,(b+1)·br))
+//!                   of the row-major distance arena, 8 bytes per weight
+//! ..      ...       B successor blocks (flag bit0): same row partition of
+//!                   the target-major plane, u32 LE per entry
+//! ..      ...       graph section (flag bit1): u8 directed, u64 m, then
+//!                   m × (u32 from, u32 to, 8-byte weight)
+//! ..      E·24      index: one (offset u64, len u64, fnv u64) entry per
+//!                   dist block, then per successor block, then the graph
+//!                   section — ranges must tile [32, index) exactly
+//! end-32  32        footer: index offset u64, index len u64, index fnv
+//!                   u64, FNV-1a 64 of the footer's first 24 bytes
+//! ```
+//!
+//! The successor plane is optional on disk: with flag bit0 clear the
+//! graph section must be present, and readers re-derive each target's
+//! successor column on demand via the reverse-BFS derivation (counted by
+//! [`successor_derivations`](crate::successor_derivations)). Paging
+//! semantics: [`PagedOracle::open`](crate::PagedOracle::open) validates
+//! header, footer and index up front, then reads a block only when a
+//! query touches it, verifying the block checksum on first touch
+//! ([`SnapshotError::BlockCorrupt`] names the failing index entry) and
+//! keeping a byte-budgeted LRU resident set.
+//!
+//! **Migration:** `congest-serve make-snapshot --from old.snap --format
+//! v2` rewrites a v1 snapshot as v2 ([`Oracle::load`] accepts both, so
+//! the eager path needs no migration at all).
+//!
+//! ## Durability
+//!
+//! Every `save` variant writes a same-directory temp file, fsyncs and
+//! atomically renames it over the target, so a concurrent reader (the
+//! serve-side snapshot watcher) can never observe a half-written file.
+//!
 //! Loading is strictly validated and never panics on malformed input:
 //! truncation, bad magic, unknown version, weight-type mismatch, checksum
 //! failure and out-of-range successor ids all surface as [`SnapshotError`].
 
 use crate::oracle::{Oracle, NO_SUCC};
 use congest_graph::{NodeId, Weight, F64};
+use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes identifying an oracle snapshot.
 pub const MAGIC: &[u8; 8] = b"CGSTORCL";
-/// Current snapshot format version.
+/// The monolithic (v1) snapshot format version.
 pub const VERSION: u16 = 1;
-const HEADER_LEN: usize = 20;
+/// The blocked, out-of-core (v2) snapshot format version.
+pub const VERSION_V2: u16 = 2;
+pub(crate) const HEADER_LEN: usize = 20;
 const CHECKSUM_LEN: usize = 8;
 
 /// A weight type with a canonical, portable 8-byte encoding, snapshottable
@@ -117,6 +177,16 @@ pub enum SnapshotError {
     },
     /// The trailer checksum does not match the content.
     ChecksumMismatch,
+    /// A single v2 block failed validation — its checksum does not match
+    /// or its payload does not decode. `block` is the position of the
+    /// failing entry in the snapshot's index (dist blocks first, then
+    /// successor blocks, then the graph section).
+    BlockCorrupt {
+        /// Index-entry position of the failing block.
+        block: u32,
+        /// What went wrong with it.
+        what: &'static str,
+    },
     /// Structurally invalid content despite a valid checksum.
     Corrupt(&'static str),
     /// Filesystem failure while reading or writing.
@@ -134,12 +204,18 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::BadMagic => write!(f, "not an oracle snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion { found } => {
-                write!(f, "unsupported snapshot version {found} (this build reads {VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads {VERSION} and {VERSION_V2})"
+                )
             }
             SnapshotError::WeightTypeMismatch { found, expected } => {
                 write!(f, "snapshot weight tag {found} does not match expected {expected}")
             }
             SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::BlockCorrupt { block, what } => {
+                write!(f, "snapshot block {block} corrupt: {what}")
+            }
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
         }
@@ -224,9 +300,11 @@ pub(crate) fn check_plane<W: Weight>(
     Ok(())
 }
 
-/// FNV-1a 64-bit over `bytes`.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a 64 state `h`.
+pub(crate) fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -234,31 +312,153 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// FNV-1a 64-bit over `bytes`.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// A [`Write`] adapter folding every byte it forwards into a running
+/// FNV-1a 64, so streaming encoders can emit a trailer checksum without
+/// buffering the whole image. Partial writes are absorbed internally
+/// (`write` forwards via `write_all`), keeping the hash in lockstep with
+/// the stream.
+pub(crate) struct FnvWriter<Wr> {
+    inner: Wr,
+    hash: u64,
+}
+
+impl<Wr: Write> FnvWriter<Wr> {
+    pub(crate) fn new(inner: Wr) -> Self {
+        FnvWriter { inner, hash: FNV_OFFSET }
+    }
+
+    /// The FNV-1a 64 of every byte written so far.
+    pub(crate) fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Bypasses hashing: writes trailer bytes (e.g. the checksum itself)
+    /// that must not fold into the running hash.
+    pub(crate) fn write_unhashed(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.inner.write_all(bytes)
+    }
+}
+
+impl<Wr: Write> Write for FnvWriter<Wr> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.write_all(buf)?;
+        self.hash = fnv1a_update(self.hash, buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Atomically replaces `path`: streams the snapshot into a same-directory
+/// temp file, fsyncs it, then renames it over the target, so a concurrent
+/// reader (the serve-side watcher) sees either the old complete file or
+/// the new complete file — never a partial write. The temp file is
+/// removed on failure.
+pub(crate) fn atomic_write(
+    path: &Path,
+    write_fn: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> Result<(), SnapshotError>,
+) -> Result<(), SnapshotError> {
+    // Unique per (process, call): concurrent savers in one process — or
+    // two processes saving into one directory — never share a temp file.
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or(SnapshotError::Corrupt("snapshot path has no file name"))?;
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let file = std::fs::File::create(&tmp).map_err(SnapshotError::Io)?;
+        let mut w = std::io::BufWriter::new(file);
+        write_fn(&mut w)?;
+        w.flush().map_err(SnapshotError::Io)?;
+        // Data must be durable *before* the rename publishes it: a crash
+        // between rename and writeback must not leave a torn target.
+        w.get_ref().sync_all().map_err(SnapshotError::Io)?;
+        std::fs::rename(&tmp, path).map_err(SnapshotError::Io)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    } else {
+        // Best effort: persist the directory entry too. Failure here
+        // (e.g. an unsyncable filesystem) does not un-publish the data.
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    result
+}
+
+/// Encoding chunk size for the streaming writers: big enough to amortize
+/// `Write` dispatch, small enough to keep peak extra memory trivial.
+pub(crate) const ENCODE_CHUNK: usize = 64 * 1024;
+
 impl<W: PortableWeight> Oracle<W> {
-    /// Serializes the oracle into the versioned snapshot format.
+    /// Serializes the oracle into the monolithic v1 snapshot format.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
         let n = self.n();
-        let cells = n * n;
-        let mut buf = Vec::with_capacity(HEADER_LEN + cells * 12 + CHECKSUM_LEN);
-        buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
-        buf.push(W::TAG);
-        buf.push(0); // flags, reserved
-        buf.extend_from_slice(&(n as u64).to_le_bytes());
-        for &d in self.dist_arena() {
-            buf.extend_from_slice(&d.encode());
-        }
-        for &s in self.succ_arena() {
-            buf.extend_from_slice(&s.to_le_bytes());
-        }
-        let sum = fnv1a(&buf);
-        buf.extend_from_slice(&sum.to_le_bytes());
+        let mut buf = Vec::with_capacity(HEADER_LEN + n * n * 12 + CHECKSUM_LEN);
+        self.save_to(&mut buf).expect("writing to a Vec cannot fail");
         buf
     }
 
-    /// Deserializes a snapshot previously produced by
-    /// [`to_bytes`](Oracle::to_bytes).
+    /// Streams the v1 snapshot into `w`, encoding block-by-block: peak
+    /// extra memory is one small chunk buffer instead of the full n²×12
+    /// image [`to_bytes`](Oracle::to_bytes) materializes — the shape that
+    /// matters at exactly the sizes the blocked v2 format targets.
+    ///
+    /// # Errors
+    /// Propagates `w`'s failures as [`SnapshotError::Io`].
+    pub fn save_to(&self, w: impl Write) -> Result<(), SnapshotError> {
+        let n = self.n();
+        let mut fw = FnvWriter::new(w);
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.push(W::TAG);
+        header.push(0); // flags, reserved
+        header.extend_from_slice(&(n as u64).to_le_bytes());
+        fw.write_all(&header).map_err(SnapshotError::Io)?;
+        let mut chunk: Vec<u8> = Vec::with_capacity(ENCODE_CHUNK);
+        for &d in self.dist_arena() {
+            chunk.extend_from_slice(&d.encode());
+            if chunk.len() >= ENCODE_CHUNK {
+                fw.write_all(&chunk).map_err(SnapshotError::Io)?;
+                chunk.clear();
+            }
+        }
+        for &s in self.succ_arena() {
+            chunk.extend_from_slice(&s.to_le_bytes());
+            if chunk.len() >= ENCODE_CHUNK {
+                fw.write_all(&chunk).map_err(SnapshotError::Io)?;
+                chunk.clear();
+            }
+        }
+        fw.write_all(&chunk).map_err(SnapshotError::Io)?;
+        let sum = fw.hash();
+        fw.write_unhashed(&sum.to_le_bytes()).map_err(SnapshotError::Io)?;
+        Ok(())
+    }
+
+    /// Deserializes a snapshot in either format — monolithic v1
+    /// ([`to_bytes`](Oracle::to_bytes)) or blocked v2
+    /// ([`to_bytes_v2`](Oracle::to_bytes_v2)) — dispatching on the header
+    /// version. v2 input is loaded eagerly: every block checksum is
+    /// verified, and when the successor plane was dropped on disk it is
+    /// re-derived from the embedded graph (one
+    /// [`successor_derivations`](crate::successor_derivations) tick).
     ///
     /// # Errors
     /// Returns a [`SnapshotError`] (never panics) on truncated, corrupted,
@@ -272,6 +472,9 @@ impl<W: PortableWeight> Oracle<W> {
             return Err(SnapshotError::BadMagic);
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version == VERSION_V2 {
+            return crate::format_v2::from_bytes_v2(bytes);
+        }
         if version != VERSION {
             return Err(SnapshotError::UnsupportedVersion { found: version });
         }
@@ -330,15 +533,20 @@ impl<W: PortableWeight> Oracle<W> {
         Ok(Oracle::from_parts(n, dist.into_boxed_slice(), succ.into_boxed_slice()))
     }
 
-    /// Writes the snapshot to `path`.
+    /// Writes the v1 snapshot to `path` **atomically**: the bytes are
+    /// streamed into a same-directory temp file, fsynced, then renamed
+    /// over the target. A concurrent reader — in particular the serve
+    /// watcher, which fingerprints and reloads on change — can never
+    /// observe a half-written snapshot.
     ///
     /// # Errors
     /// Propagates filesystem failures as [`SnapshotError::Io`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        std::fs::write(path, self.to_bytes()).map_err(SnapshotError::Io)
+        atomic_write(path.as_ref(), |w| self.save_to(w))
     }
 
-    /// Reads a snapshot from `path`.
+    /// Reads a snapshot (either format; see
+    /// [`from_bytes`](Oracle::from_bytes)) from `path`.
     ///
     /// # Errors
     /// Propagates filesystem failures and every

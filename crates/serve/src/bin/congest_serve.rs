@@ -2,13 +2,19 @@
 //!
 //! Subcommands:
 //!
-//! - `make-snapshot <out> [--nodes N] [--edges M] [--seed S] [--max-weight W]`
+//! - `make-snapshot <out> [--nodes N] [--edges M] [--seed S] [--max-weight W]
+//!   [--format v1|v2] [--block-rows N] [--no-successors] [--from OLD]`
 //!   builds a random connected graph, solves APSP, and saves the oracle
-//!   snapshot (weight type `u64`).
-//! - `serve <snapshot> [--addr A] [--watch-ms N] [--window N] [--max-conns N]`
-//!   serves the snapshot until SIGTERM/SIGINT, then drains in-flight
-//!   requests, closes the listener, and exits 0 — the contract the CI
-//!   smoke test checks.
+//!   snapshot (weight type `u64`). `--format v2` writes the blocked
+//!   format the paged backend can serve out-of-core; `--no-successors`
+//!   (v2 only) drops the successor plane and embeds the graph instead;
+//!   `--from OLD` converts an existing snapshot instead of generating.
+//! - `serve <snapshot> [--addr A] [--watch-ms N] [--window N] [--max-conns N]
+//!   [--paged] [--resident-mb M]` serves the snapshot until
+//!   SIGTERM/SIGINT, then drains in-flight requests, closes the
+//!   listener, and exits 0 — the contract the CI smoke test checks.
+//!   `--paged` serves a v2 snapshot out-of-core under a `--resident-mb`
+//!   byte budget instead of loading it into RAM.
 //! - `probe <addr> [--requests N] [--batch B]` connects (with retry, so
 //!   it can race a starting server), pipelines query batches, verifies
 //!   every response, and exits 0 on success.
@@ -19,9 +25,9 @@
 
 use congest_graph::generators::{gnm_connected, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
-use congest_oracle::Oracle;
+use congest_oracle::{Oracle, V2Config};
 use congest_serve::proto::Status;
-use congest_serve::{Client, Server, ServerConfig};
+use congest_serve::{BackendMode, Client, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 #[cfg(unix)]
@@ -66,12 +72,17 @@ fn usage() -> ! {
          \n\
          commands:\n\
          \x20 make-snapshot <out> [--nodes N] [--edges M] [--seed S] [--max-weight W]\n\
+         \x20               [--format v1|v2] [--block-rows N] [--no-successors] [--from OLD]\n\
          \x20 serve <snapshot> [--addr A] [--watch-ms N] [--window N] [--max-conns N]\n\
-         \x20 probe <addr> [--requests N] [--batch B]\n\
+         \x20                  [--paged] [--resident-mb M]\n\
+         \x20 probe <addr> [--requests N] [--batch B] [--k-nearest]\n\
          \x20 health <addr>"
     );
     std::process::exit(2)
 }
+
+/// Flags that take no value — everything else consumes the next arg.
+const BOOL_FLAGS: &[&str] = &["--paged", "--no-successors", "--k-nearest"];
 
 /// Pulls `--key value` pairs out of `args`; returns (positional, lookup).
 fn parse_flags(args: &[String]) -> (Vec<&str>, impl Fn(&str) -> Option<u64> + '_) {
@@ -79,7 +90,7 @@ fn parse_flags(args: &[String]) -> (Vec<&str>, impl Fn(&str) -> Option<u64> + '_
     let mut i = 0;
     while i < args.len() {
         if args[i].starts_with("--") {
-            i += 2;
+            i += if BOOL_FLAGS.contains(&args[i].as_str()) { 1 } else { 2 };
         } else {
             positional.push(args[i].as_str());
             i += 1;
@@ -96,6 +107,11 @@ fn parse_flags(args: &[String]) -> (Vec<&str>, impl Fn(&str) -> Option<u64> + '_
         None
     };
     (positional, lookup)
+}
+
+/// Whether the bare boolean flag `--key` appears in `args`.
+fn flag_bool(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{key}"))
 }
 
 fn flag_str<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -119,15 +135,53 @@ fn main() {
 fn make_snapshot(args: &[String]) -> i32 {
     let (pos, flag) = parse_flags(args);
     let [out] = pos.as_slice() else { usage() };
-    let n = flag("nodes").unwrap_or(256) as usize;
-    let m = flag("edges").unwrap_or(4 * n as u64) as usize;
-    let seed = flag("seed").unwrap_or(7);
-    let max_w = flag("max-weight").unwrap_or(100);
-    let g = gnm_connected(n, m, true, WeightDist::Uniform(1, max_w), seed);
-    let oracle = Oracle::from_dist(&g, apsp_dijkstra(&g));
-    match oracle.save(out) {
+    let format = flag_str(args, "format").unwrap_or("v1");
+    if format != "v1" && format != "v2" {
+        eprintln!("unknown --format {format} (expected v1 or v2)");
+        return 2;
+    }
+    let no_succ = flag_bool(args, "no-successors");
+    if no_succ && format != "v2" {
+        eprintln!("--no-successors requires --format v2");
+        return 2;
+    }
+    let block_rows = flag("block-rows").unwrap_or(64).clamp(1, u64::from(u32::MAX)) as u32;
+    // Either convert an existing snapshot or generate a fresh one. A
+    // converted snapshot has no graph to embed, so its successor plane
+    // must ride along.
+    let (oracle, graph, describe) = if let Some(from) = flag_str(args, "from") {
+        if no_succ {
+            eprintln!(
+                "--no-successors cannot be combined with --from: converting a snapshot \
+                       gives us no graph to embed for re-derivation"
+            );
+            return 2;
+        }
+        match Oracle::<u64>::load(from) {
+            Ok(o) => (o, None, format!("converted from {from}")),
+            Err(e) => {
+                eprintln!("could not load {from}: {e}");
+                return 1;
+            }
+        }
+    } else {
+        let n = flag("nodes").unwrap_or(256) as usize;
+        let m = flag("edges").unwrap_or(4 * n as u64) as usize;
+        let seed = flag("seed").unwrap_or(7);
+        let max_w = flag("max-weight").unwrap_or(100);
+        let g = gnm_connected(n, m, true, WeightDist::Uniform(1, max_w), seed);
+        let oracle = Oracle::from_dist(&g, apsp_dijkstra(&g));
+        (oracle, Some(g), format!("{n} nodes, {m} edges, seed {seed}"))
+    };
+    let result = if format == "v2" {
+        oracle
+            .save_v2(out, &V2Config { block_rows, drop_successors: no_succ, graph: graph.as_ref() })
+    } else {
+        oracle.save(out)
+    };
+    match result {
         Ok(()) => {
-            println!("wrote snapshot: {out} ({n} nodes, {m} edges, seed {seed})");
+            println!("wrote {format} snapshot: {out} ({describe})");
             0
         }
         Err(e) => {
@@ -150,6 +204,10 @@ fn serve(args: &[String]) -> i32 {
     }
     if let Some(c) = flag("max-conns") {
         cfg.max_connections = c as usize;
+    }
+    if flag_bool(args, "paged") {
+        let resident_mb = flag("resident-mb").unwrap_or(64).max(1) as usize;
+        cfg.backend = BackendMode::Paged { resident_bytes: resident_mb << 20 };
     }
     let handle = match Server::bind_snapshot::<u64>(addr, *snapshot, cfg) {
         Ok(h) => h,
@@ -243,6 +301,7 @@ fn probe(args: &[String]) -> i32 {
         }
     };
 
+    let knn = flag_bool(args, "k-nearest");
     let mut answered = 0u64;
     let mut x = 0x9e37_79b9u64; // cheap deterministic pair stream
     while answered < requests {
@@ -251,7 +310,9 @@ fn probe(args: &[String]) -> i32 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let u = (x >> 33) as u32 % n;
             let v = (x >> 13) as u32 % n;
-            if batch.len() % 2 == 0 {
+            if knn && batch.len() % 3 == 2 {
+                batch.k_nearest(u, 4.min(n - 1));
+            } else if batch.len() % 2 == 0 {
                 batch.dist(u, v);
             } else {
                 batch.path(u, v);

@@ -185,4 +185,4 @@ pub use client::{
     RetryPolicy, DEFAULT_HANDSHAKE_TIMEOUT,
 };
 pub use proto::{HealthReport, ProtocolError, Status};
-pub use server::{ServeError, Server, ServerConfig, ServerHandle};
+pub use server::{BackendMode, ServeError, Server, ServerConfig, ServerHandle};

@@ -23,7 +23,8 @@
 use crate::cell::GenerationCell;
 use crate::proto::{self, HealthReport, HelloStatus, ProtocolError, Request, ServerHello, Status};
 use congest_oracle::{
-    EngineConfig, Oracle, PortableWeight, QueryEngine, QueryError, SnapshotError,
+    EngineConfig, Oracle, PagedConfig, PagedOracle, PortableWeight, QueryEngine, QueryError,
+    SnapshotError,
 };
 use congest_telemetry::{Counter, Gauge, Histogram};
 use std::io::{ErrorKind, Read, Write};
@@ -64,6 +65,24 @@ impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
     }
+}
+
+/// How snapshot files are opened into query engines — fully resident,
+/// or paged in lazily from a blocked v2 snapshot under a byte budget.
+/// Applies to [`Server::bind_snapshot`] and every subsequent reload
+/// (watcher- or `Reload`-frame-triggered), so a hot-swap keeps the
+/// backend the operator chose.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BackendMode {
+    /// Load the whole snapshot into RAM (v1 or v2 files).
+    Eager,
+    /// Serve straight from a v2 file via
+    /// [`PagedOracle`], keeping at most
+    /// `resident_bytes` of decoded blocks resident.
+    Paged {
+        /// Byte budget for the resident block set.
+        resident_bytes: usize,
+    },
 }
 
 /// Tuning knobs for a [`Server`].
@@ -107,6 +126,10 @@ pub struct ServerConfig {
     /// interval and hot-swap on change. `None` disables the watcher
     /// (`Reload` control frames still work).
     pub watch_interval: Option<Duration>,
+    /// How snapshot files are opened: eager (fully resident) or paged
+    /// (out-of-core over a v2 file). Ignored by [`Server::bind`], which
+    /// is handed an already-built engine.
+    pub backend: BackendMode,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +145,26 @@ impl Default for ServerConfig {
             frame_deadline: Duration::from_secs(10),
             engine: EngineConfig::default(),
             watch_interval: None,
+            backend: BackendMode::Eager,
+        }
+    }
+}
+
+/// Opens the snapshot at `path` into a fresh engine per the configured
+/// [`BackendMode`] — the one code path both the initial
+/// [`Server::bind_snapshot`] and every reload go through.
+fn open_engine<W: PortableWeight>(
+    path: &Path,
+    cfg: &ServerConfig,
+) -> Result<Arc<QueryEngine<W>>, SnapshotError> {
+    match cfg.backend {
+        BackendMode::Eager => {
+            let oracle = Oracle::<W>::load(path)?;
+            Ok(Arc::new(QueryEngine::new(Arc::new(oracle), cfg.engine)))
+        }
+        BackendMode::Paged { resident_bytes } => {
+            let paged = PagedOracle::<W>::open(path, PagedConfig { resident_bytes })?;
+            Ok(Arc::new(QueryEngine::new_paged(Arc::new(paged), cfg.engine)))
         }
     }
 }
@@ -169,11 +212,13 @@ impl Metrics {
 
 /// What the watcher compares to decide whether the snapshot file
 /// changed: mtime **plus** a cheap content fingerprint (file length and
-/// FNV-1a over the leading block), so a rewrite that lands within the
-/// filesystem's mtime granularity — same second, different bytes — still
-/// triggers a reload. The leading block covers the snapshot header and
-/// the start of the distance arena, which differ whenever the graph,
-/// weights, or shape differ.
+/// FNV-1a over the leading and trailing blocks), so a rewrite that lands
+/// within the filesystem's mtime granularity — same second, different
+/// bytes — still triggers a reload. The leading block covers the
+/// snapshot header and the start of the distance arena; the trailing
+/// block covers the checksum (v1) or the index + footer (v2), which
+/// change whenever **any** byte of the payload does — so a same-length
+/// edit past the first block can no longer slip past the watcher.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 struct SnapshotStamp {
     mtime: Option<SystemTime>,
@@ -181,13 +226,13 @@ struct SnapshotStamp {
     fnv: u64,
 }
 
-/// Bytes of the file's leading block folded into the fingerprint.
+/// Bytes of the file's leading and trailing blocks folded into the
+/// fingerprint.
 const STAMP_BLOCK: usize = 4096;
 
-fn stamp_snapshot(path: &Path) -> Option<SnapshotStamp> {
-    let meta = std::fs::metadata(path).ok()?;
-    let mtime = meta.modified().ok();
-    let mut file = std::fs::File::open(path).ok()?;
+/// Folds up to `STAMP_BLOCK` bytes from the file's current position
+/// into `fnv`; stops early at EOF.
+fn stamp_fold(file: &mut std::fs::File, mut fnv: u64) -> Option<u64> {
     let mut block = [0u8; STAMP_BLOCK];
     let mut read = 0;
     while read < STAMP_BLOCK {
@@ -198,9 +243,22 @@ fn stamp_snapshot(path: &Path) -> Option<SnapshotStamp> {
             Err(_) => return None,
         }
     }
-    let mut fnv = 0xCBF2_9CE4_8422_2325u64;
     for &b in &block[..read] {
         fnv = (fnv ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Some(fnv)
+}
+
+fn stamp_snapshot(path: &Path) -> Option<SnapshotStamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    let mtime = meta.modified().ok();
+    let mut file = std::fs::File::open(path).ok()?;
+    let mut fnv = stamp_fold(&mut file, 0xCBF2_9CE4_8422_2325u64)?;
+    if meta.len() > STAMP_BLOCK as u64 {
+        let tail_start = meta.len().saturating_sub(STAMP_BLOCK as u64).max(STAMP_BLOCK as u64);
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(tail_start)).ok()?;
+        fnv = stamp_fold(&mut file, fnv)?;
     }
     Some(SnapshotStamp { mtime, len: meta.len(), fnv })
 }
@@ -247,15 +305,14 @@ impl<W: PortableWeight> Shared<W> {
         })?;
         let mut last = self.reload_lock.lock().expect("reload lock poisoned");
         let stamp = stamp_snapshot(path);
-        let oracle = match Oracle::<W>::load(path) {
-            Ok(o) => o,
+        let engine = match open_engine::<W>(path, &self.cfg) {
+            Ok(e) => e,
             Err(e) => {
                 let err = ServeError::Snapshot(e);
                 self.note_swap_error(&err);
                 return Err(err);
             }
         };
-        let engine = Arc::new(QueryEngine::new(Arc::new(oracle), self.cfg.engine));
         let gen = self.cell.swap(engine);
         *last = stamp;
         self.note_swap();
@@ -352,8 +409,7 @@ impl Server {
         cfg: ServerConfig,
     ) -> Result<ServerHandle<W>, ServeError> {
         let path = path.into();
-        let oracle = Oracle::<W>::load(&path).map_err(ServeError::Snapshot)?;
-        let engine = Arc::new(QueryEngine::new(Arc::new(oracle), cfg.engine));
+        let engine = open_engine::<W>(&path, &cfg).map_err(ServeError::Snapshot)?;
         Self::start(addr, engine, Some(path), cfg)
     }
 
@@ -660,7 +716,7 @@ fn handle_connection<W: PortableWeight>(mut stream: TcpStream, shared: &Shared<W
     };
     let (n, generation) = {
         let current = shared.cell.load();
-        (u64::try_from(current.engine.oracle().n()).unwrap_or(u64::MAX), current.number)
+        (u64::try_from(current.engine.n()).unwrap_or(u64::MAX), current.number)
     };
     let reply = proto::encode_server_hello(&ServerHello {
         status,
@@ -974,5 +1030,9 @@ fn query_status(e: &QueryError) -> Status {
     match e {
         QueryError::NodeOutOfRange { .. } => Status::NodeOutOfRange,
         QueryError::CorruptSuccessors { .. } => Status::Corrupt,
+        // A paged backend lost a block (I/O or checksum): the server is
+        // at fault, not the request — surface it as an internal error so
+        // well-formed clients can retry elsewhere.
+        QueryError::BlockUnavailable { .. } => Status::Internal,
     }
 }

@@ -6,7 +6,7 @@
 use congest_graph::generators::{gnm_connected, Family, WeightDist};
 use congest_graph::seq::apsp_dijkstra;
 use congest_graph::F64;
-use congest_oracle::{Oracle, SnapshotError, MAGIC, VERSION};
+use congest_oracle::{Oracle, SnapshotError, MAGIC, VERSION_V2};
 
 fn sample(n: usize, seed: u64) -> Oracle<u64> {
     let g = gnm_connected(n, 2 * n, true, WeightDist::Uniform(0, 30), seed);
@@ -57,14 +57,21 @@ fn every_truncation_is_a_graceful_err() {
 
 #[test]
 fn version_mismatch_is_a_graceful_err() {
+    // Version 2 is a real format now, so "unknown" starts past it.
     let mut bytes = sample(6, 3).to_bytes();
-    let future = (VERSION + 1).to_le_bytes();
+    let future = (VERSION_V2 + 97).to_le_bytes();
     bytes[8] = future[0];
     bytes[9] = future[1];
     match Oracle::<u64>::from_bytes(&bytes) {
-        Err(SnapshotError::UnsupportedVersion { found }) => assert_eq!(found, VERSION + 1),
+        Err(SnapshotError::UnsupportedVersion { found }) => assert_eq!(found, VERSION_V2 + 97),
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
+    // A v1 payload relabeled v2 must come back as a typed error from the
+    // v2 parser (its 32-byte header checksum cannot match), not a panic.
+    let mut bytes = sample(6, 3).to_bytes();
+    bytes[8] = 2;
+    bytes[9] = 0;
+    assert!(Oracle::<u64>::from_bytes(&bytes).is_err());
 }
 
 #[test]

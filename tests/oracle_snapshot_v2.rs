@@ -1,0 +1,318 @@
+//! v2 blocked-snapshot integration tests: bit-identical answers across
+//! the v1 eager, v2 eager, and v2 paged backends; per-block corruption
+//! that is typed and names the damaged block; graceful truncation at
+//! every length; hostile-index rejection; and eviction-under-load
+//! correctness with a resident budget a fraction of the file size.
+
+use congest_graph::generators::{gnm_connected, WeightDist};
+use congest_graph::seq::apsp_dijkstra;
+use congest_graph::{Edge, Graph, NodeId};
+use congest_oracle::{Oracle, PagedConfig, PagedOracle, QueryError, SnapshotError, V2Config};
+
+fn sample(n: usize, seed: u64) -> (Graph<u64>, Oracle<u64>) {
+    let g = gnm_connected(n, 2 * n, true, WeightDist::Uniform(0, 30), seed);
+    let oracle = Oracle::from_dist(&g, apsp_dijkstra(&g));
+    (g, oracle)
+}
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("v2_it_{}_{name}", std::process::id()))
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3))
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// Minimal independent reading of the v2 tail: (index_offset, entries),
+/// each entry `(offset, len, fnv)`.
+fn read_index(bytes: &[u8]) -> (usize, Vec<(u64, u64, u64)>) {
+    let foot = bytes.len() - 32;
+    let ioff = u64_at(bytes, foot) as usize;
+    let ilen = u64_at(bytes, foot + 8) as usize;
+    let entries = bytes[ioff..ioff + ilen]
+        .chunks_exact(24)
+        .map(|e| (u64_at(e, 0), u64_at(e, 8), u64_at(e, 16)))
+        .collect();
+    (ioff, entries)
+}
+
+/// Rewrites entry `i` of the index and re-seals the index + footer
+/// checksums, so only the *semantic* damage is visible to the loader.
+fn patch_entry(bytes: &mut [u8], i: usize, entry: (u64, u64, u64)) {
+    let foot = bytes.len() - 32;
+    let ioff = u64_at(bytes, foot) as usize;
+    let ilen = u64_at(bytes, foot + 8) as usize;
+    let at = ioff + i * 24;
+    bytes[at..at + 8].copy_from_slice(&entry.0.to_le_bytes());
+    bytes[at + 8..at + 16].copy_from_slice(&entry.1.to_le_bytes());
+    bytes[at + 16..at + 24].copy_from_slice(&entry.2.to_le_bytes());
+    let ifnv = fnv1a(&bytes[ioff..ioff + ilen]);
+    bytes[foot + 16..foot + 24].copy_from_slice(&ifnv.to_le_bytes());
+    let ffnv = fnv1a(&bytes[foot..foot + 24]);
+    bytes[foot + 24..foot + 32].copy_from_slice(&ffnv.to_le_bytes());
+}
+
+fn write_v2(oracle: &Oracle<u64>, cfg: &V2Config<u64>, name: &str) -> std::path::PathBuf {
+    let path = temp(name);
+    oracle.save_v2(&path, cfg).unwrap();
+    path
+}
+
+/// Compares a paged handle against the eager oracle over every pair and
+/// op. Walks must be *identical* (both derive successors with the same
+/// deterministic reverse BFS), not merely both-shortest.
+fn assert_backends_agree(eager: &Oracle<u64>, paged: &PagedOracle<u64>) {
+    let n = eager.n();
+    assert_eq!(paged.n(), n);
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            assert_eq!(paged.distance(u, v).unwrap(), eager.distance(u, v), "dist ({u},{v})");
+            assert_eq!(paged.try_path(u, v).unwrap(), eager.try_path(u, v).unwrap(), "({u},{v})");
+        }
+        assert_eq!(paged.k_nearest(u, 5).unwrap(), eager.k_nearest(u, 5), "k_nearest({u})");
+    }
+}
+
+#[test]
+fn v1_and_v2_agree_bit_for_bit_across_block_sizes() {
+    let (g, oracle) = sample(23, 9);
+    // v1 round trip is the baseline.
+    let v1 = Oracle::<u64>::from_bytes(&oracle.to_bytes()).unwrap();
+    assert_eq!(v1, oracle);
+    for block_rows in [1u32, 3, 8, 23, 64] {
+        // With the successor plane on disk.
+        let cfg = V2Config { block_rows, ..V2Config::default() };
+        let path = write_v2(&oracle, &cfg, &format!("roundtrip_{block_rows}"));
+        let v2 = Oracle::<u64>::load(&path).unwrap();
+        assert_eq!(v2, oracle, "eager v2 load, block_rows={block_rows}");
+        let paged = PagedOracle::<u64>::open(&path, PagedConfig::default()).unwrap();
+        assert_backends_agree(&oracle, &paged);
+        std::fs::remove_file(&path).ok();
+
+        // Plane dropped on disk, graph embedded: successors re-derived.
+        let cfg = V2Config { block_rows, drop_successors: true, graph: Some(&g) };
+        let path = write_v2(&oracle, &cfg, &format!("roundtrip_ns_{block_rows}"));
+        let v2 = Oracle::<u64>::load(&path).unwrap();
+        assert_eq!(v2, oracle, "derived v2 load, block_rows={block_rows}");
+        let paged = PagedOracle::<u64>::open(&path, PagedConfig::default()).unwrap();
+        assert!(!paged.has_successor_plane());
+        assert_backends_agree(&oracle, &paged);
+        assert!(paged.stats().derivations > 0, "plane-less paged serving must derive");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn eviction_under_budget_keeps_answers_exact() {
+    let (_, oracle) = sample(64, 4);
+    let cfg = V2Config { block_rows: 3, ..V2Config::default() };
+    let path = write_v2(&oracle, &cfg, "evict");
+    let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+    // Budget ≈ a quarter of the file: far too small to hold both planes,
+    // so steady-state serving must continuously evict and re-validate.
+    let paged =
+        PagedOracle::<u64>::open(&path, PagedConfig { resident_bytes: file_len / 4 }).unwrap();
+    assert_backends_agree(&oracle, &paged);
+    let stats = paged.stats();
+    assert!(stats.evictions > 0, "a quarter-file budget must evict: {stats:?}");
+    assert!(stats.misses > stats.evictions, "every eviction was once a miss");
+    assert!(
+        paged.resident_bytes() <= file_len / 4,
+        "resident {} exceeds budget {}",
+        paged.resident_bytes(),
+        file_len / 4
+    );
+    // Re-walk everything after heavy eviction churn: still exact.
+    assert_backends_agree(&oracle, &paged);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_paged_readers_under_tiny_budget_agree_with_eager() {
+    let (_, oracle) = sample(48, 12);
+    let cfg = V2Config { block_rows: 4, ..V2Config::default() };
+    let path = write_v2(&oracle, &cfg, "concurrent");
+    let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+    let paged =
+        PagedOracle::<u64>::open(&path, PagedConfig { resident_bytes: file_len / 6 }).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..4u32 {
+            let paged = &paged;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                let mut state = u64::from(t) + 1;
+                for _ in 0..1500 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state % 48) as NodeId;
+                    let v = ((state >> 32) % 48) as NodeId;
+                    assert_eq!(paged.distance(u, v).unwrap(), oracle.distance(u, v));
+                    assert_eq!(paged.try_path(u, v).unwrap(), oracle.try_path(u, v).unwrap());
+                }
+            });
+        }
+    });
+    assert!(paged.stats().evictions > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn per_block_bit_flip_is_typed_and_names_the_block() {
+    let (_, oracle) = sample(20, 7);
+    let cfg = V2Config { block_rows: 4, ..V2Config::default() }; // 5 dist + 5 succ blocks
+    let path = write_v2(&oracle, &cfg, "bitflip");
+    let clean = std::fs::read(&path).unwrap();
+    let (_, entries) = read_index(&clean);
+    assert_eq!(entries.len(), 10);
+    for (b, &(off, len, _)) in entries.iter().enumerate() {
+        let mut bad = clean.clone();
+        bad[off as usize + len as usize / 2] ^= 0x10;
+        // Eager load: typed SnapshotError naming block b.
+        match Oracle::<u64>::from_bytes(&bad) {
+            Err(SnapshotError::BlockCorrupt { block, what }) => {
+                assert_eq!(block as usize, b, "eager load names the damaged block");
+                assert_eq!(what, "checksum mismatch");
+            }
+            other => panic!("block {b}: expected BlockCorrupt, got {other:?}"),
+        }
+        // Paged open succeeds (the index is intact); only queries that
+        // touch block b fail, and the error names it. Blocks live in
+        // row-partition order, so block b covers rows [4b, 4b+4).
+        std::fs::write(&path, &bad).unwrap();
+        let paged = PagedOracle::<u64>::open(&path, PagedConfig::default()).unwrap();
+        let row_in_block = (b % 5 * 4) as NodeId;
+        let (hit, miss) = if b < 5 {
+            // dist block: row queries touch it, other rows don't.
+            (
+                paged.distance(row_in_block, 0).map(|_| ()),
+                paged.distance((row_in_block + 4) % 20, 0).map(|_| ()),
+            )
+        } else {
+            // succ block: paths *toward* its targets touch it.
+            let v = row_in_block;
+            let other = (v + 4) % 20;
+            (
+                paged.try_path((v + 1) % 20, v).map(|_| ()),
+                paged.try_path((other + 1) % 20, other).map(|_| ()),
+            )
+        };
+        assert_eq!(
+            hit.unwrap_err(),
+            QueryError::BlockUnavailable { block: b as u32 },
+            "query touching block {b}"
+        );
+        assert!(miss.is_ok(), "block {b}: undamaged blocks must keep serving");
+    }
+    std::fs::write(&path, &clean).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_truncation_is_graceful_at_every_length() {
+    let (_, oracle) = sample(6, 2);
+    let bytes = oracle.to_bytes_v2(&V2Config { block_rows: 2, ..V2Config::default() }).unwrap();
+    for cut in 0..bytes.len() {
+        assert!(Oracle::<u64>::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must not load");
+    }
+    assert_eq!(Oracle::<u64>::from_bytes(&bytes).unwrap(), oracle);
+}
+
+#[test]
+fn hostile_index_is_rejected_not_trusted() {
+    let (_, oracle) = sample(12, 5);
+    let path = write_v2(&oracle, &V2Config { block_rows: 4, ..V2Config::default() }, "hostile");
+    let clean = std::fs::read(&path).unwrap();
+    let (_, entries) = read_index(&clean);
+
+    // Entry pointing outside its lane: overlapping its neighbor.
+    let mut bad = clean.clone();
+    patch_entry(&mut bad, 1, entries[0]);
+    assert!(Oracle::<u64>::from_bytes(&bad).is_err(), "overlapping entries accepted");
+
+    // Entry with an absurd length (would be a huge allocation if trusted).
+    let mut bad = clean.clone();
+    patch_entry(&mut bad, 0, (entries[0].0, u64::MAX / 2, entries[0].2));
+    assert!(Oracle::<u64>::from_bytes(&bad).is_err(), "absurd length accepted");
+
+    // Entry shifted out of the payload span.
+    let mut bad = clean.clone();
+    patch_entry(&mut bad, 0, (clean.len() as u64, entries[0].1, entries[0].2));
+    assert!(Oracle::<u64>::from_bytes(&bad).is_err(), "out-of-range offset accepted");
+
+    // Every variant must also be rejected by the lazy opener, which is
+    // exactly the codepath an attacker-controlled file would reach.
+    for patch in [
+        entries[0],
+        (entries[0].0, u64::MAX / 2, entries[0].2),
+        (clean.len() as u64, entries[0].1, entries[0].2),
+    ] {
+        let mut bad = clean.clone();
+        patch_entry(&mut bad, 1, patch);
+        std::fs::write(&path, &bad).unwrap();
+        assert!(PagedOracle::<u64>::open(&path, PagedConfig::default()).is_err());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn derivation_inconsistency_is_an_error_not_a_panic() {
+    // A v2 snapshot whose embedded graph cannot explain its distances:
+    // eager load must fail typed; it must never panic.
+    let (_, oracle) = sample(8, 3);
+    let wrong = Graph::from_edges(
+        8,
+        true,
+        // A lone self-loop-free edge: almost everything is unreachable
+        // in this graph, contradicting the finite distance matrix.
+        vec![Edge { from: 0, to: 1, weight: 1u64 }],
+    );
+    let cfg = V2Config { block_rows: 2, drop_successors: true, graph: Some(&wrong) };
+    let bytes = oracle.to_bytes_v2(&cfg).unwrap();
+    assert!(Oracle::<u64>::from_bytes(&bytes).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: the v2 loader, like v1, must never panic on mutated input, and
+// anything it accepts must serve the original answers.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fuzzed_v2_byte_ranges_never_panic_or_corrupt(
+        seed in 0u64..4,
+        block_rows in 1u32..9,
+        start in 0usize..100_000,
+        len in 1usize..48,
+        xor in proptest::collection::vec(0u8..=255u8, 48),
+    ) {
+        let (_, oracle) = sample(9, seed);
+        let clean = oracle.to_bytes_v2(&V2Config { block_rows, ..V2Config::default() }).unwrap();
+        let mut bytes = clean.clone();
+        let start = start % bytes.len();
+        for (i, &mask) in xor.iter().enumerate().take(len) {
+            let Some(b) = bytes.get_mut(start + i) else { break };
+            *b ^= mask;
+        }
+        match Oracle::<u64>::from_bytes(&bytes) {
+            Err(_) => prop_assert_ne!(bytes, clean),
+            Ok(restored) => {
+                for u in 0..9u32 {
+                    for v in 0..9u32 {
+                        prop_assert_eq!(restored.distance(u, v), oracle.distance(u, v));
+                    }
+                }
+            }
+        }
+    }
+}
